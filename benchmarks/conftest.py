@@ -1,0 +1,33 @@
+"""Shared helpers for the benchmark harness.
+
+Each benchmark regenerates one evaluation artifact (DESIGN.md §5).  The
+rendered table/figure is printed (visible with ``pytest -s``) and also
+written to ``results/<experiment>.txt`` so ``bench_output.txt`` runs leave
+the artifacts on disk regardless of capture settings.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def record_artifact(results_dir):
+    """Persist an experiment's rendered output and echo it to stdout."""
+
+    def _record(output) -> None:
+        path = results_dir / f"{output.experiment_id}.txt"
+        path.write_text(output.rendered + "\n", encoding="utf-8")
+        print("\n" + output.rendered)
+
+    return _record

@@ -1,0 +1,19 @@
+"""E10 — ablation: grouping vs ordering vs combined vs +local-search.
+
+Isolates the contribution of each heuristic phase on the sweep kernels.
+Reproduction target: each phase helps on its own, the combination is at
+least as good as either, and local search adds a final improvement.
+"""
+
+from repro.analysis.experiments import run_e10
+
+
+def test_e10_ablation(benchmark, record_artifact):
+    output = benchmark.pedantic(run_e10, rounds=1, iterations=1)
+    record_artifact(output)
+    geomean = output.data["geomean"]
+    assert geomean["grouping_only"] < 1.0
+    assert geomean["ordering_only"] < 1.0
+    assert geomean["heuristic"] <= geomean["grouping_only"] + 1e-9
+    assert geomean["heuristic"] <= geomean["ordering_only"] + 1e-9
+    assert geomean["heuristic+ls"] <= geomean["heuristic"] + 1e-9

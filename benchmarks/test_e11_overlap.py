@@ -1,0 +1,22 @@
+"""E11 (extension) — controller shift/access overlap across DBCs.
+
+Compares the serialised latency model against an overlapped controller with
+per-DBC shift drivers, for an in-order (blocking-load) core and a decoupled
+(non-blocking-load) core.
+"""
+
+from repro.analysis.experiments import run_e11
+
+
+def test_e11_overlap(benchmark, record_artifact):
+    output = benchmark.pedantic(run_e11, rounds=1, iterations=1)
+    record_artifact(output)
+    geomean = output.data["geomean"]
+    # Overlap never hurts, and decoupled cores benefit more.
+    assert geomean["speedup_blocking"] >= 1.0
+    assert geomean["speedup_decoupled"] >= geomean["speedup_blocking"]
+    for name, row in output.data.items():
+        if name == "geomean":
+            continue
+        assert row["overlap_blocking"] <= row["serial_cycles"], name
+        assert row["overlap_decoupled"] <= row["overlap_blocking"], name

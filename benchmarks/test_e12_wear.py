@@ -1,0 +1,22 @@
+"""E12 (extension) — wear balance vs shift minimality.
+
+Shift-minimizing placement concentrates wear on few DBCs; the wear-aware
+re-balancing variant levels the exposure within a bounded (10%) shift
+overhead.
+"""
+
+from repro.analysis.experiments import run_e12
+
+
+def test_e12_wear(benchmark, record_artifact):
+    output = benchmark.pedantic(run_e12, rounds=1, iterations=1)
+    record_artifact(output)
+    geomean = output.data["geomean"]
+    assert geomean["balanced_ratio"] <= geomean["heuristic_ratio"]
+    for name, row in output.data.items():
+        if name == "geomean":
+            continue
+        # Re-balancing never makes the wear ratio worse...
+        assert row["balanced_ratio"] <= row["heuristic_ratio"] + 1e-9, name
+        # ...and respects the shift budget.
+        assert row["shift_overhead_percent"] <= 10.0 + 1e-9, name

@@ -1,0 +1,19 @@
+"""E13 (extension) — online adaptive placement on phase-changing workloads.
+
+Three long phases over disjoint working sets: a first-phase profile decays,
+the online placer (paying real migration costs) recovers most of the oracle
+static placement's advantage.
+"""
+
+from repro.analysis.experiments import run_e13
+
+
+def test_e13_online(benchmark, record_artifact):
+    output = benchmark.pedantic(run_e13, rounds=1, iterations=1)
+    record_artifact(output)
+    data = output.data
+    # Online beats the stale static profile decisively...
+    assert data["online"] < 0.75 * data["static_first_window"]
+    # ...while the whole-trace oracle remains the lower bound.
+    assert data["oracle_static"] <= data["online"]
+    assert data["online_replacements"] >= 1

@@ -1,0 +1,25 @@
+"""E14 (extension) — SPM allocation under capacity pressure.
+
+Knapsack allocation of whole objects with the remainder in background
+memory; sweeping the capacity shows latency falling as the hit fraction
+rises, with shift-aware placement of the resident set opening a gap.
+"""
+
+from repro.analysis.experiments import run_e14
+
+
+def test_e14_allocation(benchmark, record_artifact):
+    output = benchmark.pedantic(run_e14, rounds=1, iterations=1)
+    record_artifact(output)
+    cells = output.data["by_fraction"]
+    fractions = sorted(cells)
+    # More capacity -> higher hit fraction and lower latency, monotonically.
+    hits = [cells[f]["hit_fraction"] for f in fractions]
+    latencies = [cells[f]["latency_heuristic"] for f in fractions]
+    assert hits == sorted(hits)
+    assert latencies == sorted(latencies, reverse=True)
+    # Shift-aware placement of the resident set never loses to declaration.
+    for fraction in fractions:
+        assert cells[fraction]["latency_heuristic"] <= (
+            cells[fraction]["latency_declaration"] + 1e-6
+        )

@@ -1,0 +1,23 @@
+"""E17 (extension) — confidence-gated speculative pre-shifting.
+
+A per-DBC next-offset predictor hides demand shifts behind idle time; the
+confidence gate makes the controller abstain on unpredictable kernels, so
+latency never regresses.
+"""
+
+from repro.analysis.experiments import run_e17
+
+
+def test_e17_preshift(benchmark, record_artifact):
+    output = benchmark.pedantic(run_e17, rounds=1, iterations=1)
+    record_artifact(output)
+    for name, row in output.data.items():
+        # The gate guarantees no latency regression (abstain when unsure).
+        assert row["latency_reduction_percent"] >= -1e-9, name
+        assert 0.0 <= row["prediction_accuracy"] <= 1.0, name
+    # At least half the kernels see a solid latency win.
+    strong = sum(
+        1 for row in output.data.values()
+        if row["latency_reduction_percent"] >= 10.0
+    )
+    assert strong >= len(output.data) // 2

@@ -1,0 +1,16 @@
+"""E1 (Table 1) — benchmark characteristics table.
+
+Regenerates the per-kernel rows (items, accesses, reads/writes, reuse
+distance, locality) the paper's benchmark table reports.
+"""
+
+from repro.analysis.experiments import run_e1
+
+
+def test_e1_benchmark_table(benchmark, record_artifact):
+    output = benchmark.pedantic(run_e1, rounds=1, iterations=1)
+    record_artifact(output)
+    assert len(output.data) == 17
+    for name, row in output.data.items():
+        assert row["accesses"] > 0, name
+        assert row["items"] > 0, name

@@ -1,0 +1,16 @@
+"""E2 (motivation figure) — shift share of DWM cost under naive placement.
+
+The paper's motivation: with a shift-oblivious (declaration-order) placement
+most of a DWM scratchpad's latency and a large share of its energy go to
+shift operations — which is exactly the headroom data placement recovers.
+"""
+
+from repro.analysis.experiments import run_e2
+
+
+def test_e2_motivation(benchmark, record_artifact):
+    output = benchmark.pedantic(run_e2, rounds=1, iterations=1)
+    record_artifact(output)
+    shares = [row["shift_latency_share"] for row in output.data.values()]
+    # Shifting dominates latency on at least half of the kernels.
+    assert sum(1 for share in shares if share > 0.4) >= len(shares) // 2

@@ -1,0 +1,24 @@
+"""E3 (main result) — normalized shift counts across all benchmarks.
+
+The headline figure: the placement heuristic against random, declaration
+(first-touch), frequency (hot-near-port), and spectral placements, shift
+counts normalized to declaration order.  Reproduction target: the heuristic
+wins on every benchmark with a large geometric-mean reduction.
+"""
+
+from repro.analysis.experiments import run_e3
+
+
+def test_e3_shift_reduction(benchmark, record_artifact):
+    output = benchmark.pedantic(run_e3, rounds=1, iterations=1)
+    record_artifact(output)
+    geomean = output.data["geomean"]
+    # Who wins: the heuristic, on every benchmark.
+    for name, row in output.data.items():
+        if name != "geomean":
+            assert row["heuristic"] <= 1.0 + 1e-9, name
+    # By roughly what factor: >= 30% average shift reduction.
+    assert geomean["heuristic"] < 0.7
+    # And it beats every comparison point on average.
+    for method in ("random", "frequency", "spectral"):
+        assert geomean["heuristic"] <= geomean[method]

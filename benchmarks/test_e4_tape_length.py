@@ -1,0 +1,16 @@
+"""E4 — sensitivity of the shift reduction to DBC length (L).
+
+Sweeps L in {16, 32, 64, 128} over the six sweep kernels and reports the
+heuristic's geometric-mean normalized shifts at each length.
+"""
+
+from repro.analysis.experiments import run_e4
+
+
+def test_e4_tape_length(benchmark, record_artifact):
+    output = benchmark.pedantic(run_e4, rounds=1, iterations=1)
+    record_artifact(output)
+    normalized = output.data["normalized"]
+    assert set(normalized) == {16, 32, 64, 128}
+    # The heuristic helps at every tape length.
+    assert all(value < 1.0 for value in normalized.values())

@@ -1,0 +1,25 @@
+"""E5 — sensitivity of the shift reduction to the number of access ports.
+
+More ports shrink both the baseline's absolute shift count and the
+heuristic's relative gain (a port is never far away) — the crossover shape
+multi-port racetrack papers report.
+"""
+
+from repro.analysis.experiments import run_e5
+
+
+def test_e5_ports(benchmark, record_artifact):
+    output = benchmark.pedantic(run_e5, rounds=1, iterations=1)
+    record_artifact(output)
+    by_ports = output.data["by_ports"]
+    assert set(by_ports) == {1, 2, 4}
+    # Baselines get cheaper with more ports.
+    assert (
+        by_ports[1]["baseline_total_shifts"]
+        > by_ports[2]["baseline_total_shifts"]
+        > by_ports[4]["baseline_total_shifts"]
+    )
+    # Relative gains shrink (weakly) as ports are added.
+    assert by_ports[4]["normalized_heuristic"] >= (
+        by_ports[1]["normalized_heuristic"] - 0.05
+    )

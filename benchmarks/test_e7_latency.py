@@ -1,0 +1,18 @@
+"""E7 — access-latency improvement from optimized placement.
+
+Shift reductions translate linearly into scratchpad access latency under the
+serialised-bank model; reports normalized latency and speedup per benchmark.
+"""
+
+from repro.analysis.experiments import run_e7
+
+
+def test_e7_latency(benchmark, record_artifact):
+    output = benchmark.pedantic(run_e7, rounds=1, iterations=1)
+    record_artifact(output)
+    geomean = output.data["geomean"]
+    assert geomean["normalized_latency"] < 1.0
+    assert geomean["speedup"] > 1.0
+    for name, row in output.data.items():
+        if name != "geomean":
+            assert row["normalized_latency"] <= 1.0 + 1e-9, name

@@ -1,0 +1,19 @@
+"""E8 — heuristic vs exact optimum on small single-DBC instances.
+
+The paper solves small instances to optimality (ILP); here the exact subset
+DP + anchor sweep plays that role.  Reproduction target: the heuristic sits
+within a small percentage of OPT, and local-search refinement closes most of
+the residual gap.
+"""
+
+from repro.analysis.experiments import run_e8
+
+
+def test_e8_optimality_gap(benchmark, record_artifact):
+    output = benchmark.pedantic(run_e8, rounds=1, iterations=1)
+    record_artifact(output)
+    for name, row in output.data.items():
+        assert row["heuristic"] >= row["exact"], name
+        assert row["heuristic+ls"] >= row["exact"], name
+    gaps = [row["gap_refined_percent"] for row in output.data.values()]
+    assert sum(gaps) / len(gaps) < 15.0

@@ -1,0 +1,32 @@
+"""E9 — placement-algorithm runtime scaling.
+
+Times each algorithm over growing synthetic instances.  This is the one
+experiment where wall-clock is the artifact itself, so pytest-benchmark
+measures the heuristic directly in addition to the printed scaling table.
+"""
+
+from repro.analysis.experiments import run_e9
+from repro.core.api import optimize_placement
+from repro.dwm.config import DWMConfig
+from repro.trace.synthetic import markov_trace
+
+
+def test_e9_runtime_table(benchmark, record_artifact):
+    output = benchmark.pedantic(run_e9, rounds=1, iterations=1)
+    record_artifact(output)
+    sizes = sorted(output.data["by_size"])
+    # The heuristic's runtime grows with instance size but stays sub-second
+    # at the largest sweep point (polynomial-time claim).
+    largest = output.data["by_size"][sizes[-1]]
+    assert largest["heuristic"] < 1.0
+
+
+def test_e9_heuristic_runtime_microbenchmark(benchmark):
+    trace = markov_trace(64, 64 * 30, locality=0.8, seed=64)
+    config = DWMConfig.for_items(64, words_per_dbc=32)
+
+    def run():
+        return optimize_placement(trace, config, method="heuristic")
+
+    result = benchmark(run)
+    assert result.total_shifts > 0

@@ -1,0 +1,108 @@
+"""Scenario: an embedded audio-DSP pipeline sharing one DWM scratchpad.
+
+Models the workload class the paper's introduction motivates: a small
+always-on DSP runs a chain of filters (FIR pre-filter → IIR equalizer → LMS
+echo canceller) whose working sets live together in a scratchpad.  The
+combined access trace interleaves streaming and pointer-chasing patterns, so
+a shift-aware placement matters more than for any single kernel.
+
+The script places the pipeline's combined trace with each method, then
+reports shifts, latency, energy — including the iso-capacity SRAM reference
+— and prints where the heuristic put the hottest items.
+
+Usage::
+
+    python examples/embedded_dsp_pipeline.py
+"""
+
+from repro import DWMConfig, optimize_placement
+from repro.analysis.report import format_table
+from repro.dwm.energy import DWMEnergyModel
+from repro.memory.spm import ScratchpadMemory
+from repro.memory.sram import SRAMScratchpad
+from repro.trace.kernels import fir_trace, iir_trace, lms_trace
+
+
+def build_pipeline_trace():
+    """Concatenate per-stage traces into one frame-processing super-trace.
+
+    Each stage's items keep their own names (the kernels use distinct array
+    names), so the combined trace is a faithful model of one shared SPM.
+    """
+    fir = fir_trace(taps=12, samples=32, seed=101)
+    iir = iir_trace(sections=3, samples=32, seed=102)
+    lms = lms_trace(taps=8, samples=32, seed=103)
+    frame = fir.concatenated(iir).concatenated(lms)
+    # Process several frames: the pipeline repeats every frame period.
+    trace = frame
+    for _ in range(2):
+        trace = trace.concatenated(frame)
+    return trace.renamed("dsp-pipeline(3 stages x 3 frames)")
+
+
+def main() -> None:
+    trace = build_pipeline_trace()
+    print(f"pipeline trace: {len(trace)} accesses, {trace.num_items} items\n")
+
+    config = DWMConfig.for_items(trace.num_items, words_per_dbc=32)
+    model = DWMEnergyModel()
+
+    rows = []
+    sims = {}
+    for method in ("declaration", "frequency", "heuristic", "heuristic+ls"):
+        result = optimize_placement(trace, config, method=method)
+        sim = ScratchpadMemory(config, result.placement).simulate(trace)
+        sims[method] = (result, sim)
+        breakdown = sim.energy(model)
+        rows.append(
+            (
+                method,
+                result.total_shifts,
+                f"{sim.shifts_per_access:.2f}",
+                breakdown.latency_ns,
+                breakdown.total_energy_pj,
+            )
+        )
+    # SRAM reference (placement-insensitive).
+    sram = SRAMScratchpad(config.capacity_words).simulate(trace)
+    sram_breakdown = sram.sram_reference()
+    rows.append(
+        (
+            "SRAM (reference)",
+            0,
+            "0.00",
+            sram_breakdown.latency_ns,
+            sram_breakdown.total_energy_pj,
+        )
+    )
+    print(
+        format_table(
+            ("placement", "shifts", "shifts/access", "latency (ns)", "energy (pJ)"),
+            rows,
+            title="DSP pipeline on a shared DWM scratchpad",
+            float_format="{:.1f}",
+        )
+    )
+
+    # Show where the heuristic put the ten hottest items.
+    result, _sim = sims["heuristic"]
+    frequencies = trace.frequencies()
+    hottest = [item for item, _count in frequencies.most_common(10)]
+    placement_rows = [
+        (item, frequencies[item], result.placement[item].dbc,
+         result.placement[item].offset)
+        for item in hottest
+    ]
+    print()
+    print(
+        format_table(
+            ("item", "accesses", "DBC", "offset"),
+            placement_rows,
+            title="Hottest items under the heuristic placement "
+                  f"(ports at offset {config.port_offsets[0]})",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

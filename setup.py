@@ -1,0 +1,10 @@
+"""Setup shim for environments without the `wheel` package.
+
+`pip install -e . --no-build-isolation` needs setuptools' legacy develop
+path when wheel is unavailable offline; this shim enables it.  All project
+metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

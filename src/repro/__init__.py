@@ -1,0 +1,91 @@
+"""repro — reproduction of "Optimizing Data Placement for Reducing Shift
+Operations on Domain Wall Memories" (Chen, Sha, Zhuge, Dai, Jiang — DAC 2015).
+
+The package builds, from scratch, everything the paper's evaluation needs:
+
+* :mod:`repro.dwm` — racetrack/DWM device model (tapes, DBCs, ports, shift
+  controller semantics, energy/latency models).
+* :mod:`repro.trace` — access-trace substrate: trace model, statistics,
+  synthetic generators, and instrumented benchmark kernels standing in for
+  the paper's DSPstone/MiBench traces.
+* :mod:`repro.memory` — trace-driven DWM scratchpad simulator plus an SRAM
+  comparator.
+* :mod:`repro.core` — the paper's contribution: shift-minimizing data
+  placement (baselines, the grouping+ordering heuristic, exact search for
+  small instances, local search, spectral comparator).
+* :mod:`repro.analysis` — metrics, report rendering, and the experiment
+  harness that regenerates every evaluation artifact (E1–E10).
+
+Quickstart
+----------
+>>> from repro import optimize_placement, simulate_placement
+>>> from repro.trace import kernels
+>>> trace = kernels.fir_trace()
+>>> result = optimize_placement(trace, method="heuristic")
+>>> baseline = optimize_placement(trace, method="declaration")
+>>> result.total_shifts < baseline.total_shifts
+True
+"""
+
+from repro.core import (
+    ALGORITHMS,
+    Placement,
+    PlacementProblem,
+    PlacementResult,
+    Slot,
+    build_problem,
+    compare_methods,
+    evaluate_placement,
+    heuristic_placement,
+    optimize_placement,
+)
+from repro.dwm import DWMConfig, DWMEnergyModel, PortPolicy, SRAMEnergyModel
+from repro.errors import (
+    CapacityError,
+    ConfigError,
+    OptimizationError,
+    PlacementError,
+    ReproError,
+    SimulationError,
+    TraceError,
+)
+from repro.memory import (
+    ScratchpadMemory,
+    SimulationResult,
+    SRAMScratchpad,
+    simulate_placement,
+)
+from repro.trace import AccessTrace, benchmark_suite
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ALGORITHMS",
+    "AccessTrace",
+    "CapacityError",
+    "ConfigError",
+    "DWMConfig",
+    "DWMEnergyModel",
+    "OptimizationError",
+    "Placement",
+    "PlacementError",
+    "PlacementProblem",
+    "PlacementResult",
+    "PortPolicy",
+    "ReproError",
+    "SRAMEnergyModel",
+    "SRAMScratchpad",
+    "ScratchpadMemory",
+    "SimulationError",
+    "SimulationResult",
+    "Slot",
+    "TraceError",
+    "benchmark_suite",
+    "build_problem",
+    "compare_methods",
+    "evaluate_placement",
+    "heuristic_placement",
+    "optimize_placement",
+    "simulate_placement",
+    "__version__",
+]

@@ -1,0 +1,67 @@
+"""Analysis: metrics, report rendering, parameter sweeps, experiments."""
+
+from repro.analysis.dse import (
+    DesignPoint,
+    explore,
+    knee_point,
+    pareto_front,
+    render_front,
+)
+from repro.analysis.experiments import (
+    EXPERIMENTS,
+    ExperimentOutput,
+    run_experiment,
+)
+from repro.analysis.metrics import (
+    geometric_mean,
+    normalize,
+    reduction_percent,
+    speedup,
+    summarize_normalized,
+)
+from repro.analysis.report import (
+    format_bar_chart,
+    format_grouped_bars,
+    format_heatmap,
+    format_table,
+)
+from repro.analysis.sweep import (
+    SweepRecord,
+    normalized_by_method,
+    pivot,
+    sweep,
+)
+from repro.analysis.wear import (
+    WearReport,
+    lifetime_estimate_accesses,
+    wear_aware_placement,
+    wear_report,
+)
+
+__all__ = [
+    "DesignPoint",
+    "EXPERIMENTS",
+    "explore",
+    "knee_point",
+    "pareto_front",
+    "render_front",
+    "ExperimentOutput",
+    "SweepRecord",
+    "WearReport",
+    "format_bar_chart",
+    "format_heatmap",
+    "lifetime_estimate_accesses",
+    "wear_aware_placement",
+    "wear_report",
+    "format_grouped_bars",
+    "format_table",
+    "geometric_mean",
+    "normalize",
+    "normalized_by_method",
+    "pivot",
+    "reduction_percent",
+    "run_experiment",
+    "speedup",
+    "summarize_normalized",
+    "sweep",
+]

@@ -1,0 +1,57 @@
+"""Metric helpers shared by the experiment harness."""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Mapping
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean, the aggregation papers use for normalized results.
+
+    Zero values are clamped to a tiny epsilon (a normalized cost of exactly
+    zero would otherwise annihilate the mean); an empty input returns NaN.
+    """
+    values = list(values)
+    if not values:
+        return float("nan")
+    epsilon = 1e-12
+    log_sum = 0.0
+    for value in values:
+        if value < 0:
+            raise ValueError(f"geometric mean of negative value {value}")
+        log_sum += math.log(max(value, epsilon))
+    return math.exp(log_sum / len(values))
+
+
+def reduction_percent(baseline: float, improved: float) -> float:
+    """Percentage reduction of ``improved`` relative to ``baseline``."""
+    if baseline == 0:
+        return 0.0
+    return 100.0 * (baseline - improved) / baseline
+
+
+def speedup(baseline: float, improved: float) -> float:
+    """``baseline / improved`` with care for zero denominators."""
+    if improved == 0:
+        return float("inf") if baseline > 0 else 1.0
+    return baseline / improved
+
+
+def normalize(values: Mapping[str, float], reference_key: str) -> dict[str, float]:
+    """Divide every value by the value at ``reference_key``."""
+    reference = values[reference_key]
+    if reference == 0:
+        return {
+            key: (0.0 if value == 0 else float("inf"))
+            for key, value in values.items()
+        }
+    return {key: value / reference for key, value in values.items()}
+
+
+def summarize_normalized(
+    rows: Iterable[Mapping[str, float]], keys: Iterable[str]
+) -> dict[str, float]:
+    """Geometric mean of each key's column across rows."""
+    rows = list(rows)
+    return {key: geometric_mean(row[key] for row in rows) for key in keys}

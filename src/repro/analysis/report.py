@@ -1,0 +1,133 @@
+"""Plain-text rendering of experiment tables and bar "figures".
+
+The benchmark harness prints the same rows/series the paper's tables and
+figures report; these helpers keep that output aligned and readable in a
+terminal and in ``bench_output.txt``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence],
+    title: str | None = None,
+    float_format: str = "{:.3f}",
+) -> str:
+    """Render an aligned ASCII table."""
+    rendered_rows = []
+    for row in rows:
+        rendered = []
+        for cell in row:
+            if isinstance(cell, float):
+                rendered.append(float_format.format(cell))
+            else:
+                rendered.append(str(cell))
+        rendered_rows.append(rendered)
+    widths = [len(str(header)) for header in headers]
+    for row in rendered_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    header_line = "  ".join(
+        str(header).ljust(widths[index]) for index, header in enumerate(headers)
+    )
+    lines.append(header_line)
+    lines.append("  ".join("-" * width for width in widths))
+    for row in rendered_rows:
+        lines.append(
+            "  ".join(cell.ljust(widths[index]) for index, cell in enumerate(row))
+        )
+    return "\n".join(lines)
+
+
+def format_bar_chart(
+    values: Mapping[str, float],
+    title: str | None = None,
+    width: int = 40,
+    value_format: str = "{:.3f}",
+) -> str:
+    """Render a horizontal ASCII bar chart (the "figure" analogue)."""
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("-" * len(title))
+    if not values:
+        return "\n".join(lines + ["(no data)"])
+    label_width = max(len(label) for label in values)
+    maximum = max(values.values()) or 1.0
+    for label, value in values.items():
+        bar = "#" * max(0, round(width * value / maximum))
+        lines.append(
+            f"{label.ljust(label_width)} | {bar} {value_format.format(value)}"
+        )
+    return "\n".join(lines)
+
+
+def format_heatmap(
+    rows: Mapping[str, Sequence[float]],
+    title: str | None = None,
+    levels: str = " .:-=+*#%@",
+) -> str:
+    """Render a row-labelled intensity heatmap (e.g. per-DBC shift load).
+
+    Each row is a sequence of non-negative intensities, normalised to the
+    global maximum; higher values map to denser glyphs.
+    """
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("-" * len(title))
+    values = [value for row in rows.values() for value in row]
+    maximum = max(values) if values else 0.0
+    label_width = max((len(label) for label in rows), default=1)
+    for label, row in rows.items():
+        if maximum <= 0:
+            cells = levels[0] * len(row)
+        else:
+            cells = "".join(
+                levels[min(len(levels) - 1,
+                           int(value / maximum * (len(levels) - 1) + 0.5))]
+                for value in row
+            )
+        lines.append(f"{label.ljust(label_width)} |{cells}|")
+    if maximum > 0:
+        lines.append(f"scale: max={maximum:g}")
+    return "\n".join(lines)
+
+
+def format_grouped_bars(
+    rows: Mapping[str, Mapping[str, float]],
+    title: str | None = None,
+    width: int = 30,
+    value_format: str = "{:.3f}",
+) -> str:
+    """Render grouped bars: outer key = group (benchmark), inner = series."""
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    all_values = [
+        value for series in rows.values() for value in series.values()
+    ]
+    maximum = max(all_values) if all_values else 1.0
+    maximum = maximum or 1.0
+    series_labels = sorted({label for series in rows.values() for label in series})
+    label_width = max((len(label) for label in series_labels), default=1)
+    for group, series in rows.items():
+        lines.append(f"{group}:")
+        for label in series_labels:
+            if label not in series:
+                continue
+            value = series[label]
+            bar = "#" * max(0, round(width * value / maximum))
+            lines.append(
+                f"  {label.ljust(label_width)} | {bar} "
+                f"{value_format.format(value)}"
+            )
+    return "\n".join(lines)

@@ -1,0 +1,121 @@
+"""Parameter-sweep driver for the sensitivity experiments (E4, E5).
+
+A sweep runs a set of placement methods over a grid of DWM geometries for a
+set of traces, producing flat :class:`SweepRecord` rows that the experiment
+harness aggregates into the paper's sensitivity figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.core.api import optimize_placement
+from repro.dwm.config import DWMConfig
+from repro.trace.model import AccessTrace
+
+
+@dataclass(frozen=True)
+class SweepRecord:
+    """One (trace, geometry, method) measurement."""
+
+    trace: str
+    method: str
+    words_per_dbc: int
+    num_ports: int
+    num_dbcs: int
+    total_shifts: int
+    num_accesses: int
+    runtime_seconds: float
+
+    @property
+    def shifts_per_access(self) -> float:
+        if not self.num_accesses:
+            return 0.0
+        return self.total_shifts / self.num_accesses
+
+
+def sweep(
+    traces: Iterable[AccessTrace],
+    methods: Sequence[str] = ("declaration", "heuristic"),
+    words_per_dbc_values: Sequence[int] = (64,),
+    num_ports_values: Sequence[int] = (1,),
+    **kwargs,
+) -> list[SweepRecord]:
+    """Run every (trace × geometry × method) combination."""
+    records: list[SweepRecord] = []
+    for trace in traces:
+        for words_per_dbc in words_per_dbc_values:
+            for num_ports in num_ports_values:
+                config = DWMConfig.for_items(
+                    trace.num_items,
+                    words_per_dbc=words_per_dbc,
+                    num_ports=num_ports,
+                )
+                for method in methods:
+                    result = optimize_placement(
+                        trace, config, method=method, **kwargs
+                    )
+                    records.append(
+                        SweepRecord(
+                            trace=trace.name,
+                            method=method,
+                            words_per_dbc=words_per_dbc,
+                            num_ports=num_ports,
+                            num_dbcs=config.num_dbcs,
+                            total_shifts=result.total_shifts,
+                            num_accesses=len(trace),
+                            runtime_seconds=result.runtime_seconds,
+                        )
+                    )
+    return records
+
+
+def pivot(
+    records: Iterable[SweepRecord],
+    row_key: str,
+    column_key: str,
+    value: str = "total_shifts",
+) -> dict:
+    """Pivot sweep records into ``{row: {column: value}}``.
+
+    ``row_key``/``column_key`` name :class:`SweepRecord` attributes; when
+    several records collapse into one cell their values are summed (useful
+    for aggregating over traces).
+    """
+    table: dict = {}
+    for record in records:
+        row = getattr(record, row_key)
+        column = getattr(record, column_key)
+        cell = table.setdefault(row, {})
+        cell[column] = cell.get(column, 0) + getattr(record, value)
+    return table
+
+
+def normalized_by_method(
+    records: Iterable[SweepRecord],
+    baseline_method: str = "declaration",
+) -> dict[tuple, dict[str, float]]:
+    """Normalize each (trace, geometry) cell's methods to a baseline.
+
+    Returns ``{(trace, L, P): {method: normalized_shifts}}``.
+    """
+    cells: dict[tuple, dict[str, int]] = {}
+    for record in records:
+        key = (record.trace, record.words_per_dbc, record.num_ports)
+        cells.setdefault(key, {})[record.method] = record.total_shifts
+    normalized: dict[tuple, dict[str, float]] = {}
+    for key, methods in cells.items():
+        baseline = methods.get(baseline_method)
+        if baseline is None:
+            continue
+        if baseline == 0:
+            normalized[key] = {
+                method: (0.0 if shifts == 0 else float("inf"))
+                for method, shifts in methods.items()
+            }
+        else:
+            normalized[key] = {
+                method: shifts / baseline for method, shifts in methods.items()
+            }
+    return normalized

@@ -1,0 +1,396 @@
+"""Command-line interface for the repro toolkit.
+
+Subcommands mirror the library workflow:
+
+* ``repro trace generate`` — produce a trace from a benchmark kernel or a
+  synthetic generator and write it to ``.jsonl``/``.trc``.
+* ``repro trace info`` — print the statistics row (the E1 columns) of a
+  trace file.
+* ``repro place`` — optimize a placement for a trace file and emit it as
+  JSON (consumable by an SPM allocator / linker script).
+* ``repro simulate`` — run a trace against a placement on the device model
+  and print the shift/latency/energy report.
+* ``repro experiments`` — regenerate evaluation artifacts (E1–E14).
+
+All geometry flags default to the library defaults (64-word DBCs, one
+centred port, lazy shifting).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.analysis.experiments import EXPERIMENTS, run_experiment
+from repro.analysis.report import format_table
+from repro.core.api import ALGORITHMS, optimize_placement
+from repro.core.placement import Placement, Slot
+from repro.dwm.config import DWMConfig
+from repro.dwm.energy import DWMEnergyModel
+from repro.errors import ReproError
+from repro.memory.spm import ScratchpadMemory
+from repro.trace import io as trace_io
+from repro.trace.kernels import KERNELS
+from repro.trace.model import AccessTrace
+from repro.trace.stats import compute_stats, shift_locality_score
+from repro.trace.synthetic import GENERATORS
+
+
+def _config_from_args(args, num_items: int) -> DWMConfig:
+    """Build the array geometry requested on the command line."""
+    if args.num_dbcs is not None:
+        return DWMConfig.with_uniform_ports(
+            words_per_dbc=args.words_per_dbc,
+            num_dbcs=args.num_dbcs,
+            num_ports=args.ports,
+            port_policy=args.policy,
+        )
+    return DWMConfig.for_items(
+        num_items,
+        words_per_dbc=args.words_per_dbc,
+        num_ports=args.ports,
+        port_policy=args.policy,
+    )
+
+
+def _add_geometry_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--words-per-dbc", type=int, default=64, metavar="L",
+        help="words per domain block cluster (default: 64)",
+    )
+    parser.add_argument(
+        "--ports", type=int, default=1, metavar="P",
+        help="access ports per DBC, evenly spaced (default: 1)",
+    )
+    parser.add_argument(
+        "--num-dbcs", type=int, default=None, metavar="N",
+        help="DBC count (default: smallest that fits the trace)",
+    )
+    parser.add_argument(
+        "--policy", choices=("lazy", "eager"), default="lazy",
+        help="shift policy between accesses (default: lazy)",
+    )
+
+
+# ---------------------------------------------------------------------------
+# trace generate / trace info
+# ---------------------------------------------------------------------------
+
+def cmd_trace_generate(args) -> int:
+    source = args.source
+    if source in KERNELS:
+        trace = KERNELS[source](seed=args.seed) if args.seed is not None else KERNELS[source]()
+    elif source in GENERATORS:
+        if source in ("loop_nest", "pingpong", "stencil"):
+            trace = GENERATORS[source](seed=args.seed or 0)
+        else:
+            trace = GENERATORS[source](
+                args.items, args.accesses, seed=args.seed or 0
+            )
+    else:
+        known = sorted(KERNELS) + sorted(GENERATORS)
+        print(f"error: unknown source {source!r}; choose from: {', '.join(known)}",
+              file=sys.stderr)
+        return 2
+    # Kernel metadata may hold non-serialisable results; IO drops those.
+    trace_io.save(trace, args.output)
+    print(f"wrote {len(trace)} accesses ({trace.num_items} items) to {args.output}")
+    return 0
+
+
+def cmd_trace_info(args) -> int:
+    trace = trace_io.load(args.trace)
+    stats = compute_stats(trace)
+    rows = [
+        ("name", stats.name),
+        ("accesses", stats.num_accesses),
+        ("items", stats.num_items),
+        ("reads", stats.reads),
+        ("writes", stats.writes),
+        ("write fraction", f"{stats.write_fraction:.3f}"),
+        ("mean reuse distance", f"{stats.mean_reuse_distance:.2f}"),
+        ("unique affinity pairs", stats.unique_pairs),
+        ("hottest item", f"{stats.top_item} ({stats.max_item_frequency})"),
+        ("locality score", f"{shift_locality_score(trace):.3f}"),
+    ]
+    print(format_table(("metric", "value"), rows, title=f"trace {args.trace}"))
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# place
+# ---------------------------------------------------------------------------
+
+def cmd_place(args) -> int:
+    trace = trace_io.load(args.trace)
+    config = _config_from_args(args, trace.num_items)
+    if args.export_ilp:
+        from repro.core.ilp import build_minla_ilp
+        from repro.trace.stats import affinity_graph
+
+        model = build_minla_ilp(list(trace.items), affinity_graph(trace))
+        Path(args.export_ilp).write_text(model.to_lp_format(), encoding="utf-8")
+        print(f"wrote ILP ({len(model.variables)} vars, "
+              f"{len(model.constraints)} constraints) to {args.export_ilp}",
+              file=sys.stderr)
+    result = optimize_placement(trace, config, method=args.method)
+    baseline = optimize_placement(trace, config, method="declaration")
+    payload = {
+        "trace": trace.name,
+        "method": args.method,
+        "config": {
+            "words_per_dbc": config.words_per_dbc,
+            "num_dbcs": config.num_dbcs,
+            "port_offsets": list(config.port_offsets),
+            "port_policy": config.port_policy.value,
+        },
+        "total_shifts": result.total_shifts,
+        "baseline_shifts": baseline.total_shifts,
+        "placement": {
+            item: {"dbc": slot.dbc, "offset": slot.offset}
+            for item, slot in sorted(result.placement.items())
+        },
+    }
+    text = json.dumps(payload, indent=2)
+    if args.output:
+        Path(args.output).write_text(text + "\n", encoding="utf-8")
+        print(f"wrote placement to {args.output}")
+    else:
+        print(text)
+    reduction = (
+        100.0 * (baseline.total_shifts - result.total_shifts)
+        / baseline.total_shifts
+        if baseline.total_shifts
+        else 0.0
+    )
+    print(
+        f"# {args.method}: {result.total_shifts} shifts "
+        f"({reduction:+.1f}% vs declaration), "
+        f"{result.runtime_seconds * 1e3:.1f} ms",
+        file=sys.stderr,
+    )
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# simulate
+# ---------------------------------------------------------------------------
+
+def load_placement_json(path: str | Path) -> tuple[Placement, DWMConfig]:
+    """Read a placement JSON produced by ``repro place``."""
+    payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    config_dict = payload["config"]
+    config = DWMConfig(
+        words_per_dbc=config_dict["words_per_dbc"],
+        num_dbcs=config_dict["num_dbcs"],
+        port_offsets=tuple(config_dict["port_offsets"]),
+        port_policy=config_dict.get("port_policy", "lazy"),
+    )
+    placement = Placement(
+        {
+            item: Slot(slot["dbc"], slot["offset"])
+            for item, slot in payload["placement"].items()
+        }
+    )
+    return placement, config
+
+
+def cmd_simulate(args) -> int:
+    trace = trace_io.load(args.trace)
+    placement, config = load_placement_json(args.placement)
+    spm = ScratchpadMemory(config, placement)
+    sim = spm.simulate(trace)
+    breakdown = sim.energy(DWMEnergyModel())
+    rows = [
+        ("config", config.describe()),
+        ("accesses", sim.accesses),
+        ("shifts", sim.shifts),
+        ("shifts/access", f"{sim.shifts_per_access:.3f}"),
+        ("max shifts in one access", sim.max_access_shifts),
+        ("latency (ns)", f"{breakdown.latency_ns:.1f}"),
+        ("shift latency share", f"{breakdown.shift_latency_share:.1%}"),
+        ("dynamic energy (pJ)", f"{breakdown.dynamic_energy_pj:.1f}"),
+        ("total energy (pJ)", f"{breakdown.total_energy_pj:.1f}"),
+    ]
+    print(format_table(("metric", "value"), rows,
+                       title=f"simulation of {trace.name}"))
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# experiments
+# ---------------------------------------------------------------------------
+
+def cmd_experiments(args) -> int:
+    targets = args.ids or ["all"]
+    if targets == ["all"]:
+        targets = list(EXPERIMENTS)
+    sections: list[str] = []
+    for target in targets:
+        output = run_experiment(target)
+        print(output.rendered)
+        print()
+        sections.append(
+            f"## {output.experiment_id.upper()} — {output.title}\n\n"
+            f"```\n{output.rendered}\n```\n"
+        )
+    if args.output:
+        report = (
+            "# repro — experiment report\n\n"
+            "Regenerated by `repro experiments`.\n\n" + "\n".join(sections)
+        )
+        Path(args.output).write_text(report, encoding="utf-8")
+        print(f"wrote report to {args.output}", file=sys.stderr)
+    return 0
+
+
+def cmd_dse(args) -> int:
+    """Design-space exploration with Pareto filtering."""
+    from repro.analysis.dse import explore, knee_point, pareto_front, render_front
+
+    trace = trace_io.load(args.trace)
+    lengths = [int(v) for v in args.lengths.split(",")]
+    ports = [int(v) for v in args.port_counts.split(",")]
+    points = explore(trace, lengths=lengths, ports=ports, method=args.method)
+    front = pareto_front(points)
+    print(render_front(points, front))
+    print(f"\nbalanced (knee) design: {knee_point(front).label}")
+    return 0
+
+
+def cmd_system(args) -> int:
+    """Full-system comparison: all-DRAM vs SPM(oblivious) vs SPM(shift-aware)."""
+    from repro.memory.hierarchy import system_comparison
+
+    trace = trace_io.load(args.trace)
+    capacity = max(
+        args.words_per_dbc,
+        int(trace.num_items * args.capacity_fraction),
+    )
+    num_dbcs = max(1, capacity // args.words_per_dbc)
+    config = DWMConfig.with_uniform_ports(
+        words_per_dbc=args.words_per_dbc,
+        num_dbcs=num_dbcs,
+        num_ports=args.ports,
+    )
+    results = system_comparison(trace, config)
+    baseline = results["all_dram"]
+    rows = [
+        (
+            label,
+            result.total_cycles,
+            f"{result.cycles_per_access:.2f}",
+            f"{baseline.total_cycles / result.total_cycles:.2f}x",
+            result.spm_accesses,
+        )
+        for label, result in results.items()
+    ]
+    print(
+        format_table(
+            ("configuration", "cycles", "cycles/access", "speedup", "SPM hits"),
+            rows,
+            title=(
+                f"system study of {trace.name} "
+                f"(SPM = {config.capacity_words} words)"
+            ),
+        )
+    )
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# parser
+# ---------------------------------------------------------------------------
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="DWM shift-minimizing data placement toolkit (DAC'15 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    trace_parser = sub.add_parser("trace", help="generate or inspect traces")
+    trace_sub = trace_parser.add_subparsers(dest="trace_command", required=True)
+
+    generate = trace_sub.add_parser("generate", help="produce a trace file")
+    generate.add_argument("source", help="kernel or generator name")
+    generate.add_argument("-o", "--output", required=True,
+                          help="output path (.jsonl or .trc)")
+    generate.add_argument("--items", type=int, default=32,
+                          help="items for synthetic generators (default: 32)")
+    generate.add_argument("--accesses", type=int, default=1000,
+                          help="accesses for synthetic generators (default: 1000)")
+    generate.add_argument("--seed", type=int, default=None)
+    generate.set_defaults(func=cmd_trace_generate)
+
+    info = trace_sub.add_parser("info", help="print trace statistics")
+    info.add_argument("trace", help="trace file (.jsonl or .trc)")
+    info.set_defaults(func=cmd_trace_info)
+
+    place = sub.add_parser("place", help="optimize a placement for a trace")
+    place.add_argument("trace", help="trace file (.jsonl or .trc)")
+    place.add_argument("--method", default="heuristic",
+                       choices=sorted(ALGORITHMS),
+                       help="placement algorithm (default: heuristic)")
+    place.add_argument("-o", "--output", default=None,
+                       help="write placement JSON here (default: stdout)")
+    place.add_argument("--export-ilp", default=None, metavar="FILE",
+                       help="also export the single-DBC ILP in .lp format")
+    _add_geometry_flags(place)
+    place.set_defaults(func=cmd_place)
+
+    simulate = sub.add_parser("simulate", help="simulate a trace on a placement")
+    simulate.add_argument("trace", help="trace file (.jsonl or .trc)")
+    simulate.add_argument("placement", help="placement JSON from 'repro place'")
+    simulate.set_defaults(func=cmd_simulate)
+
+    experiments = sub.add_parser("experiments", help="regenerate evaluation artifacts")
+    experiments.add_argument("ids", nargs="*",
+                             help="experiment ids (e1..e16) or 'all'")
+    experiments.add_argument("-o", "--output", default=None, metavar="FILE",
+                             help="also write a markdown report")
+    experiments.set_defaults(func=cmd_experiments)
+
+    dse = sub.add_parser(
+        "dse", help="design-space exploration with Pareto filtering"
+    )
+    dse.add_argument("trace", help="trace file (.jsonl or .trc)")
+    dse.add_argument("--lengths", default="16,32,64",
+                     help="comma-separated DBC lengths (default: 16,32,64)")
+    dse.add_argument("--port-counts", default="1,2,4",
+                     help="comma-separated port counts (default: 1,2,4)")
+    dse.add_argument("--method", default="heuristic",
+                     choices=sorted(ALGORITHMS))
+    dse.set_defaults(func=cmd_dse)
+
+    system = sub.add_parser(
+        "system", help="full-system study: all-DRAM vs SPM configurations"
+    )
+    system.add_argument("trace", help="trace file (.jsonl or .trc)")
+    system.add_argument("--capacity-fraction", type=float, default=0.6,
+                        help="SPM capacity as a fraction of the working set")
+    system.add_argument("--words-per-dbc", type=int, default=16, metavar="L")
+    system.add_argument("--ports", type=int, default=1, metavar="P")
+    system.set_defaults(func=cmd_system)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

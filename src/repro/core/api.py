@@ -1,0 +1,193 @@
+"""High-level placement API.
+
+:func:`optimize_placement` is the one-call entry point used by the examples
+and the benchmark harness: give it a trace (and optionally a geometry) and a
+method name, get back a :class:`~repro.core.problem.PlacementResult` holding
+the placement, its exact shift count, and the algorithm runtime.
+
+Available methods (see :data:`ALGORITHMS`):
+
+``declaration``, ``random``, ``frequency``, ``heuristic`` (the paper's
+algorithm), ``heuristic+ls`` (with local-search polish), ``grouping_only``,
+``ordering_only`` (ablations), ``spectral``, ``annealing``, ``exact``
+(small instances only).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+from repro.core.baselines import (
+    declaration_order_placement,
+    frequency_placement,
+    random_placement,
+)
+from repro.core.community import community_placement
+from repro.core.cost import evaluate_placement
+from repro.core.exact import (
+    MAX_BRUTE_FORCE_ITEMS,
+    exact_single_dbc_placement,
+    exhaustive_placement,
+)
+from repro.core.heuristic import (
+    grouping_only_placement,
+    heuristic_placement,
+    ordering_only_placement,
+)
+from repro.core.local_search import (
+    simulated_annealing,
+    swap_refinement,
+    two_opt_refinement,
+)
+from repro.core.placement import Placement
+from repro.core.problem import PlacementProblem, PlacementResult
+from repro.core.spectral import spectral_placement
+from repro.dwm.config import DWMConfig
+from repro.errors import OptimizationError
+from repro.trace.model import AccessTrace
+
+
+def _exact_dispatch(problem: PlacementProblem, **kwargs) -> Placement:
+    """Strongest exact method the instance admits.
+
+    Single-port lazy geometries: the MinLA subset DP when everything fits
+    one DBC (n ≤ 16), else the set-partition DP (n ≤ 12).  Anything else
+    falls back to the guarded brute force.
+    """
+    from repro.core.exact_partition import (
+        MAX_PARTITION_ITEMS,
+        exact_partitioned_placement,
+    )
+    from repro.dwm.config import PortPolicy
+
+    single_port_lazy = (
+        problem.config.num_ports == 1
+        and problem.config.port_policy is PortPolicy.LAZY
+    )
+    if single_port_lazy and problem.num_items <= problem.config.words_per_dbc:
+        if problem.num_items <= 16 and problem.config.num_dbcs == 1:
+            return exact_single_dbc_placement(problem)
+    if single_port_lazy and problem.num_items <= MAX_PARTITION_ITEMS:
+        return exact_partitioned_placement(problem)
+    return exhaustive_placement(
+        problem, max_items=kwargs.get("max_items", MAX_BRUTE_FORCE_ITEMS)
+    )
+
+
+def _heuristic_with_ls(problem: PlacementProblem, **kwargs) -> Placement:
+    placement = heuristic_placement(problem)
+    placement = two_opt_refinement(
+        problem,
+        placement,
+        max_evaluations=kwargs.get("max_evaluations", 5000),
+    )
+    return swap_refinement(
+        problem,
+        placement,
+        max_evaluations=kwargs.get("max_evaluations", 5000),
+    )
+
+
+ALGORITHMS: dict[str, Callable[..., Placement]] = {
+    "declaration": lambda problem, **kw: declaration_order_placement(problem),
+    "random": lambda problem, **kw: random_placement(problem, seed=kw.get("seed", 0)),
+    "frequency": lambda problem, **kw: frequency_placement(
+        problem, distribute=kw.get("distribute", "round_robin")
+    ),
+    "heuristic": lambda problem, **kw: heuristic_placement(
+        problem,
+        refine_groups=kw.get("refine_groups", True),
+        num_groups=kw.get("num_groups"),
+    ),
+    "heuristic+ls": _heuristic_with_ls,
+    "grouping_only": lambda problem, **kw: grouping_only_placement(problem),
+    "ordering_only": lambda problem, **kw: ordering_only_placement(problem),
+    "spectral": lambda problem, **kw: spectral_placement(problem),
+    "community": lambda problem, **kw: community_placement(problem),
+    "annealing": lambda problem, **kw: simulated_annealing(
+        problem,
+        heuristic_placement(problem),
+        seed=kw.get("seed", 0),
+        max_evaluations=kw.get("max_evaluations", 20000),
+    ),
+    "exact": _exact_dispatch,
+}
+
+
+def build_problem(
+    trace: AccessTrace,
+    config: DWMConfig | None = None,
+    words_per_dbc: int = 64,
+    num_ports: int = 1,
+) -> PlacementProblem:
+    """Wrap a trace into a problem, sizing the array to fit if needed."""
+    if config is None:
+        config = DWMConfig.for_items(
+            trace.num_items,
+            words_per_dbc=words_per_dbc,
+            num_ports=num_ports,
+        )
+    return PlacementProblem(trace=trace, config=config)
+
+
+def optimize_placement(
+    trace: AccessTrace,
+    config: DWMConfig | None = None,
+    method: str = "heuristic",
+    **kwargs,
+) -> PlacementResult:
+    """Run a placement algorithm and evaluate it exactly.
+
+    Parameters
+    ----------
+    trace:
+        The access trace to place for.
+    config:
+        Array geometry; defaults to the smallest single-port array with
+        64-word DBCs that fits the trace's items.
+    method:
+        Algorithm name from :data:`ALGORITHMS`.
+    kwargs:
+        Passed through to the algorithm (``seed``, ``max_evaluations``, …).
+
+    Returns
+    -------
+    PlacementResult
+        Placement, exact total shift count, runtime, and bookkeeping.
+    """
+    if method not in ALGORITHMS:
+        raise OptimizationError(
+            f"unknown method {method!r}; available: {sorted(ALGORITHMS)}"
+        )
+    problem = build_problem(trace, config)
+    start = time.perf_counter()
+    placement = ALGORITHMS[method](problem, **kwargs)
+    runtime = time.perf_counter() - start
+    placement.validate(problem.config, problem.items)
+    shifts = evaluate_placement(problem, placement, validate=False)
+    return PlacementResult(
+        method=method,
+        placement=placement,
+        total_shifts=shifts,
+        runtime_seconds=runtime,
+        details={
+            "num_accesses": len(trace),
+            "num_items": trace.num_items,
+            "config": problem.config.describe(),
+            "trace": trace.name,
+        },
+    )
+
+
+def compare_methods(
+    trace: AccessTrace,
+    config: DWMConfig | None = None,
+    methods: tuple[str, ...] = ("declaration", "random", "frequency", "heuristic"),
+    **kwargs,
+) -> dict[str, PlacementResult]:
+    """Run several methods on the same problem (one row of the E3 figure)."""
+    return {
+        method: optimize_placement(trace, config, method=method, **kwargs)
+        for method in methods
+    }

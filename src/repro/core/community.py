@@ -1,0 +1,87 @@
+"""Community-detection grouping (networkx-based comparator).
+
+An alternative grouping phase built on graph community detection: modularity
+communities of the affinity graph are natural candidate DBC groups.  Note
+the inversion relative to the interference-minimizing partition — community
+detection puts *strongly connected* items together, which is the right call
+when capacity forces items to share DBCs anyway (the chain ordering then
+serves the heavy edges with short shifts), and the wrong call when free DBCs
+could absorb the transitions entirely.  Included as a literature-standard
+comparator; the main heuristic's candidate selection remains the default.
+"""
+
+from __future__ import annotations
+
+from repro.core.ordering import order_groups
+from repro.core.placement import Placement
+from repro.core.problem import PlacementProblem
+from repro.errors import OptimizationError
+
+
+def affinity_to_networkx(problem: PlacementProblem):
+    """The problem's affinity graph as a weighted :mod:`networkx` graph."""
+    import networkx as nx
+
+    graph = nx.Graph()
+    graph.add_nodes_from(problem.items)
+    for (left, right), weight in problem.affinity.items():
+        if left != right:
+            graph.add_edge(left, right, weight=weight)
+    return graph
+
+
+def community_groups(
+    problem: PlacementProblem,
+    num_groups: int | None = None,
+) -> list[list[str]]:
+    """Modularity communities packed into capacity-bounded groups.
+
+    Communities larger than a DBC are split into chunks (community order is
+    preserved, so intra-community locality survives the split); small
+    communities are first-fit packed together to respect the DBC budget.
+    """
+    import networkx as nx
+
+    config = problem.config
+    capacity = config.words_per_dbc
+    if num_groups is None:
+        num_groups = min(config.num_dbcs, problem.num_items)
+    if num_groups * capacity < problem.num_items:
+        raise OptimizationError(
+            f"{problem.num_items} items cannot fit in {num_groups} groups "
+            f"of {capacity}"
+        )
+    graph = affinity_to_networkx(problem)
+    communities = nx.algorithms.community.greedy_modularity_communities(
+        graph, weight="weight"
+    )
+    first_touch = {item: index for index, item in enumerate(problem.items)}
+    chunks: list[list[str]] = []
+    for community in communities:
+        ordered = sorted(community, key=lambda item: first_touch[item])
+        for start in range(0, len(ordered), capacity):
+            chunks.append(ordered[start : start + capacity])
+    # First-fit-decreasing pack of chunks into at most num_groups groups.
+    chunks.sort(key=len, reverse=True)
+    groups: list[list[str]] = [[] for _ in range(num_groups)]
+    for chunk in chunks:
+        target = None
+        for group in groups:
+            if len(group) + len(chunk) <= capacity:
+                target = group
+                break
+        if target is None:
+            # No group has room for the whole chunk: spill item by item.
+            for item in chunk:
+                spill = min(groups, key=len)
+                if len(spill) >= capacity:  # pragma: no cover - capacity checked
+                    raise OptimizationError("no capacity left while packing")
+                spill.append(item)
+        else:
+            target.extend(chunk)
+    return groups
+
+
+def community_placement(problem: PlacementProblem) -> Placement:
+    """Community grouping followed by the standard ordering phase."""
+    return order_groups(problem, community_groups(problem))

@@ -1,0 +1,180 @@
+"""Grouping phase: partition items across DBCs.
+
+Because every DBC keeps its own head, a consecutive access pair placed on
+*different* DBCs costs no shifts at all — the cost of a placement decomposes
+over each DBC's restricted access subsequence.  The grouping phase therefore
+partitions items into at most ``num_dbcs`` groups of at most ``L`` items
+while **minimizing intra-group affinity** (the transition weight that remains
+to be paid inside DBCs); the ordering phase then arranges each group to make
+the残 remaining transitions short.
+
+Two algorithms are provided:
+
+* :func:`greedy_min_affinity_grouping` — items in descending frequency order,
+  each assigned to the group where it adds the least intra-group affinity
+  (capacity permitting).  O(n · g · deg) and the default.
+* :func:`refine_grouping` — Kernighan–Lin style improvement: single-item
+  moves and pairwise swaps between groups accepted when they reduce total
+  intra-group affinity.
+"""
+
+from __future__ import annotations
+
+from repro.core.problem import PlacementProblem
+from repro.errors import CapacityError, OptimizationError
+
+
+def _neighbor_weights(
+    affinity: dict[tuple[str, str], int]
+) -> dict[str, dict[str, int]]:
+    """Adjacency-list view of the unordered affinity dict."""
+    neighbors: dict[str, dict[str, int]] = {}
+    for (left, right), weight in affinity.items():
+        if left == right:
+            continue
+        neighbors.setdefault(left, {})[right] = (
+            neighbors.get(left, {}).get(right, 0) + weight
+        )
+        neighbors.setdefault(right, {})[left] = (
+            neighbors.get(right, {}).get(left, 0) + weight
+        )
+    return neighbors
+
+
+def intra_group_affinity(
+    groups: list[list[str]],
+    affinity: dict[tuple[str, str], int],
+) -> int:
+    """Total affinity weight of pairs that share a group."""
+    group_of: dict[str, int] = {}
+    for index, group in enumerate(groups):
+        for item in group:
+            group_of[item] = index
+    total = 0
+    for (left, right), weight in affinity.items():
+        if left == right:
+            continue
+        group_left = group_of.get(left)
+        if group_left is not None and group_left == group_of.get(right):
+            total += weight
+    return total
+
+
+def greedy_min_affinity_grouping(
+    problem: PlacementProblem,
+    num_groups: int | None = None,
+) -> list[list[str]]:
+    """Assign items (hottest first) to the least-conflicting group.
+
+    Returns ``num_groups`` lists (some possibly empty), each of size at most
+    ``words_per_dbc``.  Hot items are placed first so they get the freest
+    choice; ties break toward the emptiest group to balance load.
+    """
+    config = problem.config
+    capacity = config.words_per_dbc
+    if num_groups is None:
+        num_groups = min(config.num_dbcs, problem.num_items)
+    if num_groups <= 0:
+        raise OptimizationError(f"num_groups must be positive, got {num_groups}")
+    if num_groups * capacity < problem.num_items:
+        raise CapacityError(
+            f"{problem.num_items} items cannot fit in {num_groups} groups "
+            f"of {capacity}"
+        )
+    neighbors = _neighbor_weights(problem.affinity)
+    groups: list[list[str]] = [[] for _ in range(num_groups)]
+    membership: dict[str, int] = {}
+    for item in problem.hot_order:
+        item_neighbors = neighbors.get(item, {})
+        best_group = None
+        best_key = None
+        for index, group in enumerate(groups):
+            if len(group) >= capacity:
+                continue
+            added = sum(
+                item_neighbors.get(member, 0) for member in group
+            )
+            key = (added, len(group), index)
+            if best_key is None or key < best_key:
+                best_key = key
+                best_group = index
+        if best_group is None:
+            raise CapacityError("no group has spare capacity")  # pragma: no cover
+        groups[best_group].append(item)
+        membership[item] = best_group
+    return groups
+
+
+def refine_grouping(
+    groups: list[list[str]],
+    problem: PlacementProblem,
+    max_passes: int = 4,
+) -> list[list[str]]:
+    """KL-style refinement: moves and swaps that reduce intra-group affinity.
+
+    Runs first-improvement passes until a pass makes no change or
+    ``max_passes`` is hit.  Capacity is respected throughout.
+    """
+    capacity = problem.config.words_per_dbc
+    neighbors = _neighbor_weights(problem.affinity)
+    groups = [list(group) for group in groups]
+    group_of = {
+        item: index for index, group in enumerate(groups) for item in group
+    }
+
+    def cost_to(item: str, group_index: int) -> int:
+        """Affinity of ``item`` toward current members of a group."""
+        item_neighbors = neighbors.get(item, {})
+        return sum(
+            weight
+            for member, weight in item_neighbors.items()
+            if group_of.get(member) == group_index and member != item
+        )
+
+    for _ in range(max_passes):
+        changed = False
+        items = [item for group in groups for item in group]
+        for item in items:
+            source = group_of[item]
+            current_cost = cost_to(item, source)
+            if current_cost == 0:
+                continue
+            # Try moving to a group with spare capacity.
+            best_target, best_cost = source, current_cost
+            for target in range(len(groups)):
+                if target == source or len(groups[target]) >= capacity:
+                    continue
+                candidate = cost_to(item, target)
+                if candidate < best_cost:
+                    best_cost, best_target = candidate, target
+            if best_target != source:
+                groups[source].remove(item)
+                groups[best_target].append(item)
+                group_of[item] = best_target
+                changed = True
+                continue
+            # Try swapping with an item of another group.
+            for target in range(len(groups)):
+                if target == source:
+                    continue
+                swapped = False
+                for other in list(groups[target]):
+                    pair_weight = neighbors.get(item, {}).get(other, 0)
+                    gain_item = current_cost - (cost_to(item, target) - pair_weight)
+                    other_cost = cost_to(other, target)
+                    gain_other = other_cost - (cost_to(other, source) - pair_weight)
+                    if gain_item + gain_other > 0:
+                        groups[source].remove(item)
+                        groups[target].remove(other)
+                        groups[source].append(other)
+                        groups[target].append(item)
+                        group_of[item] = target
+                        group_of[other] = source
+                        changed = True
+                        swapped = True
+                        break
+                if swapped:
+                    break
+        if not changed:
+            break
+    return groups

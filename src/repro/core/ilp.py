@@ -1,0 +1,301 @@
+"""The paper's ILP formulation of shift-minimizing placement.
+
+The published work formulates optimal data placement as an integer linear
+program and solves small instances with a commercial solver.  No solver is
+available offline, but the *formulation itself* is a reproduction artifact:
+this module builds it explicitly, exports it in the standard CPLEX ``.lp``
+text format (so any external solver can consume it), and verifies it against
+the exact subset-DP optimum by exhaustive enumeration on small instances.
+
+Formulation (single DBC — the MinLA core; DESIGN.md §4):
+
+* binaries ``x[v,k]`` — item ``v`` sits at position ``k``;
+* assignment constraints — each item takes exactly one position, each
+  position at most one item;
+* continuous ``d[u,v] ≥ |pos(u) − pos(v)|`` for every affinity pair,
+  linearized as ``d[u,v] ≥ pos(u) − pos(v)`` and ``d[u,v] ≥ pos(v) − pos(u)``
+  with ``pos(v) = Σ_k k·x[v,k]``;
+* objective — minimize ``Σ w(u,v)·d[u,v]``.
+
+At any optimum each ``d[u,v]`` is tight (the objective presses it down onto
+the larger of its two bounds), so the ILP optimum equals the MinLA optimum —
+:func:`verify_formulation` checks exactly that, plus feasibility of every
+permutation assignment, with fully generic constraint evaluation.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.core.exact import minla_optimal_cost
+from repro.errors import OptimizationError
+
+
+@dataclass(frozen=True)
+class Variable:
+    """One decision variable of the model."""
+
+    name: str
+    is_binary: bool = True
+    lower: float = 0.0
+    upper: float | None = None  # None = +inf (binaries implicitly 1)
+
+
+@dataclass
+class LinearExpr:
+    """A linear expression: Σ coef·var + constant."""
+
+    coefficients: dict[str, float] = field(default_factory=dict)
+    constant: float = 0.0
+
+    def add(self, variable: str, coefficient: float) -> "LinearExpr":
+        self.coefficients[variable] = (
+            self.coefficients.get(variable, 0.0) + coefficient
+        )
+        return self
+
+    def evaluate(self, assignment: dict[str, float]) -> float:
+        """Value of the expression under a full variable assignment."""
+        total = self.constant
+        for variable, coefficient in self.coefficients.items():
+            total += coefficient * assignment[variable]
+        return total
+
+    def render(self) -> str:
+        """LP-format rendering of the variable part (no constant)."""
+        parts: list[str] = []
+        for variable, coefficient in sorted(self.coefficients.items()):
+            if coefficient == 0:
+                continue
+            sign = "+" if coefficient >= 0 else "-"
+            magnitude = abs(coefficient)
+            coeff_text = "" if magnitude == 1 else f"{magnitude:g} "
+            parts.append(f"{sign} {coeff_text}{variable}")
+        if not parts:
+            return "0"
+        first = parts[0]
+        if first.startswith("+ "):
+            parts[0] = first[2:]
+        return " ".join(parts)
+
+
+@dataclass(frozen=True)
+class Constraint:
+    """``expr (<=|>=|=) rhs``."""
+
+    name: str
+    expr: LinearExpr
+    sense: str  # "<=", ">=", "="
+    rhs: float
+
+    def holds(self, assignment: dict[str, float], tolerance: float = 1e-9) -> bool:
+        value = self.expr.evaluate(assignment)
+        if self.sense == "<=":
+            return value <= self.rhs + tolerance
+        if self.sense == ">=":
+            return value >= self.rhs - tolerance
+        return abs(value - self.rhs) <= tolerance
+
+
+@dataclass
+class ILPModel:
+    """A minimization ILP: variables, constraints, objective."""
+
+    name: str
+    variables: list[Variable] = field(default_factory=list)
+    constraints: list[Constraint] = field(default_factory=list)
+    objective: LinearExpr = field(default_factory=LinearExpr)
+
+    def variable_names(self) -> list[str]:
+        return [variable.name for variable in self.variables]
+
+    def check(self, assignment: dict[str, float]) -> list[str]:
+        """Names of constraints violated by ``assignment`` (empty = feasible)."""
+        missing = [
+            variable.name
+            for variable in self.variables
+            if variable.name not in assignment
+        ]
+        if missing:
+            raise OptimizationError(
+                f"assignment misses variables: {missing[:5]}"
+            )
+        return [
+            constraint.name
+            for constraint in self.constraints
+            if not constraint.holds(assignment)
+        ]
+
+    def to_lp_format(self) -> str:
+        """Serialise in the CPLEX LP text format."""
+        lines = [f"\\ {self.name}", "Minimize", f" obj: {self.objective.render()}"]
+        lines.append("Subject To")
+        for constraint in self.constraints:
+            sense = {"<=": "<=", ">=": ">=", "=": "="}[constraint.sense]
+            lines.append(
+                f" {constraint.name}: {constraint.expr.render()} "
+                f"{sense} {constraint.rhs:g}"
+            )
+        bounded = [
+            v for v in self.variables if not v.is_binary and v.upper is not None
+        ]
+        frees = [
+            v for v in self.variables if not v.is_binary and v.upper is None
+        ]
+        if bounded or frees:
+            lines.append("Bounds")
+            for variable in bounded:
+                lines.append(
+                    f" {variable.lower:g} <= {variable.name} <= {variable.upper:g}"
+                )
+            for variable in frees:
+                lines.append(f" {variable.name} >= {variable.lower:g}")
+        binaries = [v.name for v in self.variables if v.is_binary]
+        if binaries:
+            lines.append("Binary")
+            for name in binaries:
+                lines.append(f" {name}")
+        lines.append("End")
+        return "\n".join(lines) + "\n"
+
+
+def _x(item_index: int, position: int) -> str:
+    return f"x_{item_index}_{position}"
+
+
+def _d(left_index: int, right_index: int) -> str:
+    return f"d_{left_index}_{right_index}"
+
+
+def build_minla_ilp(
+    items: Sequence[str],
+    affinity: dict[tuple[str, str], int],
+    model_name: str = "dwm-placement-minla",
+) -> ILPModel:
+    """Build the single-DBC placement ILP for the given affinity instance."""
+    items = list(items)
+    n = len(items)
+    if n == 0:
+        raise OptimizationError("cannot build an ILP over zero items")
+    index = {item: i for i, item in enumerate(items)}
+    model = ILPModel(name=model_name)
+    # Assignment binaries.
+    for i in range(n):
+        for k in range(n):
+            model.variables.append(Variable(_x(i, k)))
+    # Each item exactly one position.
+    for i in range(n):
+        expr = LinearExpr()
+        for k in range(n):
+            expr.add(_x(i, k), 1.0)
+        model.constraints.append(Constraint(f"item_{i}", expr, "=", 1.0))
+    # Each position at most one item (exactly one, since counts match).
+    for k in range(n):
+        expr = LinearExpr()
+        for i in range(n):
+            expr.add(_x(i, k), 1.0)
+        model.constraints.append(Constraint(f"pos_{k}", expr, "=", 1.0))
+    # Distance variables and linearized absolute values.
+    pairs = sorted(
+        (
+            (index[left], index[right], weight)
+            for (left, right), weight in affinity.items()
+            if left in index and right in index and left != right and weight > 0
+        )
+    )
+    for i, j, weight in pairs:
+        a, b = min(i, j), max(i, j)
+        d_name = _d(a, b)
+        model.variables.append(
+            Variable(d_name, is_binary=False, lower=0.0, upper=float(n - 1))
+        )
+        # d >= pos(a) - pos(b)  <=>  d - pos(a) + pos(b) >= 0
+        forward = LinearExpr().add(d_name, 1.0)
+        backward = LinearExpr().add(d_name, 1.0)
+        for k in range(n):
+            forward.add(_x(a, k), -float(k))
+            forward.add(_x(b, k), float(k))
+            backward.add(_x(a, k), float(k))
+            backward.add(_x(b, k), -float(k))
+        model.constraints.append(
+            Constraint(f"absf_{a}_{b}", forward, ">=", 0.0)
+        )
+        model.constraints.append(
+            Constraint(f"absb_{a}_{b}", backward, ">=", 0.0)
+        )
+        model.objective.add(d_name, float(weight))
+    return model
+
+
+def assignment_for_order(
+    items: Sequence[str],
+    affinity: dict[tuple[str, str], int],
+    order: Sequence[str],
+) -> dict[str, float]:
+    """The (tight) model assignment induced by a concrete linear order."""
+    items = list(items)
+    index = {item: i for i, item in enumerate(items)}
+    position = {item: k for k, item in enumerate(order)}
+    if set(order) != set(items):
+        raise OptimizationError("order must be a permutation of the items")
+    assignment: dict[str, float] = {}
+    for i, item in enumerate(items):
+        for k in range(len(items)):
+            assignment[_x(i, k)] = 1.0 if position[item] == k else 0.0
+    for (left, right), weight in affinity.items():
+        if left == right or weight <= 0:
+            continue
+        if left not in index or right not in index:
+            continue
+        a, b = sorted((index[left], index[right]))
+        assignment[_d(a, b)] = float(
+            abs(position[items[a]] - position[items[b]])
+        )
+    return assignment
+
+
+def solve_by_enumeration(
+    items: Sequence[str],
+    affinity: dict[tuple[str, str], int],
+    max_items: int = 7,
+) -> tuple[list[str], float]:
+    """Solve the ILP by enumerating all permutation assignments.
+
+    Every candidate is checked *generically* against the model's
+    constraints, and the objective is evaluated generically too — this
+    validates the formulation, not just the search.  Returns the optimal
+    order and objective value.
+    """
+    items = list(items)
+    if len(items) > max_items:
+        raise OptimizationError(
+            f"enumeration supports at most {max_items} items, got {len(items)}"
+        )
+    model = build_minla_ilp(items, affinity)
+    best_order: list[str] | None = None
+    best_value: float | None = None
+    for permutation in itertools.permutations(items):
+        assignment = assignment_for_order(items, affinity, permutation)
+        violated = model.check(assignment)
+        if violated:
+            raise OptimizationError(
+                f"formulation bug: permutation assignment violates {violated[:3]}"
+            )
+        value = model.objective.evaluate(assignment)
+        if best_value is None or value < best_value:
+            best_value = value
+            best_order = list(permutation)
+    assert best_order is not None and best_value is not None
+    return best_order, best_value
+
+
+def verify_formulation(
+    items: Sequence[str],
+    affinity: dict[tuple[str, str], int],
+) -> bool:
+    """Check the ILP optimum equals the exact DP optimum on this instance."""
+    _order, ilp_value = solve_by_enumeration(items, affinity)
+    dp_value = minla_optimal_cost(list(items), affinity)
+    return abs(ilp_value - dp_value) < 1e-9

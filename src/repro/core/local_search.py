@@ -1,0 +1,167 @@
+"""Local-search refinement of placements (true-trace-cost objective).
+
+Used both as the "+refinement" ablation arm (E10) and as a general-purpose
+polish pass.  All moves are scored with the exact evaluator
+(:func:`repro.core.cost.evaluate_placement`), so refinement can only ever
+improve the real objective; an ``max_evaluations`` budget keeps runtime
+bounded on large traces.
+
+* :func:`swap_refinement` — first-improvement hill climbing over pairwise
+  item-slot swaps (including cross-DBC swaps) and moves to free slots.
+* :func:`two_opt_refinement` — segment reversal within each DBC's occupied
+  offsets (the classical 2-opt move for linear arrangements).
+* :func:`simulated_annealing` — seeded SA over the same move set for harder
+  instances; accepts uphill moves with Metropolis probability.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+from repro.core.cost import evaluate_placement
+from repro.core.placement import Placement, Slot
+from repro.core.problem import PlacementProblem
+from repro.errors import OptimizationError
+
+
+def _free_slots(placement: Placement, problem: PlacementProblem) -> list[Slot]:
+    """Unoccupied slots on DBCs that already hold items (cheap move targets)."""
+    config = problem.config
+    occupied = {slot for _, slot in placement.items()}
+    free: list[Slot] = []
+    for dbc in placement.dbcs_used():
+        for offset in range(config.words_per_dbc):
+            slot = Slot(dbc, offset)
+            if slot not in occupied:
+                free.append(slot)
+    return free
+
+
+def swap_refinement(
+    problem: PlacementProblem,
+    placement: Placement,
+    max_passes: int = 3,
+    max_evaluations: int = 20000,
+) -> Placement:
+    """First-improvement hill climbing over swaps and free-slot moves."""
+    best = placement
+    best_cost = evaluate_placement(problem, best)
+    evaluations = 1
+    items = list(problem.items)
+    for _ in range(max_passes):
+        improved = False
+        for i, item_a in enumerate(items):
+            for item_b in items[i + 1 :]:
+                if evaluations >= max_evaluations:
+                    return best
+                candidate = best.with_swapped(item_a, item_b)
+                cost = evaluate_placement(problem, candidate, validate=False)
+                evaluations += 1
+                if cost < best_cost:
+                    best, best_cost = candidate, cost
+                    improved = True
+        for item in items:
+            for slot in _free_slots(best, problem):
+                if evaluations >= max_evaluations:
+                    return best
+                candidate = best.with_moved(item, slot)
+                cost = evaluate_placement(problem, candidate, validate=False)
+                evaluations += 1
+                if cost < best_cost:
+                    best, best_cost = candidate, cost
+                    improved = True
+        if not improved:
+            break
+    return best
+
+
+def two_opt_refinement(
+    problem: PlacementProblem,
+    placement: Placement,
+    max_passes: int = 3,
+    max_evaluations: int = 20000,
+) -> Placement:
+    """Segment-reversal (2-opt) refinement within each DBC."""
+    best = placement
+    best_cost = evaluate_placement(problem, best)
+    evaluations = 1
+    for _ in range(max_passes):
+        improved = False
+        for dbc in best.dbcs_used():
+            contents = best.dbc_contents(dbc)
+            offsets = sorted(contents)
+            for i in range(len(offsets)):
+                for j in range(i + 1, len(offsets)):
+                    if evaluations >= max_evaluations:
+                        return best
+                    # Reverse the occupied segment offsets[i..j].
+                    segment = offsets[i : j + 1]
+                    mapping = dict(best.as_dict())
+                    for source, target in zip(segment, reversed(segment)):
+                        mapping[contents[source]] = (dbc, target)
+                    candidate = Placement(
+                        {item: Slot(*slot) for item, slot in mapping.items()}
+                    )
+                    cost = evaluate_placement(problem, candidate, validate=False)
+                    evaluations += 1
+                    if cost < best_cost:
+                        best, best_cost = candidate, cost
+                        contents = best.dbc_contents(dbc)
+                        improved = True
+        if not improved:
+            break
+    return best
+
+
+def simulated_annealing(
+    problem: PlacementProblem,
+    placement: Placement,
+    seed: int = 0,
+    initial_temperature: float | None = None,
+    cooling: float = 0.95,
+    steps_per_temperature: int = 50,
+    min_temperature: float = 0.01,
+    max_evaluations: int = 50000,
+) -> Placement:
+    """Seeded simulated annealing over swaps and free-slot moves.
+
+    ``initial_temperature`` defaults to 5% of the starting cost so the
+    schedule adapts to instance scale.  Deterministic given ``seed``.
+    """
+    if not 0.0 < cooling < 1.0:
+        raise OptimizationError(f"cooling must be in (0, 1), got {cooling}")
+    rng = random.Random(seed)
+    current = placement
+    current_cost = evaluate_placement(problem, current)
+    best, best_cost = current, current_cost
+    temperature = initial_temperature or max(1.0, 0.05 * current_cost)
+    evaluations = 1
+    items = list(problem.items)
+    if len(items) < 2:
+        return placement
+    while temperature > min_temperature and evaluations < max_evaluations:
+        for _ in range(steps_per_temperature):
+            if evaluations >= max_evaluations:
+                break
+            if rng.random() < 0.7 or len(items) < 2:
+                item_a, item_b = rng.sample(items, 2)
+                candidate = current.with_swapped(item_a, item_b)
+            else:
+                free = _free_slots(current, problem)
+                if not free:
+                    item_a, item_b = rng.sample(items, 2)
+                    candidate = current.with_swapped(item_a, item_b)
+                else:
+                    candidate = current.with_moved(
+                        rng.choice(items), rng.choice(free)
+                    )
+            cost = evaluate_placement(problem, candidate, validate=False)
+            evaluations += 1
+            delta = cost - current_cost
+            if delta <= 0 or rng.random() < math.exp(-delta / temperature):
+                current, current_cost = candidate, cost
+                if cost < best_cost:
+                    best, best_cost = candidate, cost
+        temperature *= cooling
+    return best

@@ -1,0 +1,211 @@
+"""Placement representation: items → (DBC, offset) slots.
+
+A :class:`Placement` is the output of every algorithm in :mod:`repro.core`
+and the input of the simulator.  It is an injective mapping from item names
+to :class:`Slot` coordinates on a DWM array; validation enforces injectivity
+and capacity against a :class:`~repro.dwm.config.DWMConfig`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Mapping, Sequence
+
+from repro.dwm.config import DWMConfig
+from repro.errors import CapacityError, PlacementError
+
+
+@dataclass(frozen=True, order=True)
+class Slot:
+    """A word slot on the array: DBC index and offset within the DBC."""
+
+    dbc: int
+    offset: int
+
+    def __post_init__(self) -> None:
+        if self.dbc < 0:
+            raise PlacementError(f"negative DBC index: {self.dbc}")
+        if self.offset < 0:
+            raise PlacementError(f"negative offset: {self.offset}")
+
+
+class Placement:
+    """Injective mapping from item names to slots."""
+
+    def __init__(self, mapping: Mapping[str, Slot | tuple[int, int]]) -> None:
+        slots: dict[str, Slot] = {}
+        used: set[Slot] = set()
+        for item, raw in mapping.items():
+            slot = raw if isinstance(raw, Slot) else Slot(*raw)
+            if slot in used:
+                raise PlacementError(
+                    f"slot {slot} assigned to more than one item "
+                    f"(second: {item!r})"
+                )
+            used.add(slot)
+            slots[item] = slot
+        self._slots = slots
+
+    # ------------------------------------------------------------------
+    # Mapping protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._slots)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._slots)
+
+    def __contains__(self, item: str) -> bool:
+        return item in self._slots
+
+    def __getitem__(self, item: str) -> Slot:
+        try:
+            return self._slots[item]
+        except KeyError:
+            raise PlacementError(f"item {item!r} has no placement") from None
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Placement):
+            return NotImplemented
+        return self._slots == other._slots
+
+    def __repr__(self) -> str:
+        return f"Placement({len(self._slots)} items)"
+
+    def items(self):
+        """(item, slot) pairs."""
+        return self._slots.items()
+
+    def as_dict(self) -> dict[str, tuple[int, int]]:
+        """Plain-dict form ``{item: (dbc, offset)}`` for serialisation."""
+        return {item: (slot.dbc, slot.offset) for item, slot in self._slots.items()}
+
+    # ------------------------------------------------------------------
+    # Validation and structure
+    # ------------------------------------------------------------------
+    def validate(self, config: DWMConfig, required_items: Iterable[str] = ()) -> None:
+        """Check the placement fits ``config`` and covers ``required_items``.
+
+        Raises :class:`PlacementError` (or :class:`CapacityError`) otherwise.
+        """
+        for item, slot in self._slots.items():
+            if slot.dbc >= config.num_dbcs:
+                raise CapacityError(
+                    f"item {item!r} placed on DBC {slot.dbc} but the array "
+                    f"has only {config.num_dbcs} DBCs"
+                )
+            if slot.offset >= config.words_per_dbc:
+                raise PlacementError(
+                    f"item {item!r} placed at offset {slot.offset} but DBCs "
+                    f"have only {config.words_per_dbc} words"
+                )
+        missing = [item for item in required_items if item not in self._slots]
+        if missing:
+            raise PlacementError(
+                f"{len(missing)} items lack a placement "
+                f"(first few: {missing[:5]})"
+            )
+
+    def dbcs_used(self) -> list[int]:
+        """Sorted list of DBC indices that hold at least one item."""
+        return sorted({slot.dbc for slot in self._slots.values()})
+
+    def dbc_contents(self, dbc: int) -> dict[int, str]:
+        """``{offset: item}`` for one DBC."""
+        return {
+            slot.offset: item
+            for item, slot in self._slots.items()
+            if slot.dbc == dbc
+        }
+
+    def groups(self) -> dict[int, list[str]]:
+        """Items per DBC, ordered by offset."""
+        result: dict[int, list[str]] = {}
+        for dbc in self.dbcs_used():
+            contents = self.dbc_contents(dbc)
+            result[dbc] = [contents[offset] for offset in sorted(contents)]
+        return result
+
+    # ------------------------------------------------------------------
+    # Constructors and edits
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_order(
+        cls, ordered_items: Sequence[str], config: DWMConfig
+    ) -> "Placement":
+        """Fill DBC 0 offsets 0..L-1, then DBC 1, … in the given item order."""
+        if len(set(ordered_items)) != len(ordered_items):
+            raise PlacementError("ordered_items contains duplicates")
+        if len(ordered_items) > config.capacity_words:
+            raise CapacityError(
+                f"{len(ordered_items)} items exceed array capacity "
+                f"{config.capacity_words}"
+            )
+        length = config.words_per_dbc
+        return cls(
+            {
+                item: Slot(index // length, index % length)
+                for index, item in enumerate(ordered_items)
+            }
+        )
+
+    @classmethod
+    def from_groups(
+        cls,
+        groups: Mapping[int, Sequence[str]] | Sequence[Sequence[str]],
+        config: DWMConfig,
+        anchor_offsets: Mapping[int, int] | None = None,
+    ) -> "Placement":
+        """Place each group on its own DBC, in order, starting at an anchor.
+
+        ``groups`` maps DBC index → ordered item list (or is a plain list of
+        groups assigned to DBCs 0, 1, …).  ``anchor_offsets`` optionally gives
+        the starting offset of each group (default: centred so the group's
+        middle lands on the DBC's nearest port — the placement the ordering
+        phase of the heuristic produces).
+        """
+        if not isinstance(groups, Mapping):
+            groups = dict(enumerate(groups))
+        mapping: dict[str, Slot] = {}
+        for dbc, ordered in groups.items():
+            ordered = list(ordered)
+            if len(ordered) > config.words_per_dbc:
+                raise CapacityError(
+                    f"group for DBC {dbc} has {len(ordered)} items, "
+                    f"capacity is {config.words_per_dbc}"
+                )
+            if anchor_offsets is not None and dbc in anchor_offsets:
+                start = anchor_offsets[dbc]
+            else:
+                port = config.port_offsets[0]
+                start = max(
+                    0,
+                    min(
+                        config.words_per_dbc - len(ordered),
+                        port - len(ordered) // 2,
+                    ),
+                )
+            if start < 0 or start + len(ordered) > config.words_per_dbc:
+                raise PlacementError(
+                    f"group for DBC {dbc} does not fit at offset {start}"
+                )
+            for position, item in enumerate(ordered):
+                if item in mapping:
+                    raise PlacementError(f"item {item!r} appears in two groups")
+                mapping[item] = Slot(dbc, start + position)
+        return cls(mapping)
+
+    def with_swapped(self, item_a: str, item_b: str) -> "Placement":
+        """New placement with the two items' slots exchanged."""
+        slot_a, slot_b = self[item_a], self[item_b]
+        updated = dict(self._slots)
+        updated[item_a] = slot_b
+        updated[item_b] = slot_a
+        return Placement(updated)
+
+    def with_moved(self, item: str, slot: Slot | tuple[int, int]) -> "Placement":
+        """New placement with ``item`` moved to ``slot`` (must be free)."""
+        slot = slot if isinstance(slot, Slot) else Slot(*slot)
+        updated = dict(self._slots)
+        updated[item] = slot
+        return Placement(updated)

@@ -1,0 +1,108 @@
+"""The placement problem: trace + geometry, with cached derived structures.
+
+:class:`PlacementProblem` bundles everything an algorithm needs — the access
+trace, the DWM geometry, the affinity graph, item frequencies — behind one
+object so the individual optimizers stay small.  Construction validates that
+the trace fits the configured array.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import cached_property
+
+from repro.dwm.config import DWMConfig
+from repro.errors import CapacityError, TraceError
+from repro.trace.model import AccessTrace
+from repro.trace.stats import AffinityMatrix, affinity_graph, hot_items
+
+
+@dataclass(frozen=True)
+class PlacementProblem:
+    """An instance of the shift-minimizing data placement problem."""
+
+    trace: AccessTrace
+    config: DWMConfig
+
+    def __post_init__(self) -> None:
+        if len(self.trace) == 0:
+            raise TraceError("cannot build a placement problem from an empty trace")
+        if self.trace.num_items > self.config.capacity_words:
+            raise CapacityError(
+                f"trace {self.trace.name!r} touches {self.trace.num_items} items "
+                f"but the array holds only {self.config.capacity_words} words "
+                f"({self.config.describe()})"
+            )
+
+    # ------------------------------------------------------------------
+    # Cached derived structures
+    # ------------------------------------------------------------------
+    @cached_property
+    def items(self) -> tuple[str, ...]:
+        """Items in first-touch (declaration) order."""
+        return self.trace.items
+
+    @property
+    def num_items(self) -> int:
+        return len(self.items)
+
+    @cached_property
+    def affinity(self) -> dict[tuple[str, str], int]:
+        """Unordered adjacent-pair counts (self-pairs excluded)."""
+        return affinity_graph(self.trace)
+
+    @cached_property
+    def affinity_matrix(self) -> AffinityMatrix:
+        """Index-based affinity representation for numeric algorithms."""
+        return AffinityMatrix.from_trace(self.trace)
+
+    @cached_property
+    def hot_order(self) -> tuple[str, ...]:
+        """Items by descending access frequency."""
+        return tuple(hot_items(self.trace))
+
+    @cached_property
+    def item_index(self) -> dict[str, int]:
+        """Item name → dense index (first-touch order)."""
+        return {item: i for i, item in enumerate(self.items)}
+
+    @cached_property
+    def index_sequence(self) -> tuple[int, ...]:
+        """The trace as dense item indices (hot path for evaluators)."""
+        index = self.item_index
+        return tuple(index[access.item] for access in self.trace)
+
+    @property
+    def min_dbcs_needed(self) -> int:
+        """Fewest DBCs that can hold all items."""
+        length = self.config.words_per_dbc
+        return -(-self.num_items // length)
+
+    def with_config(self, config: DWMConfig) -> "PlacementProblem":
+        """Same trace on a different geometry (used by parameter sweeps)."""
+        return PlacementProblem(trace=self.trace, config=config)
+
+
+@dataclass(frozen=True)
+class PlacementResult:
+    """An algorithm's output: the placement plus evaluation bookkeeping."""
+
+    method: str
+    placement: "Placement"  # noqa: F821 - forward ref, avoids import cycle
+    total_shifts: int
+    runtime_seconds: float = 0.0
+    details: dict = field(default_factory=dict)
+
+    @property
+    def shifts_per_access(self) -> float:
+        """Average shifts per access given the problem recorded in details."""
+        accesses = self.details.get("num_accesses")
+        if not accesses:
+            return float("nan")
+        return self.total_shifts / accesses
+
+    def normalized_to(self, baseline: "PlacementResult") -> float:
+        """This result's shift count relative to a baseline's (lower=better)."""
+        if baseline.total_shifts == 0:
+            return 0.0 if self.total_shifts == 0 else float("inf")
+        return self.total_shifts / baseline.total_shifts

@@ -1,0 +1,70 @@
+"""Device substrate: domain wall memory (racetrack) model.
+
+Public surface:
+
+* :class:`~repro.dwm.config.DWMConfig` / :class:`~repro.dwm.config.PortPolicy`
+  — array geometry and shift policy.
+* :class:`~repro.dwm.tape.Tape` — domain-level nanowire model.
+* :class:`~repro.dwm.dbc.DBC` / :class:`~repro.dwm.dbc.HeadModel` — word-level
+  cluster models (full and counters-only).
+* :class:`~repro.dwm.array.DWMArray` / :class:`~repro.dwm.array.DWMArrayModel`
+  — the bank exposed to the memory subsystem.
+* :class:`~repro.dwm.energy.DWMEnergyModel` /
+  :class:`~repro.dwm.energy.SRAMEnergyModel` — linear energy/latency models.
+"""
+
+from repro.dwm.array import ArrayStats, DWMArray, DWMArrayModel
+from repro.dwm.config import DWMConfig, PortPolicy, uniform_port_offsets
+from repro.dwm.dbc import DBC, AccessResult, HeadModel, port_access_cost
+from repro.dwm.energy import (
+    DWMEnergyModel,
+    DWMEnergyParams,
+    EnergyBreakdown,
+    SRAMEnergyModel,
+    SRAMEnergyParams,
+)
+from repro.dwm.ports import (
+    access_histogram,
+    co_design_ports,
+    weighted_k_medians,
+)
+from repro.dwm.preshift import (
+    NextOffsetPredictor,
+    PreshiftResult,
+    simulate_preshift,
+)
+from repro.dwm.reliability import (
+    DEFAULT_SHIFT_ERROR_RATE,
+    ReliabilityReport,
+    reliability_report,
+)
+from repro.dwm.tape import Tape, TapeStats
+
+__all__ = [
+    "ArrayStats",
+    "AccessResult",
+    "DBC",
+    "DWMArray",
+    "DWMArrayModel",
+    "DWMConfig",
+    "DWMEnergyModel",
+    "DWMEnergyParams",
+    "EnergyBreakdown",
+    "HeadModel",
+    "PortPolicy",
+    "SRAMEnergyModel",
+    "SRAMEnergyParams",
+    "DEFAULT_SHIFT_ERROR_RATE",
+    "NextOffsetPredictor",
+    "PreshiftResult",
+    "ReliabilityReport",
+    "simulate_preshift",
+    "Tape",
+    "TapeStats",
+    "access_histogram",
+    "co_design_ports",
+    "port_access_cost",
+    "reliability_report",
+    "uniform_port_offsets",
+    "weighted_k_medians",
+]

@@ -1,0 +1,116 @@
+"""A DWM array: a bank of independent domain block clusters.
+
+The array is the device exposed to the memory subsystem.  Each DBC keeps its
+own head state, so accesses to different DBCs never cost shifts against each
+other — the property the placement *grouping* phase exploits.
+
+Like :mod:`repro.dwm.dbc`, two fidelity levels exist:
+
+* :class:`DWMArray` — full functional model (stores word values).
+* :class:`DWMArrayModel` — counters-only model used on simulation hot paths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.dwm.config import DWMConfig
+from repro.dwm.dbc import DBC, AccessResult, HeadModel
+from repro.errors import SimulationError
+
+
+@dataclass
+class ArrayStats:
+    """Aggregate operation counters for a DWM array."""
+
+    shifts: int = 0
+    reads: int = 0
+    writes: int = 0
+    per_dbc_shifts: list[int] = field(default_factory=list)
+
+    @property
+    def accesses(self) -> int:
+        """Total number of word accesses (reads + writes)."""
+        return self.reads + self.writes
+
+    @property
+    def shifts_per_access(self) -> float:
+        """Average shift operations per access (0.0 for an empty run)."""
+        if not self.accesses:
+            return 0.0
+        return self.shifts / self.accesses
+
+
+class DWMArrayModel:
+    """Counters-only DWM array (one :class:`HeadModel` per DBC)."""
+
+    def __init__(self, config: DWMConfig) -> None:
+        self.config = config
+        self._dbcs = [HeadModel(config) for _ in range(config.num_dbcs)]
+
+    def access(self, dbc_index: int, offset: int, is_write: bool = False) -> AccessResult:
+        """Access word ``offset`` of DBC ``dbc_index``."""
+        return self._dbc(dbc_index).access(offset, is_write=is_write)
+
+    def _dbc(self, dbc_index: int) -> HeadModel:
+        if not 0 <= dbc_index < self.config.num_dbcs:
+            raise SimulationError(
+                f"DBC index {dbc_index} outside 0..{self.config.num_dbcs - 1}"
+            )
+        return self._dbcs[dbc_index]
+
+    def head(self, dbc_index: int) -> int:
+        """Current head state (shift state in word units) of a DBC."""
+        return self._dbc(dbc_index).head
+
+    def stats(self) -> ArrayStats:
+        """Aggregate counters across all DBCs."""
+        per_dbc = [dbc.shifts for dbc in self._dbcs]
+        return ArrayStats(
+            shifts=sum(per_dbc),
+            reads=sum(dbc.reads for dbc in self._dbcs),
+            writes=sum(dbc.writes for dbc in self._dbcs),
+            per_dbc_shifts=per_dbc,
+        )
+
+    def reset(self) -> None:
+        """Return all heads to rest and clear counters."""
+        for dbc in self._dbcs:
+            dbc.reset()
+
+
+class DWMArray:
+    """Full functional DWM array storing word values."""
+
+    def __init__(self, config: DWMConfig) -> None:
+        self.config = config
+        self._dbcs = [DBC(config) for _ in range(config.num_dbcs)]
+
+    def _dbc(self, dbc_index: int) -> DBC:
+        if not 0 <= dbc_index < self.config.num_dbcs:
+            raise SimulationError(
+                f"DBC index {dbc_index} outside 0..{self.config.num_dbcs - 1}"
+            )
+        return self._dbcs[dbc_index]
+
+    def read(self, dbc_index: int, offset: int) -> AccessResult:
+        """Read the word at (``dbc_index``, ``offset``)."""
+        return self._dbc(dbc_index).read(offset)
+
+    def write(self, dbc_index: int, offset: int, value: int) -> AccessResult:
+        """Write ``value`` at (``dbc_index``, ``offset``)."""
+        return self._dbc(dbc_index).write(offset, value)
+
+    def peek(self, dbc_index: int, offset: int) -> int:
+        """Inspect a stored word without modelling device operations."""
+        return self._dbc(dbc_index).peek(offset)
+
+    def stats(self) -> ArrayStats:
+        """Aggregate counters across all DBCs."""
+        per_dbc = [dbc.shifts for dbc in self._dbcs]
+        return ArrayStats(
+            shifts=sum(per_dbc),
+            reads=sum(dbc.reads for dbc in self._dbcs),
+            writes=sum(dbc.writes for dbc in self._dbcs),
+            per_dbc_shifts=per_dbc,
+        )

@@ -1,0 +1,164 @@
+"""Energy and latency models for DWM and SRAM scratchpads.
+
+The published evaluation would have taken per-operation constants from a
+device characterisation tool (NVSim / DESTINY).  We substitute constants from
+the public racetrack-memory literature (e.g. the TapeCache / DWM-SPM papers):
+what matters for reproducing the paper's *normalized* results is the ratio
+between shift, read, and write costs, which these defaults preserve —
+shifting is cheap per step but dominates because many steps occur per access,
+while an SRAM of equal capacity has higher static power and area.
+
+All energies are in picojoules (pJ), times in nanoseconds (ns), leakage in
+milliwatts (mW).  The models are deliberately linear in the event counters
+produced by the simulator, matching how such papers derive their energy and
+performance figures from shift/read/write counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class DWMEnergyParams:
+    """Per-operation constants for a DWM scratchpad bank.
+
+    Defaults follow published racetrack characterisations (word-granularity,
+    32-bit words): a single-domain shift of a 32-tape cluster costs well
+    under half a read, and writes cost more than reads due to domain
+    nucleation.  SRAM defaults (below) reflect an iso-capacity SPM macro,
+    whose larger cell array costs more per access and leaks an order of
+    magnitude more — the paper's motivating comparison.
+    """
+
+    shift_energy_pj: float = 0.45
+    read_energy_pj: float = 1.3
+    write_energy_pj: float = 1.9
+    shift_latency_ns: float = 0.5
+    read_latency_ns: float = 1.0
+    write_latency_ns: float = 1.5
+    leakage_mw: float = 0.2
+
+    def __post_init__(self) -> None:
+        for name in (
+            "shift_energy_pj", "read_energy_pj", "write_energy_pj",
+            "shift_latency_ns", "read_latency_ns", "write_latency_ns",
+            "leakage_mw",
+        ):
+            if getattr(self, name) < 0:
+                raise ConfigError(f"{name} must be non-negative")
+
+
+@dataclass(frozen=True)
+class SRAMEnergyParams:
+    """Per-operation constants for an iso-capacity SRAM scratchpad.
+
+    SRAM has no shifts; its reads/writes are fast but the cell array leaks
+    far more than a DWM macro of the same capacity (the headline motivation
+    for DWM scratchpads in embedded systems).
+    """
+
+    read_energy_pj: float = 3.5
+    write_energy_pj: float = 3.5
+    read_latency_ns: float = 0.8
+    write_latency_ns: float = 0.8
+    leakage_mw: float = 2.5
+
+    def __post_init__(self) -> None:
+        for name in (
+            "read_energy_pj", "write_energy_pj",
+            "read_latency_ns", "write_latency_ns", "leakage_mw",
+        ):
+            if getattr(self, name) < 0:
+                raise ConfigError(f"{name} must be non-negative")
+
+
+@dataclass(frozen=True)
+class EnergyBreakdown:
+    """Energy (pJ) and latency (ns) of a simulated run, by component."""
+
+    shift_energy_pj: float
+    read_energy_pj: float
+    write_energy_pj: float
+    leakage_energy_pj: float
+    latency_ns: float
+    shift_latency_ns: float
+
+    @property
+    def dynamic_energy_pj(self) -> float:
+        """Energy excluding leakage."""
+        return self.shift_energy_pj + self.read_energy_pj + self.write_energy_pj
+
+    @property
+    def total_energy_pj(self) -> float:
+        """Dynamic plus leakage energy."""
+        return self.dynamic_energy_pj + self.leakage_energy_pj
+
+    @property
+    def shift_energy_share(self) -> float:
+        """Fraction of dynamic energy spent on shifting (0..1)."""
+        dynamic = self.dynamic_energy_pj
+        if dynamic == 0:
+            return 0.0
+        return self.shift_energy_pj / dynamic
+
+    @property
+    def shift_latency_share(self) -> float:
+        """Fraction of access latency spent on shifting (0..1)."""
+        if self.latency_ns == 0:
+            return 0.0
+        return self.shift_latency_ns / self.latency_ns
+
+
+class DWMEnergyModel:
+    """Turns (shifts, reads, writes) counters into energy and latency."""
+
+    def __init__(self, params: DWMEnergyParams | None = None) -> None:
+        self.params = params or DWMEnergyParams()
+
+    def evaluate(self, shifts: int, reads: int, writes: int) -> EnergyBreakdown:
+        """Energy/latency of a run with the given event counts.
+
+        Latency assumes a single-banked, serialised access stream: every
+        shift and access occupies the bank (the conservative model the
+        placement papers use when they report performance improvement).
+        """
+        p = self.params
+        shift_lat = shifts * p.shift_latency_ns
+        latency = (
+            shift_lat
+            + reads * p.read_latency_ns
+            + writes * p.write_latency_ns
+        )
+        leakage_pj = p.leakage_mw * latency  # 1 mW * 1 ns = 1e-12 J = 1 pJ
+        return EnergyBreakdown(
+            shift_energy_pj=shifts * p.shift_energy_pj,
+            read_energy_pj=reads * p.read_energy_pj,
+            write_energy_pj=writes * p.write_energy_pj,
+            leakage_energy_pj=leakage_pj,
+            latency_ns=latency,
+            shift_latency_ns=shift_lat,
+        )
+
+
+class SRAMEnergyModel:
+    """Iso-capacity SRAM comparator (no shifts)."""
+
+    def __init__(self, params: SRAMEnergyParams | None = None) -> None:
+        self.params = params or SRAMEnergyParams()
+
+    def evaluate(self, reads: int, writes: int) -> EnergyBreakdown:
+        """Energy/latency of a run with the given access counts."""
+        p = self.params
+        latency = reads * p.read_latency_ns + writes * p.write_latency_ns
+        leakage_pj = p.leakage_mw * latency  # 1 mW * 1 ns = 1e-12 J = 1 pJ
+        return EnergyBreakdown(
+            shift_energy_pj=0.0,
+            read_energy_pj=reads * p.read_energy_pj,
+            write_energy_pj=writes * p.write_energy_pj,
+            leakage_energy_pj=leakage_pj,
+            latency_ns=latency,
+            shift_latency_ns=0.0,
+        )

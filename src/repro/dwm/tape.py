@@ -1,0 +1,156 @@
+"""Domain-level model of a single racetrack nanowire (tape).
+
+This is the lowest-fidelity layer of the device substrate: it stores actual
+bit values in a train of magnetic domains and implements the physical shift
+semantics, including the *overhead domains* at each end of the wire that keep
+data from being pushed off the track.  The word-granularity shift-cost model
+used by the placement algorithms is layered on top in :mod:`repro.dwm.dbc`;
+the two are cross-checked by tests.
+
+Coordinate system
+-----------------
+A tape holds ``data_len`` data domains flanked by ``overhead`` padding domains
+on each side.  ``shift_state`` records the cumulative displacement of the
+domain train relative to its rest alignment: after ``shift(+k)`` the domain
+that rests at logical index ``i`` sits under the physical position ``i + k``.
+A read/write *through a port at physical position p* therefore touches the
+logical domain ``p - shift_state``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError, SimulationError
+
+
+@dataclass
+class TapeStats:
+    """Operation counters for a single tape."""
+
+    shifts: int = 0
+    shift_ops: int = 0  # number of shift *commands* (each may move many steps)
+    reads: int = 0
+    writes: int = 0
+
+    def merged(self, other: "TapeStats") -> "TapeStats":
+        """Return the element-wise sum of two counters."""
+        return TapeStats(
+            shifts=self.shifts + other.shifts,
+            shift_ops=self.shift_ops + other.shift_ops,
+            reads=self.reads + other.reads,
+            writes=self.writes + other.writes,
+        )
+
+
+class Tape:
+    """A single racetrack nanowire storing one bit per domain.
+
+    Parameters
+    ----------
+    data_len:
+        Number of data-carrying domains (word offsets at this bit position).
+    overhead:
+        Padding domains at *each* end; the shift range is limited to
+        ``[-overhead, +overhead]``.
+    """
+
+    def __init__(self, data_len: int, overhead: int | None = None) -> None:
+        if data_len <= 0:
+            raise ConfigError(f"data_len must be positive, got {data_len}")
+        if overhead is None:
+            overhead = data_len - 1
+        if overhead < 0:
+            raise ConfigError(f"overhead must be >= 0, got {overhead}")
+        self.data_len = data_len
+        self.overhead = overhead
+        self._bits = [0] * data_len
+        self.shift_state = 0
+        self.stats = TapeStats()
+
+    # ------------------------------------------------------------------
+    # Physical operations
+    # ------------------------------------------------------------------
+    def shift(self, steps: int) -> int:
+        """Shift the domain train by ``steps`` (positive = toward higher
+        physical positions).  Returns the number of unit shifts performed.
+
+        Raises :class:`SimulationError` if the shift would push data domains
+        past the overhead region (data loss on real hardware).
+        """
+        new_state = self.shift_state + steps
+        if abs(new_state) > self.overhead:
+            raise SimulationError(
+                f"shift to state {new_state} exceeds overhead {self.overhead}"
+            )
+        self.shift_state = new_state
+        magnitude = abs(steps)
+        self.stats.shifts += magnitude
+        if magnitude:
+            self.stats.shift_ops += 1
+        return magnitude
+
+    def aligned_index(self, port_position: int) -> int:
+        """Logical data index currently aligned under ``port_position``."""
+        index = port_position - self.shift_state
+        if not 0 <= index < self.data_len:
+            raise SimulationError(
+                f"port at {port_position} aligned with non-data domain "
+                f"{index} (shift_state={self.shift_state})"
+            )
+        return index
+
+    def read(self, port_position: int) -> int:
+        """Read the bit under the port at ``port_position`` (no shifting)."""
+        index = self.aligned_index(port_position)
+        self.stats.reads += 1
+        return self._bits[index]
+
+    def write(self, port_position: int, bit: int) -> None:
+        """Write ``bit`` (0/1) into the domain under ``port_position``."""
+        if bit not in (0, 1):
+            raise SimulationError(f"bit value must be 0 or 1, got {bit!r}")
+        index = self.aligned_index(port_position)
+        self.stats.writes += 1
+        self._bits[index] = bit
+
+    # ------------------------------------------------------------------
+    # Combined access helpers
+    # ------------------------------------------------------------------
+    def shift_to_align(self, logical_index: int, port_position: int) -> int:
+        """Shift so that data domain ``logical_index`` sits under the port.
+
+        Returns the number of unit shifts performed.
+        """
+        if not 0 <= logical_index < self.data_len:
+            raise SimulationError(
+                f"logical index {logical_index} outside 0..{self.data_len - 1}"
+            )
+        target_state = port_position - logical_index
+        return self.shift(target_state - self.shift_state)
+
+    def peek(self, logical_index: int) -> int:
+        """Inspect a data bit without modelling any device operation.
+
+        Debug/verification helper: does not count as a read and needs no
+        alignment.
+        """
+        return self._bits[logical_index]
+
+    def load(self, bits) -> None:
+        """Initialise the full data region (no operation cost is charged)."""
+        bits = list(bits)
+        if len(bits) != self.data_len:
+            raise SimulationError(
+                f"expected {self.data_len} bits, got {len(bits)}"
+            )
+        for bit in bits:
+            if bit not in (0, 1):
+                raise SimulationError(f"bit value must be 0 or 1, got {bit!r}")
+        self._bits = bits
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Tape(data_len={self.data_len}, overhead={self.overhead}, "
+            f"shift_state={self.shift_state})"
+        )

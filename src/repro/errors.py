@@ -1,0 +1,49 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by this library derives from :class:`ReproError`, so callers
+can catch a single base class at API boundaries.  Sub-classes are grouped by
+subsystem:
+
+* :class:`ConfigError` — invalid device or simulation configuration.
+* :class:`TraceError` — malformed access traces or trace files.
+* :class:`PlacementError` — invalid data placements (overlaps, capacity,
+  unknown items).
+* :class:`CapacityError` — a placement problem does not fit in the configured
+  memory.
+* :class:`SimulationError` — runtime failures of the trace-driven simulator.
+* :class:`OptimizationError` — failures inside placement algorithms.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigError(ReproError, ValueError):
+    """An invalid device or model configuration was supplied."""
+
+
+class TraceError(ReproError, ValueError):
+    """An access trace (or trace file) is malformed."""
+
+
+class PlacementError(ReproError, ValueError):
+    """A data placement is structurally invalid.
+
+    Raised for overlapping slots, out-of-range offsets, unknown items, or
+    missing placements for items referenced by a trace.
+    """
+
+
+class CapacityError(PlacementError):
+    """The items of a problem exceed the capacity of the configured memory."""
+
+
+class SimulationError(ReproError, RuntimeError):
+    """The trace-driven simulator encountered an inconsistent state."""
+
+
+class OptimizationError(ReproError, RuntimeError):
+    """A placement algorithm failed or was asked for an unsupported mode."""

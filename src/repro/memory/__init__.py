@@ -1,0 +1,42 @@
+"""Memory subsystem: DWM scratchpad simulator and SRAM comparator."""
+
+from repro.memory.cache import (
+    CacheGeometry,
+    CacheResult,
+    DWMCache,
+    compare_cache_policies,
+)
+from repro.memory.hierarchy import (
+    SystemModel,
+    SystemParams,
+    SystemResult,
+    system_comparison,
+)
+from repro.memory.result import SimulationResult
+from repro.memory.spm import ScratchpadMemory, simulate_placement
+from repro.memory.sram import SRAMScratchpad
+from repro.memory.timing import (
+    TimingParams,
+    TimingResult,
+    TimingSimulator,
+    overlap_benefit,
+)
+
+__all__ = [
+    "CacheGeometry",
+    "CacheResult",
+    "DWMCache",
+    "SRAMScratchpad",
+    "ScratchpadMemory",
+    "SimulationResult",
+    "SystemModel",
+    "SystemParams",
+    "SystemResult",
+    "TimingParams",
+    "compare_cache_policies",
+    "system_comparison",
+    "TimingResult",
+    "TimingSimulator",
+    "overlap_benefit",
+    "simulate_placement",
+]

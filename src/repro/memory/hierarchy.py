@@ -1,0 +1,181 @@
+"""Full-system model: core + DWM scratchpad + background memory.
+
+Ties the substrates together into the system a paper's end-to-end numbers
+come from: an in-order core issues the trace; accesses to SPM-resident
+items go through the overlapped DWM controller (per-DBC shift drivers,
+shared data port); everything else goes to background memory (one channel,
+fixed latency, pipelined up to a configurable depth).
+
+Three system configurations answer the architectural questions:
+
+* ``all_dram`` — no scratchpad at all (the lower baseline);
+* ``spm(placement-oblivious)`` — scratchpad + knapsack allocation, items
+  placed in declaration order;
+* ``spm(shift-aware)`` — the same allocation with the paper's placement.
+
+:func:`system_comparison` runs all three on one trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.allocation import AllocationResult, allocate
+from repro.dwm.config import DWMConfig
+from repro.dwm.dbc import HeadModel
+from repro.errors import ConfigError
+from repro.memory.timing import TimingParams
+from repro.trace.model import AccessTrace
+
+
+@dataclass(frozen=True)
+class SystemParams:
+    """Cycle parameters of the whole system."""
+
+    timing: TimingParams = TimingParams()
+    dram_cycles: int = 60
+    dram_queue_depth: int = 4
+
+    def __post_init__(self) -> None:
+        if self.dram_cycles <= 0:
+            raise ConfigError(f"dram_cycles must be positive, got {self.dram_cycles}")
+        if self.dram_queue_depth < 1:
+            raise ConfigError("dram_queue_depth must be >= 1")
+
+
+@dataclass(frozen=True)
+class SystemResult:
+    """Outcome of one full-system run."""
+
+    total_cycles: int
+    spm_accesses: int
+    dram_accesses: int
+    spm_shift_cycles: int
+    configuration: str
+
+    @property
+    def accesses(self) -> int:
+        return self.spm_accesses + self.dram_accesses
+
+    @property
+    def cycles_per_access(self) -> float:
+        if not self.accesses:
+            return 0.0
+        return self.total_cycles / self.accesses
+
+    def speedup_over(self, other: "SystemResult") -> float:
+        if self.total_cycles == 0:
+            return float("inf") if other.total_cycles else 1.0
+        return other.total_cycles / self.total_cycles
+
+
+class SystemModel:
+    """Event-driven timing of a core with an SPM and background memory."""
+
+    def __init__(
+        self,
+        config: DWMConfig,
+        allocation: AllocationResult | None,
+        params: SystemParams | None = None,
+        label: str = "system",
+    ) -> None:
+        self.config = config
+        self.allocation = allocation
+        self.params = params or SystemParams()
+        self.label = label
+
+    def run(self, trace: AccessTrace) -> SystemResult:
+        params = self.params
+        timing = params.timing
+        heads = {dbc: HeadModel(self.config) for dbc in range(self.config.num_dbcs)}
+        dbc_free = [0] * self.config.num_dbcs
+        port_free = 0
+        dram_channel_free = 0
+        dram_inflight: list[int] = []
+        issue_time = 0
+        core_blocked_until = 0
+        pending_stores: list[int] = []
+        spm_accesses = 0
+        dram_accesses = 0
+        spm_shift_cycles = 0
+        finish = 0
+        for access in trace:
+            issue = max(issue_time, core_blocked_until)
+            pending_stores = [t for t in pending_stores if t > issue]
+            if access.is_write and len(pending_stores) >= timing.store_queue_depth:
+                issue = max(issue, min(pending_stores))
+                pending_stores = [t for t in pending_stores if t > issue]
+            resident = (
+                self.allocation is not None
+                and self.allocation.is_resident(access.item)
+            )
+            if resident:
+                slot = self.allocation.placement[access.item]
+                shifts = heads[slot.dbc].access(
+                    slot.offset, is_write=access.is_write
+                ).shifts
+                shift_cycles = shifts * timing.shift_cycles
+                spm_shift_cycles += shift_cycles
+                shift_start = max(issue, dbc_free[slot.dbc])
+                shift_end = shift_start + shift_cycles
+                access_cycles = (
+                    timing.write_cycles if access.is_write else timing.read_cycles
+                )
+                access_start = max(shift_end, port_free)
+                access_end = access_start + access_cycles
+                dbc_free[slot.dbc] = access_end
+                port_free = access_end
+                spm_accesses += 1
+            else:
+                # One background-memory channel, pipelined to queue depth.
+                dram_inflight = [t for t in dram_inflight if t > issue]
+                start = max(issue, dram_channel_free)
+                if len(dram_inflight) >= params.dram_queue_depth:
+                    start = max(start, min(dram_inflight))
+                    dram_inflight = [t for t in dram_inflight if t > start]
+                access_end = start + params.dram_cycles
+                dram_channel_free = start + 1  # pipelined issue
+                dram_inflight.append(access_end)
+                dram_accesses += 1
+            issue_time = issue + 1
+            if access.is_write:
+                pending_stores.append(access_end)
+            elif timing.blocking_loads:
+                core_blocked_until = access_end
+            finish = max(finish, access_end)
+        return SystemResult(
+            total_cycles=finish,
+            spm_accesses=spm_accesses,
+            dram_accesses=dram_accesses,
+            spm_shift_cycles=spm_shift_cycles,
+            configuration=self.label,
+        )
+
+
+def system_comparison(
+    trace: AccessTrace,
+    config: DWMConfig,
+    params: SystemParams | None = None,
+    dram_latency_ns: float = 50.0,
+) -> dict[str, SystemResult]:
+    """all-DRAM vs SPM(oblivious placement) vs SPM(shift-aware placement)."""
+    params = params or SystemParams()
+    results: dict[str, SystemResult] = {}
+    results["all_dram"] = SystemModel(
+        config, allocation=None, params=params, label="all_dram"
+    ).run(trace)
+    for label, method in (
+        ("spm_oblivious", "declaration"),
+        ("spm_shift_aware", "heuristic"),
+    ):
+        allocation = allocate(
+            trace,
+            config,
+            policy="oblivious",
+            dram_latency_ns=dram_latency_ns,
+            placement_method=method,
+        )
+        results[label] = SystemModel(
+            config, allocation, params=params, label=label
+        ).run(trace)
+    return results

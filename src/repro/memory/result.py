@@ -1,0 +1,59 @@
+"""Simulation results: event counts plus derived energy/latency figures."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.dwm.energy import (
+    DWMEnergyModel,
+    EnergyBreakdown,
+    SRAMEnergyModel,
+)
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """Outcome of running one trace on one scratchpad configuration."""
+
+    trace_name: str
+    config_description: str
+    shifts: int
+    reads: int
+    writes: int
+    per_dbc_shifts: tuple[int, ...] = ()
+    max_access_shifts: int = 0
+    details: dict = field(default_factory=dict)
+
+    @property
+    def accesses(self) -> int:
+        return self.reads + self.writes
+
+    @property
+    def shifts_per_access(self) -> float:
+        if not self.accesses:
+            return 0.0
+        return self.shifts / self.accesses
+
+    def energy(self, model: DWMEnergyModel | None = None) -> EnergyBreakdown:
+        """DWM energy/latency of this run under the given model."""
+        model = model or DWMEnergyModel()
+        return model.evaluate(self.shifts, self.reads, self.writes)
+
+    def sram_reference(self, model: SRAMEnergyModel | None = None) -> EnergyBreakdown:
+        """Energy/latency of the same access stream on an SRAM scratchpad."""
+        model = model or SRAMEnergyModel()
+        return model.evaluate(self.reads, self.writes)
+
+    def normalized_shifts(self, baseline: "SimulationResult") -> float:
+        """Shift count relative to a baseline run (lower is better)."""
+        if baseline.shifts == 0:
+            return 0.0 if self.shifts == 0 else float("inf")
+        return self.shifts / baseline.shifts
+
+    def speedup_over(self, baseline: "SimulationResult") -> float:
+        """Latency improvement factor vs a baseline run (>1 is faster)."""
+        ours = self.energy().latency_ns
+        theirs = baseline.energy().latency_ns
+        if ours == 0:
+            return float("inf") if theirs > 0 else 1.0
+        return theirs / ours

@@ -1,0 +1,116 @@
+"""DWM scratchpad memory: placement-mapped, trace-driven simulation.
+
+:class:`ScratchpadMemory` binds a :class:`~repro.core.placement.Placement`
+to a DWM array and runs access traces against it.  Two engines share the
+same cost semantics:
+
+* :meth:`simulate` — fast engine over
+  :class:`~repro.dwm.array.DWMArrayModel` (head states + counters only).
+* :meth:`simulate_functional` — full engine over
+  :class:`~repro.dwm.array.DWMArray`, additionally storing and checking word
+  values (writes store a value, reads return the last value written).  Used
+  by differential tests; identical shift counts by construction.
+"""
+
+from __future__ import annotations
+
+from repro.core.placement import Placement
+from repro.dwm.array import DWMArray, DWMArrayModel
+from repro.dwm.config import DWMConfig
+from repro.errors import SimulationError
+from repro.memory.result import SimulationResult
+from repro.trace.model import AccessTrace
+
+
+class ScratchpadMemory:
+    """A DWM scratchpad with a fixed data placement."""
+
+    def __init__(self, config: DWMConfig, placement: Placement) -> None:
+        self.config = config
+        self.placement = placement
+
+    def _slots_for(self, trace: AccessTrace) -> dict[str, tuple[int, int]]:
+        """Resolve every trace item to (dbc, offset), validating coverage."""
+        self.placement.validate(self.config, trace.items)
+        return {
+            item: (slot.dbc, slot.offset)
+            for item, slot in self.placement.items()
+        }
+
+    def simulate(self, trace: AccessTrace) -> SimulationResult:
+        """Run ``trace`` on the counters-only engine."""
+        slots = self._slots_for(trace)
+        array = DWMArrayModel(self.config)
+        max_access_shifts = 0
+        for access in trace:
+            dbc, offset = slots[access.item]
+            result = array.access(dbc, offset, is_write=access.is_write)
+            if result.shifts > max_access_shifts:
+                max_access_shifts = result.shifts
+        stats = array.stats()
+        return SimulationResult(
+            trace_name=trace.name,
+            config_description=self.config.describe(),
+            shifts=stats.shifts,
+            reads=stats.reads,
+            writes=stats.writes,
+            per_dbc_shifts=tuple(stats.per_dbc_shifts),
+            max_access_shifts=max_access_shifts,
+        )
+
+    def simulate_functional(self, trace: AccessTrace) -> SimulationResult:
+        """Run ``trace`` on the full device model with data-integrity checks.
+
+        Each write stores a per-item sequence number; each read verifies the
+        stored value matches the last write to that item (or the initial
+        zero).  A mismatch means the device model corrupted data and raises
+        :class:`SimulationError`.
+        """
+        slots = self._slots_for(trace)
+        array = DWMArray(self.config)
+        expected: dict[str, int] = {}
+        max_access_shifts = 0
+        mask = (1 << self.config.bits_per_word) - 1
+        next_token = 1
+        for position, access in enumerate(trace):
+            dbc, offset = slots[access.item]
+            if access.is_write:
+                token = next_token & mask
+                next_token += 1
+                result = array.write(dbc, offset, token)
+                expected[access.item] = token
+            else:
+                result = array.read(dbc, offset)
+                want = expected.get(access.item, 0)
+                if result.value != want:
+                    raise SimulationError(
+                        f"data corruption at access #{position} "
+                        f"({access.item}): read {result.value}, "
+                        f"expected {want}"
+                    )
+            if result.shifts > max_access_shifts:
+                max_access_shifts = result.shifts
+        stats = array.stats()
+        return SimulationResult(
+            trace_name=trace.name,
+            config_description=self.config.describe(),
+            shifts=stats.shifts,
+            reads=stats.reads,
+            writes=stats.writes,
+            per_dbc_shifts=tuple(stats.per_dbc_shifts),
+            max_access_shifts=max_access_shifts,
+            details={"functional": True},
+        )
+
+
+def simulate_placement(
+    trace: AccessTrace,
+    config: DWMConfig,
+    placement: Placement,
+    functional: bool = False,
+) -> SimulationResult:
+    """Convenience wrapper: build the SPM and run one trace."""
+    spm = ScratchpadMemory(config, placement)
+    if functional:
+        return spm.simulate_functional(trace)
+    return spm.simulate(trace)

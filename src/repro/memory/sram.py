@@ -1,0 +1,32 @@
+"""Iso-capacity SRAM scratchpad comparator.
+
+SRAM has no shift operations, so its simulation degenerates to counting
+reads and writes; it exists so the energy experiment (E6) can report DWM
+results against the conventional-technology reference the paper's
+motivation uses.
+"""
+
+from __future__ import annotations
+
+from repro.dwm.energy import SRAMEnergyModel
+from repro.memory.result import SimulationResult
+from repro.trace.model import AccessTrace
+
+
+class SRAMScratchpad:
+    """Placement-insensitive scratchpad: every access costs the same."""
+
+    def __init__(self, capacity_words: int, model: SRAMEnergyModel | None = None):
+        self.capacity_words = capacity_words
+        self.model = model or SRAMEnergyModel()
+
+    def simulate(self, trace: AccessTrace) -> SimulationResult:
+        """Count reads/writes; placement and order are irrelevant to SRAM."""
+        reads, writes = trace.read_write_counts()
+        return SimulationResult(
+            trace_name=trace.name,
+            config_description=f"SRAM[{self.capacity_words} words]",
+            shifts=0,
+            reads=reads,
+            writes=writes,
+        )

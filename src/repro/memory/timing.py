@@ -1,0 +1,163 @@
+"""Cycle-approximate timing simulation with per-DBC shift overlap.
+
+The linear latency model of :mod:`repro.dwm.energy` serialises everything —
+the conservative assumption used for the headline performance numbers.  Real
+DWM scratchpad controllers can do better: each DBC has its own shift driver,
+so the controller can *overlap* one DBC's shifting with another DBC's port
+access; only the data port (the word-wide read/write beat) is shared.
+
+:class:`TimingSimulator` models that controller as a small event simulator:
+
+* every access first occupies its DBC's shift driver for
+  ``shifts * shift_cycles`` cycles (starting when both the DBC is free and
+  the request has been issued),
+* then occupies the shared data port for ``read_cycles``/``write_cycles``,
+* requests issue in order, one per cycle, from a simple in-order core that
+  blocks on reads (loads) but can continue past writes up to a small store
+  queue depth.
+
+The simulator reports total cycles under both policies so the overlap
+benefit is measurable (experiment E11); with ``overlap=False`` it reproduces
+the serialised model exactly (tested).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.placement import Placement
+from repro.dwm.config import DWMConfig
+from repro.errors import ConfigError
+from repro.trace.model import AccessTrace
+
+
+@dataclass(frozen=True)
+class TimingParams:
+    """Cycle costs of the scratchpad controller."""
+
+    shift_cycles: int = 1
+    read_cycles: int = 2
+    write_cycles: int = 3
+    store_queue_depth: int = 4
+    blocking_loads: bool = True
+
+    def __post_init__(self) -> None:
+        for name in ("shift_cycles", "read_cycles", "write_cycles"):
+            if getattr(self, name) <= 0:
+                raise ConfigError(f"{name} must be positive")
+        if self.store_queue_depth < 0:
+            raise ConfigError("store_queue_depth must be >= 0")
+
+
+@dataclass(frozen=True)
+class TimingResult:
+    """Outcome of a timed run."""
+
+    total_cycles: int
+    shift_cycles: int
+    port_cycles: int
+    accesses: int
+    overlap: bool
+
+    @property
+    def cycles_per_access(self) -> float:
+        if not self.accesses:
+            return 0.0
+        return self.total_cycles / self.accesses
+
+    def speedup_over(self, other: "TimingResult") -> float:
+        """How much faster this run is than ``other`` (>1 = faster)."""
+        if self.total_cycles == 0:
+            return float("inf") if other.total_cycles else 1.0
+        return other.total_cycles / self.total_cycles
+
+
+class TimingSimulator:
+    """Times a trace on a placed DWM scratchpad, serialised or overlapped."""
+
+    def __init__(
+        self,
+        config: DWMConfig,
+        placement: Placement,
+        params: TimingParams | None = None,
+    ) -> None:
+        self.config = config
+        self.placement = placement
+        self.params = params or TimingParams()
+
+    def _per_access_shifts(self, trace: AccessTrace) -> list[tuple[int, int, bool]]:
+        """(dbc, shifts, is_write) per access, from the exact cost model."""
+        from repro.dwm.array import DWMArrayModel
+
+        self.placement.validate(self.config, trace.items)
+        array = DWMArrayModel(self.config)
+        events = []
+        for access in trace:
+            slot = self.placement[access.item]
+            result = array.access(slot.dbc, slot.offset, is_write=access.is_write)
+            events.append((slot.dbc, result.shifts, access.is_write))
+        return events
+
+    def run(self, trace: AccessTrace, overlap: bool = True) -> TimingResult:
+        """Simulate the trace; ``overlap=False`` reproduces the serial model."""
+        params = self.params
+        events = self._per_access_shifts(trace)
+        total_shift_cycles = sum(s for _dbc, s, _w in events) * params.shift_cycles
+        total_port_cycles = sum(
+            params.write_cycles if is_write else params.read_cycles
+            for _dbc, _s, is_write in events
+        )
+        if not overlap:
+            return TimingResult(
+                total_cycles=total_shift_cycles + total_port_cycles,
+                shift_cycles=total_shift_cycles,
+                port_cycles=total_port_cycles,
+                accesses=len(events),
+                overlap=False,
+            )
+        dbc_free = [0] * self.config.num_dbcs  # when each shift driver frees
+        port_free = 0  # when the shared data port frees
+        issue_time = 0  # in-order issue: 1 request per cycle earliest
+        core_blocked_until = 0  # core stalls on loads
+        pending_stores = []  # completion times of in-flight stores
+        finish = 0
+        for dbc, shifts, is_write in events:
+            issue = max(issue_time, core_blocked_until)
+            # Retire completed stores; block if the store queue is full.
+            pending_stores = [t for t in pending_stores if t > issue]
+            if is_write and len(pending_stores) >= params.store_queue_depth:
+                issue = max(issue, min(pending_stores))
+                pending_stores = [t for t in pending_stores if t > issue]
+            shift_start = max(issue, dbc_free[dbc])
+            shift_end = shift_start + shifts * params.shift_cycles
+            access_cycles = (
+                params.write_cycles if is_write else params.read_cycles
+            )
+            access_start = max(shift_end, port_free)
+            access_end = access_start + access_cycles
+            dbc_free[dbc] = access_end
+            port_free = access_end
+            issue_time = issue + 1
+            if is_write:
+                pending_stores.append(access_end)
+            elif params.blocking_loads:
+                core_blocked_until = access_end
+            finish = max(finish, access_end)
+        return TimingResult(
+            total_cycles=finish,
+            shift_cycles=total_shift_cycles,
+            port_cycles=total_port_cycles,
+            accesses=len(events),
+            overlap=True,
+        )
+
+
+def overlap_benefit(
+    trace: AccessTrace,
+    config: DWMConfig,
+    placement: Placement,
+    params: TimingParams | None = None,
+) -> tuple[TimingResult, TimingResult]:
+    """(serialised, overlapped) timing results for one placed trace."""
+    simulator = TimingSimulator(config, placement, params)
+    return simulator.run(trace, overlap=False), simulator.run(trace, overlap=True)

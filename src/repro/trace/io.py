@@ -1,0 +1,157 @@
+"""Trace serialisation: JSON-lines and a compact text format.
+
+Two formats are supported:
+
+* **JSONL** (``.jsonl``) — one JSON object per access plus a header object;
+  self-describing, diff-friendly, keeps metadata.
+* **Compact text** (``.trc``) — ``R item`` / ``W item`` lines with ``#``
+  comments; matches the ad-hoc trace dumps common in the SPM literature.
+
+Both round-trip exactly (tests assert this property with hypothesis).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.errors import TraceError
+from repro.trace.model import Access, AccessKind, AccessTrace
+
+_JSONL_VERSION = 1
+
+
+def save_jsonl(trace: AccessTrace, path: str | Path) -> None:
+    """Write a trace as JSON lines (header object + one object per access)."""
+    path = Path(path)
+    metadata = {
+        key: value
+        for key, value in trace.metadata.items()
+        if _json_safe(value)
+    }
+    with path.open("w", encoding="utf-8") as handle:
+        header = {
+            "format": "repro-trace",
+            "version": _JSONL_VERSION,
+            "name": trace.name,
+            "metadata": metadata,
+            "num_accesses": len(trace),
+        }
+        handle.write(json.dumps(header) + "\n")
+        for access in trace:
+            handle.write(
+                json.dumps({"i": access.item, "k": access.kind.value}) + "\n"
+            )
+
+
+def load_jsonl(path: str | Path) -> AccessTrace:
+    """Read a trace written by :func:`save_jsonl`."""
+    path = Path(path)
+    with path.open("r", encoding="utf-8") as handle:
+        header_line = handle.readline()
+        if not header_line:
+            raise TraceError(f"{path}: empty trace file")
+        try:
+            header = json.loads(header_line)
+        except json.JSONDecodeError as exc:
+            raise TraceError(f"{path}: invalid JSONL header: {exc}") from exc
+        if header.get("format") != "repro-trace":
+            raise TraceError(f"{path}: not a repro trace file")
+        if header.get("version") != _JSONL_VERSION:
+            raise TraceError(
+                f"{path}: unsupported trace version {header.get('version')}"
+            )
+        accesses = []
+        for line_number, line in enumerate(handle, start=2):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+                accesses.append(Access(record["i"], AccessKind.parse(record["k"])))
+            except (json.JSONDecodeError, KeyError) as exc:
+                raise TraceError(
+                    f"{path}:{line_number}: malformed access record"
+                ) from exc
+    expected = header.get("num_accesses")
+    if expected is not None and expected != len(accesses):
+        raise TraceError(
+            f"{path}: header declares {expected} accesses, found {len(accesses)}"
+        )
+    return AccessTrace(
+        accesses, name=header.get("name", path.stem), metadata=header.get("metadata")
+    )
+
+
+def save_text(trace: AccessTrace, path: str | Path) -> None:
+    """Write a trace in the compact ``R item`` / ``W item`` text format."""
+    path = Path(path)
+    with path.open("w", encoding="utf-8") as handle:
+        handle.write(f"# trace: {trace.name}\n")
+        handle.write(f"# accesses: {len(trace)}\n")
+        for access in trace:
+            if any(ch.isspace() for ch in access.item):
+                raise TraceError(
+                    f"item {access.item!r} contains whitespace; "
+                    "use the JSONL format instead"
+                )
+            handle.write(f"{access.kind.value} {access.item}\n")
+
+
+def load_text(path: str | Path) -> AccessTrace:
+    """Read a trace written by :func:`save_text` (``#`` lines are comments)."""
+    path = Path(path)
+    name = path.stem
+    accesses = []
+    with path.open("r", encoding="utf-8") as handle:
+        for line_number, raw in enumerate(handle, start=1):
+            line = raw.strip()
+            if not line:
+                continue
+            if line.startswith("#"):
+                if line.startswith("# trace:"):
+                    name = line.split(":", 1)[1].strip()
+                continue
+            parts = line.split(None, 1)
+            if len(parts) != 2:
+                raise TraceError(f"{path}:{line_number}: expected 'R|W item'")
+            kind, item = parts
+            try:
+                accesses.append(Access(item, AccessKind.parse(kind)))
+            except TraceError as exc:
+                raise TraceError(f"{path}:{line_number}: {exc}") from exc
+    return AccessTrace(accesses, name=name)
+
+
+def save(trace: AccessTrace, path: str | Path) -> None:
+    """Save a trace, picking the format from the file extension."""
+    path = Path(path)
+    if path.suffix == ".jsonl":
+        save_jsonl(trace, path)
+    elif path.suffix == ".trc":
+        save_text(trace, path)
+    else:
+        raise TraceError(
+            f"unknown trace extension {path.suffix!r}; use .jsonl or .trc"
+        )
+
+
+def load(path: str | Path) -> AccessTrace:
+    """Load a trace, picking the format from the file extension."""
+    path = Path(path)
+    if path.suffix == ".jsonl":
+        return load_jsonl(path)
+    if path.suffix == ".trc":
+        return load_text(path)
+    raise TraceError(
+        f"unknown trace extension {path.suffix!r}; use .jsonl or .trc"
+    )
+
+
+def _json_safe(value) -> bool:
+    """True if ``value`` serialises to JSON without custom encoders."""
+    try:
+        json.dumps(value)
+    except (TypeError, ValueError):
+        return False
+    return True

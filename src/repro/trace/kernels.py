@@ -1,0 +1,634 @@
+"""Instrumented benchmark kernels (DSPstone / MiBench stand-ins).
+
+The published evaluation used memory traces of embedded benchmark binaries.
+We cannot ship those traces, so each kernel here *executes the real
+algorithm* over traced arrays (:class:`~repro.trace.model.TracedArray`),
+producing a genuine word-granularity access sequence with the same structure
+(streaming, strided, butterfly, data-dependent control flow) that drives
+shift costs on a DWM scratchpad.  Functional outputs are also returned so
+tests can assert the kernels compute correctly — the traces are real
+executions, not synthetic approximations.
+
+Every kernel function accepts a ``seed`` (for input data) and size
+parameters with defaults chosen so the default suite finishes in seconds.
+The registry :data:`KERNELS` and :func:`benchmark_suite` expose the full set
+used by experiments E1–E10.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Callable
+
+from repro.errors import TraceError
+from repro.trace.model import AccessTrace, TracedArray, TracedScalar, TraceRecorder
+
+
+class TracedMatrix:
+    """Row-major 2-D view over a :class:`TracedArray`."""
+
+    def __init__(self, name: str, rows: int, cols: int, values, recorder: TraceRecorder):
+        values = list(values)
+        if len(values) != rows * cols:
+            raise TraceError(
+                f"matrix {name}: expected {rows * cols} values, got {len(values)}"
+            )
+        self.rows = rows
+        self.cols = cols
+        self._array = TracedArray(name, values, recorder)
+
+    def get(self, row: int, col: int):
+        return self._array[row * self.cols + col]
+
+    def set(self, row: int, col: int, value) -> None:
+        self._array[row * self.cols + col] = value
+
+    def snapshot(self) -> list:
+        return self._array.snapshot()
+
+
+def _rand_values(count: int, seed: int, lo: float = -1.0, hi: float = 1.0) -> list[float]:
+    rng = random.Random(seed)
+    return [rng.uniform(lo, hi) for _ in range(count)]
+
+
+def _rand_ints(count: int, seed: int, lo: int = 0, hi: int = 255) -> list[int]:
+    rng = random.Random(seed)
+    return [rng.randint(lo, hi) for _ in range(count)]
+
+
+# ---------------------------------------------------------------------------
+# DSP kernels
+# ---------------------------------------------------------------------------
+
+def fir_trace(taps: int = 16, samples: int = 48, seed: int = 1) -> AccessTrace:
+    """FIR filter: delay-line convolution, the classic DSPstone kernel."""
+    recorder = TraceRecorder()
+    coeffs = TracedArray("h", _rand_values(taps, seed), recorder)
+    delay = TracedArray("d", [0.0] * taps, recorder)
+    output = TracedArray("y", [0.0] * samples, recorder)
+    inputs = _rand_values(samples, seed + 1)
+    for n, sample in enumerate(inputs):
+        # Shift delay line (newest at index 0).
+        for k in range(taps - 1, 0, -1):
+            delay[k] = delay[k - 1]
+        delay[0] = sample
+        acc = 0.0
+        for k in range(taps):
+            acc += coeffs[k] * delay[k]
+        output[n] = acc
+    trace = recorder.to_trace(
+        "fir", metadata={"taps": taps, "samples": samples, "seed": seed}
+    )
+    trace.metadata["result"] = output.snapshot()
+    return trace
+
+
+def iir_trace(sections: int = 4, samples: int = 48, seed: int = 2) -> AccessTrace:
+    """Cascaded biquad IIR filter (direct form II)."""
+    recorder = TraceRecorder()
+    # Stable-ish coefficients per section: b0..b2, a1..a2 (a0 = 1).
+    coeffs = TracedArray(
+        "c", _rand_values(5 * sections, seed, -0.4, 0.4), recorder
+    )
+    state = TracedArray("w", [0.0] * (2 * sections), recorder)
+    output = TracedArray("y", [0.0] * samples, recorder)
+    inputs = _rand_values(samples, seed + 1)
+    for n, sample in enumerate(inputs):
+        x = sample
+        for s in range(sections):
+            b0 = coeffs[5 * s]
+            b1 = coeffs[5 * s + 1]
+            b2 = coeffs[5 * s + 2]
+            a1 = coeffs[5 * s + 3]
+            a2 = coeffs[5 * s + 4]
+            w1 = state[2 * s]
+            w2 = state[2 * s + 1]
+            w0 = x - a1 * w1 - a2 * w2
+            x = b0 * w0 + b1 * w1 + b2 * w2
+            state[2 * s + 1] = w1
+            state[2 * s] = w0
+        output[n] = x
+    trace = recorder.to_trace(
+        "iir", metadata={"sections": sections, "samples": samples, "seed": seed}
+    )
+    trace.metadata["result"] = output.snapshot()
+    return trace
+
+
+def matmul_trace(size: int = 6, seed: int = 3) -> AccessTrace:
+    """Dense matrix multiply C = A x B (ijk order)."""
+    recorder = TraceRecorder()
+    a = TracedMatrix("A", size, size, _rand_values(size * size, seed), recorder)
+    b = TracedMatrix("B", size, size, _rand_values(size * size, seed + 1), recorder)
+    c = TracedMatrix("C", size, size, [0.0] * (size * size), recorder)
+    for i in range(size):
+        for j in range(size):
+            acc = 0.0
+            for k in range(size):
+                acc += a.get(i, k) * b.get(k, j)
+            c.set(i, j, acc)
+    trace = recorder.to_trace("matmul", metadata={"size": size, "seed": seed})
+    trace.metadata["result"] = c.snapshot()
+    return trace
+
+
+def fft_trace(size: int = 32, seed: int = 4) -> AccessTrace:
+    """Iterative radix-2 FFT over separate real/imag arrays."""
+    if size & (size - 1) or size < 2:
+        raise TraceError(f"fft size must be a power of two >= 2, got {size}")
+    recorder = TraceRecorder()
+    real = TracedArray("re", _rand_values(size, seed), recorder)
+    imag = TracedArray("im", [0.0] * size, recorder)
+    # Bit-reversal permutation.
+    bits = size.bit_length() - 1
+    for i in range(size):
+        j = int(format(i, f"0{bits}b")[::-1], 2)
+        if i < j:
+            ri, rj = real[i], real[j]
+            real[i], real[j] = rj, ri
+            ii, ij = imag[i], imag[j]
+            imag[i], imag[j] = ij, ii
+    # Butterflies.
+    span = 2
+    while span <= size:
+        half = span // 2
+        step = -2.0 * math.pi / span
+        for start in range(0, size, span):
+            for k in range(half):
+                angle = step * k
+                wr, wi = math.cos(angle), math.sin(angle)
+                i0 = start + k
+                i1 = start + k + half
+                tr = wr * real[i1] - wi * imag[i1]
+                ti = wr * imag[i1] + wi * real[i1]
+                ur, ui = real[i0], imag[i0]
+                real[i0] = ur + tr
+                imag[i0] = ui + ti
+                real[i1] = ur - tr
+                imag[i1] = ui - ti
+        span *= 2
+    trace = recorder.to_trace("fft", metadata={"size": size, "seed": seed})
+    trace.metadata["result"] = (real.snapshot(), imag.snapshot())
+    return trace
+
+
+def dct8x8_trace(blocks: int = 3, seed: int = 5) -> AccessTrace:
+    """JPEG-style 8x8 2-D DCT over a sequence of blocks (row-column method)."""
+    recorder = TraceRecorder()
+    n = 8
+    results = []
+    cos_table = TracedMatrix(
+        "ct",
+        n,
+        n,
+        [
+            math.cos((2 * x + 1) * u * math.pi / (2 * n))
+            for u in range(n)
+            for x in range(n)
+        ],
+        recorder,
+    )
+    for block_index in range(blocks):
+        block = TracedMatrix(
+            f"blk{block_index}",
+            n,
+            n,
+            _rand_values(n * n, seed + block_index, 0.0, 255.0),
+            recorder,
+        )
+        temp = TracedMatrix(f"tmp{block_index}", n, n, [0.0] * (n * n), recorder)
+        out = TracedMatrix(f"out{block_index}", n, n, [0.0] * (n * n), recorder)
+        # Rows.
+        for r in range(n):
+            for u in range(n):
+                acc = 0.0
+                for x in range(n):
+                    acc += block.get(r, x) * cos_table.get(u, x)
+                temp.set(r, u, acc)
+        # Columns.
+        for u in range(n):
+            for v in range(n):
+                acc = 0.0
+                for y in range(n):
+                    acc += temp.get(y, v) * cos_table.get(u, y)
+                out.set(u, v, acc)
+        results.append(out.snapshot())
+    trace = recorder.to_trace("dct8x8", metadata={"blocks": blocks, "seed": seed})
+    trace.metadata["result"] = results
+    return trace
+
+
+def lms_trace(taps: int = 8, samples: int = 72, seed: int = 6) -> AccessTrace:
+    """LMS adaptive filter: FIR + coefficient update per sample."""
+    recorder = TraceRecorder()
+    weights = TracedArray("w", [0.0] * taps, recorder)
+    delay = TracedArray("x", [0.0] * taps, recorder)
+    errors = TracedArray("e", [0.0] * samples, recorder)
+    rng = random.Random(seed)
+    mu = 0.05
+    for n in range(samples):
+        sample = rng.uniform(-1, 1)
+        desired = 0.7 * sample + rng.uniform(-0.05, 0.05)
+        for k in range(taps - 1, 0, -1):
+            delay[k] = delay[k - 1]
+        delay[0] = sample
+        estimate = 0.0
+        for k in range(taps):
+            estimate += weights[k] * delay[k]
+        err = desired - estimate
+        errors[n] = err
+        for k in range(taps):
+            weights[k] = weights[k] + mu * err * delay[k]
+    trace = recorder.to_trace(
+        "lms", metadata={"taps": taps, "samples": samples, "seed": seed}
+    )
+    trace.metadata["result"] = errors.snapshot()
+    return trace
+
+
+def conv2d_trace(image: int = 8, kernel: int = 3, seed: int = 7) -> AccessTrace:
+    """2-D convolution of an image with a small kernel (valid padding)."""
+    if kernel > image:
+        raise TraceError("kernel must not exceed image size")
+    recorder = TraceRecorder()
+    img = TracedMatrix("img", image, image, _rand_values(image * image, seed), recorder)
+    ker = TracedMatrix("ker", kernel, kernel, _rand_values(kernel * kernel, seed + 1), recorder)
+    out_size = image - kernel + 1
+    out = TracedMatrix("out", out_size, out_size, [0.0] * (out_size * out_size), recorder)
+    for r in range(out_size):
+        for c in range(out_size):
+            acc = 0.0
+            for kr in range(kernel):
+                for kc in range(kernel):
+                    acc += img.get(r + kr, c + kc) * ker.get(kr, kc)
+            out.set(r, c, acc)
+    trace = recorder.to_trace(
+        "conv2d", metadata={"image": image, "kernel": kernel, "seed": seed}
+    )
+    trace.metadata["result"] = out.snapshot()
+    return trace
+
+
+# ---------------------------------------------------------------------------
+# Control / integer kernels
+# ---------------------------------------------------------------------------
+
+def insertion_sort_trace(length: int = 24, seed: int = 8) -> AccessTrace:
+    """Insertion sort — data-dependent, locality-heavy access pattern."""
+    recorder = TraceRecorder()
+    data = TracedArray("a", _rand_ints(length, seed), recorder)
+    for i in range(1, length):
+        key = data[i]
+        j = i - 1
+        while j >= 0 and data[j] > key:
+            data[j + 1] = data[j]
+            j -= 1
+        data[j + 1] = key
+    trace = recorder.to_trace(
+        "insertion_sort", metadata={"length": length, "seed": seed}
+    )
+    trace.metadata["result"] = data.snapshot()
+    return trace
+
+
+def quicksort_trace(length: int = 32, seed: int = 9) -> AccessTrace:
+    """In-place quicksort (Lomuto partition, iterative via explicit stack)."""
+    recorder = TraceRecorder()
+    data = TracedArray("a", _rand_ints(length, seed), recorder)
+    stack = [(0, length - 1)]
+    while stack:
+        lo, hi = stack.pop()
+        if lo >= hi:
+            continue
+        pivot = data[hi]
+        i = lo - 1
+        for j in range(lo, hi):
+            if data[j] <= pivot:
+                i += 1
+                di, dj = data[i], data[j]
+                data[i], data[j] = dj, di
+        di, dh = data[i + 1], data[hi]
+        data[i + 1], data[hi] = dh, di
+        p = i + 1
+        stack.append((lo, p - 1))
+        stack.append((p + 1, hi))
+    trace = recorder.to_trace("quicksort", metadata={"length": length, "seed": seed})
+    trace.metadata["result"] = data.snapshot()
+    return trace
+
+
+def histogram_trace(bins: int = 16, samples: int = 192, seed: int = 10) -> AccessTrace:
+    """Histogram of a random byte stream — scattered read-modify-writes."""
+    recorder = TraceRecorder()
+    hist = TracedArray("h", [0] * bins, recorder)
+    stream = _rand_ints(samples, seed)
+    for value in stream:
+        bin_index = value % bins
+        hist[bin_index] = hist[bin_index] + 1
+    trace = recorder.to_trace(
+        "histogram", metadata={"bins": bins, "samples": samples, "seed": seed}
+    )
+    trace.metadata["result"] = hist.snapshot()
+    return trace
+
+
+def kmp_trace(text_length: int = 160, pattern_length: int = 8, seed: int = 11) -> AccessTrace:
+    """Knuth–Morris–Pratt string search (MiBench stringsearch stand-in)."""
+    recorder = TraceRecorder()
+    rng = random.Random(seed)
+    alphabet = "ab"
+    text_values = [rng.choice(alphabet) for _ in range(text_length)]
+    # Plant the pattern so matches actually occur.
+    pattern_values = [rng.choice(alphabet) for _ in range(pattern_length)]
+    plant_at = text_length // 3
+    text_values[plant_at : plant_at + pattern_length] = pattern_values
+    text = TracedArray("t", text_values, recorder)
+    pattern = TracedArray("p", pattern_values, recorder)
+    failure = TracedArray("f", [0] * pattern_length, recorder)
+    # Build failure function.
+    k = 0
+    for i in range(1, pattern_length):
+        while k > 0 and pattern[k] != pattern[i]:
+            k = failure[k - 1]
+        if pattern[k] == pattern[i]:
+            k += 1
+        failure[i] = k
+    # Search.
+    matches = []
+    k = 0
+    for i in range(text_length):
+        while k > 0 and pattern[k] != text[i]:
+            k = failure[k - 1]
+        if pattern[k] == text[i]:
+            k += 1
+        if k == pattern_length:
+            matches.append(i - pattern_length + 1)
+            k = failure[k - 1]
+    trace = recorder.to_trace(
+        "kmp",
+        metadata={
+            "text_length": text_length,
+            "pattern_length": pattern_length,
+            "seed": seed,
+        },
+    )
+    trace.metadata["result"] = matches
+    return trace
+
+
+def dijkstra_trace(nodes: int = 12, seed: int = 12) -> AccessTrace:
+    """Dijkstra shortest paths on a random connected graph (adjacency matrix)."""
+    recorder = TraceRecorder()
+    rng = random.Random(seed)
+    inf = float("inf")
+    weights = [[inf] * nodes for _ in range(nodes)]
+    for i in range(nodes):
+        weights[i][i] = 0.0
+    # Ring for connectivity plus random chords.
+    for i in range(nodes):
+        j = (i + 1) % nodes
+        w = rng.uniform(1, 10)
+        weights[i][j] = min(weights[i][j], w)
+        weights[j][i] = min(weights[j][i], w)
+    for _ in range(nodes * 2):
+        i, j = rng.randrange(nodes), rng.randrange(nodes)
+        if i != j:
+            w = rng.uniform(1, 10)
+            weights[i][j] = min(weights[i][j], w)
+            weights[j][i] = min(weights[j][i], w)
+    adj = TracedMatrix(
+        "adj", nodes, nodes, [weights[i][j] for i in range(nodes) for j in range(nodes)], recorder
+    )
+    dist = TracedArray("dist", [inf] * nodes, recorder)
+    visited = TracedArray("vis", [0] * nodes, recorder)
+    dist[0] = 0.0
+    for _ in range(nodes):
+        best, best_dist = -1, inf
+        for v in range(nodes):
+            if not visited[v]:
+                dv = dist[v]
+                if dv < best_dist:
+                    best, best_dist = v, dv
+        if best < 0:
+            break
+        visited[best] = 1
+        for v in range(nodes):
+            w = adj.get(best, v)
+            if w < inf:
+                candidate = best_dist + w
+                if candidate < dist[v]:
+                    dist[v] = candidate
+    trace = recorder.to_trace("dijkstra", metadata={"nodes": nodes, "seed": seed})
+    trace.metadata["result"] = dist.snapshot()
+    return trace
+
+
+def crc32_trace(num_bytes: int = 96, seed: int = 13) -> AccessTrace:
+    """Nibble-table CRC32 over a random byte buffer (MiBench CRC stand-in)."""
+    recorder = TraceRecorder()
+    poly = 0xEDB88320
+    table_values = []
+    for nibble in range(16):
+        crc = nibble
+        for _ in range(4):
+            crc = (crc >> 1) ^ poly if crc & 1 else crc >> 1
+        table_values.append(crc)
+    table = TracedArray("tbl", table_values, recorder)
+    buffer = TracedArray("buf", _rand_ints(num_bytes, seed), recorder)
+    crc_var = TracedScalar("crc", 0xFFFFFFFF, recorder)
+    for i in range(num_bytes):
+        byte = buffer[i]
+        crc = crc_var.get()
+        crc = (crc >> 4) ^ table[(crc ^ byte) & 0xF]
+        crc = (crc >> 4) ^ table[(crc ^ (byte >> 4)) & 0xF]
+        crc_var.set(crc)
+    final = crc_var.get() ^ 0xFFFFFFFF
+    trace = recorder.to_trace(
+        "crc32", metadata={"num_bytes": num_bytes, "seed": seed}
+    )
+    trace.metadata["result"] = final
+    return trace
+
+
+def viterbi_trace(states: int = 6, steps: int = 16, seed: int = 14) -> AccessTrace:
+    """Viterbi decoding over a random HMM (trellis dynamic program).
+
+    The classic telecom kernel: per step every state scans all predecessor
+    states — a dense, regular trellis sweep with two alternating score rows.
+    """
+    recorder = TraceRecorder()
+    rng = random.Random(seed)
+    # Log-domain scores; random transition/emission tables.
+    trans = TracedMatrix(
+        "tr", states, states,
+        [rng.uniform(-2.0, -0.1) for _ in range(states * states)], recorder,
+    )
+    emit = TracedMatrix(
+        "em", states, steps,
+        [rng.uniform(-2.0, -0.1) for _ in range(states * steps)], recorder,
+    )
+    prev = TracedArray("sp", [0.0] * states, recorder)
+    curr = TracedArray("sc", [0.0] * states, recorder)
+    back = TracedMatrix("bp", steps, states, [0] * (steps * states), recorder)
+    for s in range(states):
+        prev[s] = emit.get(s, 0)
+    for t in range(1, steps):
+        for s in range(states):
+            best_score = None
+            best_state = 0
+            for p in range(states):
+                score = prev[p] + trans.get(p, s)
+                if best_score is None or score > best_score:
+                    best_score = score
+                    best_state = p
+            curr[s] = best_score + emit.get(s, t)
+            back.set(t, s, best_state)
+        for s in range(states):
+            prev[s] = curr[s]
+    # Traceback.
+    best_final = 0
+    best_score = prev[0]
+    for s in range(1, states):
+        score = prev[s]
+        if score > best_score:
+            best_score = score
+            best_final = s
+    path = [best_final]
+    for t in range(steps - 1, 0, -1):
+        path.append(back.get(t, path[-1]))
+    path.reverse()
+    trace = recorder.to_trace(
+        "viterbi", metadata={"states": states, "steps": steps, "seed": seed}
+    )
+    trace.metadata["result"] = path
+    return trace
+
+
+def bitonic_sort_trace(length: int = 16, seed: int = 15) -> AccessTrace:
+    """Bitonic sorting network — data-independent compare-exchange pattern."""
+    if length & (length - 1) or length < 2:
+        raise TraceError(f"bitonic length must be a power of two >= 2, got {length}")
+    recorder = TraceRecorder()
+    data = TracedArray("a", _rand_ints(length, seed), recorder)
+    k = 2
+    while k <= length:
+        j = k // 2
+        while j >= 1:
+            for i in range(length):
+                partner = i ^ j
+                if partner > i:
+                    ascending = (i & k) == 0
+                    left, right = data[i], data[partner]
+                    low, high = min(left, right), max(left, right)
+                    # Canonical network: both lanes are written every
+                    # compare-exchange, so the access pattern is fully
+                    # data-independent (as in the hardware realisation).
+                    if ascending:
+                        data[i], data[partner] = low, high
+                    else:
+                        data[i], data[partner] = high, low
+            j //= 2
+        k *= 2
+    trace = recorder.to_trace(
+        "bitonic_sort", metadata={"length": length, "seed": seed}
+    )
+    trace.metadata["result"] = data.snapshot()
+    return trace
+
+
+def transpose_trace(rows: int = 8, cols: int = 8, seed: int = 16) -> AccessTrace:
+    """Out-of-place matrix transpose — row-major reads, column-major writes."""
+    recorder = TraceRecorder()
+    source = TracedMatrix(
+        "src", rows, cols, _rand_values(rows * cols, seed), recorder
+    )
+    dest = TracedMatrix("dst", cols, rows, [0.0] * (rows * cols), recorder)
+    for r in range(rows):
+        for c in range(cols):
+            dest.set(c, r, source.get(r, c))
+    trace = recorder.to_trace(
+        "transpose", metadata={"rows": rows, "cols": cols, "seed": seed}
+    )
+    trace.metadata["result"] = dest.snapshot()
+    return trace
+
+
+def spmv_trace(size: int = 16, density: float = 0.25, seed: int = 17) -> AccessTrace:
+    """Sparse matrix-vector multiply (CSR) — irregular gather pattern."""
+    if not 0.0 < density <= 1.0:
+        raise TraceError(f"density must be in (0, 1], got {density}")
+    recorder = TraceRecorder()
+    rng = random.Random(seed)
+    # Build a CSR matrix with at least one entry per row.
+    values_list: list[float] = []
+    columns_list: list[int] = []
+    row_ptr_list = [0]
+    for _row in range(size):
+        cols_here = sorted(
+            rng.sample(range(size), max(1, int(density * size)))
+        )
+        for col in cols_here:
+            values_list.append(rng.uniform(-1, 1))
+            columns_list.append(col)
+        row_ptr_list.append(len(values_list))
+    values = TracedArray("val", values_list, recorder)
+    columns = TracedArray("col", columns_list, recorder)
+    row_ptr = TracedArray("ptr", row_ptr_list, recorder)
+    vector = TracedArray("x", _rand_values(size, seed + 1), recorder)
+    output = TracedArray("y", [0.0] * size, recorder)
+    for row in range(size):
+        start = row_ptr[row]
+        end = row_ptr[row + 1]
+        acc = 0.0
+        for entry in range(start, end):
+            acc += values[entry] * vector[columns[entry]]
+        output[row] = acc
+    trace = recorder.to_trace(
+        "spmv", metadata={"size": size, "density": density, "seed": seed}
+    )
+    trace.metadata["result"] = output.snapshot()
+    trace.metadata["csr"] = (values_list, columns_list, row_ptr_list)
+    return trace
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+
+KERNELS: dict[str, Callable[..., AccessTrace]] = {
+    "fir": fir_trace,
+    "iir": iir_trace,
+    "matmul": matmul_trace,
+    "fft": fft_trace,
+    "dct8x8": dct8x8_trace,
+    "lms": lms_trace,
+    "conv2d": conv2d_trace,
+    "insertion_sort": insertion_sort_trace,
+    "quicksort": quicksort_trace,
+    "histogram": histogram_trace,
+    "kmp": kmp_trace,
+    "dijkstra": dijkstra_trace,
+    "crc32": crc32_trace,
+    "viterbi": viterbi_trace,
+    "bitonic_sort": bitonic_sort_trace,
+    "transpose": transpose_trace,
+    "spmv": spmv_trace,
+}
+
+#: The six locality-rich kernels used by the sensitivity sweeps (E4, E5, E10).
+SWEEP_KERNELS = ("fir", "iir", "matmul", "fft", "lms", "insertion_sort")
+
+
+def benchmark_suite(names: tuple[str, ...] | None = None) -> dict[str, AccessTrace]:
+    """Generate the default trace for each named kernel (all by default)."""
+    selected = names or tuple(KERNELS)
+    traces: dict[str, AccessTrace] = {}
+    for name in selected:
+        if name not in KERNELS:
+            raise TraceError(
+                f"unknown kernel {name!r}; available: {sorted(KERNELS)}"
+            )
+        traces[name] = KERNELS[name]()
+    return traces

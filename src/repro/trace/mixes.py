@@ -1,0 +1,93 @@
+"""Workload mixes: multiprogrammed traces sharing one scratchpad.
+
+When several tasks time-share a core, their accesses interleave in the
+shared SPM — which destroys the *adjacency* structure a single task's trace
+has (a transition now usually crosses tasks), while each task's own
+locality survives only in its restricted subsequence.  Placement grouping
+handles exactly this (per-DBC decomposition), so mixes are the natural
+stress test for the grouping phase.
+
+* :func:`interleave` — round-robin or weighted deterministic interleave of
+  namespaced traces (quantum = accesses per turn, modelling a scheduler
+  timeslice at memory-access granularity);
+* :func:`mix_suite` — ready-made two- and three-task mixes from the
+  benchmark kernels.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import TraceError
+from repro.trace.model import Access, AccessTrace
+
+
+def interleave(
+    traces: Sequence[AccessTrace],
+    quantum: int = 8,
+    weights: Sequence[int] | None = None,
+    name: str | None = None,
+) -> AccessTrace:
+    """Deterministically interleave traces with per-task timeslices.
+
+    Task ``t`` receives ``weights[t]`` consecutive turns of ``quantum``
+    accesses each per round (default: equal weights).  Item names are
+    prefixed ``t<index>_`` so tasks never alias.  Tasks that run out simply
+    drop out of the rotation; the result contains every access of every
+    input exactly once.
+    """
+    if not traces:
+        raise TraceError("interleave needs at least one trace")
+    if quantum <= 0:
+        raise TraceError(f"quantum must be positive, got {quantum}")
+    if weights is None:
+        weights = [1] * len(traces)
+    if len(weights) != len(traces):
+        raise TraceError("weights must match the number of traces")
+    if any(weight <= 0 for weight in weights):
+        raise TraceError("weights must be positive")
+    streams = [
+        [
+            Access(f"t{index}_{access.item}", access.kind)
+            for access in trace
+        ]
+        for index, trace in enumerate(traces)
+    ]
+    positions = [0] * len(streams)
+    merged: list[Access] = []
+    while any(position < len(stream) for position, stream in zip(positions, streams)):
+        for index, stream in enumerate(streams):
+            take = quantum * weights[index]
+            start = positions[index]
+            if start >= len(stream):
+                continue
+            end = min(len(stream), start + take)
+            merged.extend(stream[start:end])
+            positions[index] = end
+    return AccessTrace(
+        merged,
+        name=name or ("mix(" + "+".join(t.name for t in traces) + ")"),
+        metadata={"mix_quantum": quantum, "mix_tasks": len(traces)},
+    )
+
+
+def mix_suite(quantum: int = 8) -> dict[str, AccessTrace]:
+    """Canonical multiprogrammed mixes built from the benchmark kernels."""
+    from repro.trace.kernels import (
+        crc32_trace,
+        fir_trace,
+        histogram_trace,
+        matmul_trace,
+    )
+
+    fir = fir_trace(taps=8, samples=24)
+    matmul = matmul_trace(size=4)
+    histogram = histogram_trace(bins=8, samples=96)
+    crc = crc32_trace(num_bytes=48)
+    return {
+        "fir+matmul": interleave([fir, matmul], quantum=quantum),
+        "fir+crc32": interleave([fir, crc], quantum=quantum),
+        "fir+matmul+histogram": interleave(
+            [fir, matmul, histogram], quantum=quantum
+        ),
+    }

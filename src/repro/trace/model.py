@@ -1,0 +1,317 @@
+"""Access-trace data model.
+
+A trace is the input of the placement problem: an ordered sequence of word
+accesses, each naming a logical *item* (a scalar variable or an array
+element such as ``"A[3]"``) and whether it was a read or a write.  Traces are
+produced by the synthetic generators (:mod:`repro.trace.synthetic`) or by the
+instrumented benchmark kernels (:mod:`repro.trace.kernels`), and consumed by
+the placement optimizers and the trace-driven simulator.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import Counter
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+from repro.errors import TraceError
+
+
+class AccessKind(enum.Enum):
+    """Whether an access reads or writes its item."""
+
+    READ = "R"
+    WRITE = "W"
+
+    @classmethod
+    def parse(cls, value: "AccessKind | str") -> "AccessKind":
+        """Coerce ``"R"``/``"W"`` (case-insensitive) to an enum member."""
+        if isinstance(value, cls):
+            return value
+        text = str(value).strip().upper()
+        if text in ("R", "READ"):
+            return cls.READ
+        if text in ("W", "WRITE"):
+            return cls.WRITE
+        raise TraceError(f"unknown access kind {value!r}")
+
+
+@dataclass(frozen=True)
+class Access:
+    """One word access in a trace."""
+
+    item: str
+    kind: AccessKind = AccessKind.READ
+
+    def __post_init__(self) -> None:
+        if not self.item:
+            raise TraceError("access item name must be non-empty")
+        object.__setattr__(self, "kind", AccessKind.parse(self.kind))
+
+    @property
+    def is_write(self) -> bool:
+        return self.kind is AccessKind.WRITE
+
+    def __str__(self) -> str:
+        return f"{self.kind.value} {self.item}"
+
+
+class AccessTrace:
+    """An ordered sequence of :class:`Access` records.
+
+    The trace also carries a ``name`` (used in reports) and optional
+    free-form ``metadata`` (e.g. kernel parameters).  Traces are immutable
+    once built; transformation methods return new traces.
+    """
+
+    def __init__(
+        self,
+        accesses: Iterable[Access | tuple | str],
+        name: str = "trace",
+        metadata: dict | None = None,
+    ) -> None:
+        records: list[Access] = []
+        for entry in accesses:
+            if isinstance(entry, Access):
+                records.append(entry)
+            elif isinstance(entry, str):
+                records.append(Access(entry))
+            elif isinstance(entry, (tuple, list)) and len(entry) == 2:
+                records.append(Access(entry[0], AccessKind.parse(entry[1])))
+            else:
+                raise TraceError(f"cannot interpret trace entry {entry!r}")
+        self._accesses: tuple[Access, ...] = tuple(records)
+        self.name = name
+        self.metadata = dict(metadata or {})
+        self._items: tuple[str, ...] | None = None
+
+    # ------------------------------------------------------------------
+    # Sequence protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._accesses)
+
+    def __iter__(self) -> Iterator[Access]:
+        return iter(self._accesses)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return AccessTrace(
+                self._accesses[index],
+                name=f"{self.name}[{index.start}:{index.stop}]",
+                metadata=self.metadata,
+            )
+        return self._accesses[index]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, AccessTrace):
+            return NotImplemented
+        return self._accesses == other._accesses
+
+    def __hash__(self) -> int:
+        return hash(self._accesses)
+
+    def __repr__(self) -> str:
+        return (
+            f"AccessTrace(name={self.name!r}, n_accesses={len(self)}, "
+            f"n_items={self.num_items})"
+        )
+
+    # ------------------------------------------------------------------
+    # Derived views
+    # ------------------------------------------------------------------
+    @property
+    def items(self) -> tuple[str, ...]:
+        """Distinct item names in first-touch order (declaration order)."""
+        if self._items is None:
+            seen: dict[str, None] = {}
+            for access in self._accesses:
+                if access.item not in seen:
+                    seen[access.item] = None
+            self._items = tuple(seen)
+        return self._items
+
+    @property
+    def num_items(self) -> int:
+        return len(self.items)
+
+    @property
+    def item_sequence(self) -> tuple[str, ...]:
+        """Just the item names, in access order."""
+        return tuple(access.item for access in self._accesses)
+
+    def frequencies(self) -> Counter:
+        """Access count per item."""
+        return Counter(access.item for access in self._accesses)
+
+    def read_write_counts(self) -> tuple[int, int]:
+        """Total (reads, writes) in the trace."""
+        writes = sum(1 for access in self._accesses if access.is_write)
+        return len(self._accesses) - writes, writes
+
+    def adjacent_pairs(self) -> Iterator[tuple[str, str]]:
+        """Consecutive item pairs (the raw input of the affinity graph).
+
+        Self-pairs (two consecutive accesses to the same item) are included;
+        affinity-graph builders typically skip them since they cost no shifts.
+        """
+        for left, right in zip(self._accesses, self._accesses[1:]):
+            yield left.item, right.item
+
+    # ------------------------------------------------------------------
+    # Transformations
+    # ------------------------------------------------------------------
+    def restricted_to(self, items: Iterable[str]) -> "AccessTrace":
+        """Sub-trace containing only accesses to the given items, in order."""
+        wanted = set(items)
+        return AccessTrace(
+            (a for a in self._accesses if a.item in wanted),
+            name=f"{self.name}|restricted",
+            metadata=self.metadata,
+        )
+
+    def truncated(self, max_accesses: int) -> "AccessTrace":
+        """First ``max_accesses`` records (useful for OPT comparisons)."""
+        if max_accesses < 0:
+            raise TraceError(f"max_accesses must be >= 0, got {max_accesses}")
+        return AccessTrace(
+            self._accesses[:max_accesses],
+            name=f"{self.name}|head{max_accesses}",
+            metadata=self.metadata,
+        )
+
+    def top_items(self, count: int) -> "AccessTrace":
+        """Restrict to the ``count`` most frequently accessed items."""
+        if count <= 0:
+            raise TraceError(f"count must be positive, got {count}")
+        hottest = [item for item, _ in self.frequencies().most_common(count)]
+        return self.restricted_to(hottest)
+
+    def concatenated(self, other: "AccessTrace", name: str | None = None) -> "AccessTrace":
+        """This trace followed by ``other``."""
+        return AccessTrace(
+            tuple(self._accesses) + tuple(other._accesses),
+            name=name or f"{self.name}+{other.name}",
+            metadata={**other.metadata, **self.metadata},
+        )
+
+    def renamed(self, name: str) -> "AccessTrace":
+        """Copy with a different display name."""
+        return AccessTrace(self._accesses, name=name, metadata=self.metadata)
+
+    def prefixed(self, prefix: str) -> "AccessTrace":
+        """Copy with every item name prefixed (disjoint namespaces).
+
+        Used to combine traces whose item sets must not collide, e.g. when
+        modelling program phases that touch different data.
+        """
+        return AccessTrace(
+            (Access(prefix + access.item, access.kind) for access in self._accesses),
+            name=f"{prefix}{self.name}",
+            metadata=self.metadata,
+        )
+
+    @classmethod
+    def from_items(
+        cls,
+        item_sequence: Sequence[str],
+        name: str = "trace",
+        metadata: dict | None = None,
+    ) -> "AccessTrace":
+        """Build a read-only trace from a bare item-name sequence."""
+        return cls(
+            (Access(item) for item in item_sequence),
+            name=name,
+            metadata=metadata,
+        )
+
+
+class TraceRecorder:
+    """Mutable builder used by instrumented kernels to emit accesses."""
+
+    def __init__(self) -> None:
+        self._accesses: list[Access] = []
+
+    def record_read(self, item: str) -> None:
+        self._accesses.append(Access(item, AccessKind.READ))
+
+    def record_write(self, item: str) -> None:
+        self._accesses.append(Access(item, AccessKind.WRITE))
+
+    def __len__(self) -> int:
+        return len(self._accesses)
+
+    def to_trace(self, name: str, metadata: dict | None = None) -> AccessTrace:
+        """Freeze the recorded accesses into an :class:`AccessTrace`."""
+        return AccessTrace(self._accesses, name=name, metadata=metadata)
+
+
+class TracedArray:
+    """A list-like array whose element accesses are recorded.
+
+    Instrumented kernels operate on these instead of plain lists; every
+    ``x[i]`` read and ``x[i] = v`` write appends an access named
+    ``"<name>[<i>]"`` to the shared recorder.  Negative indices are
+    normalised so the same element always gets the same item name.
+    """
+
+    def __init__(self, name: str, values: Iterable, recorder: TraceRecorder) -> None:
+        self.name = name
+        self._values = list(values)
+        self._recorder = recorder
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def _item(self, index: int) -> str:
+        if index < 0:
+            index += len(self._values)
+        if not 0 <= index < len(self._values):
+            raise IndexError(f"{self.name}[{index}] out of range")
+        return f"{self.name}[{index}]"
+
+    def __getitem__(self, index: int):
+        self._recorder.record_read(self._item(index))
+        if index < 0:
+            index += len(self._values)
+        return self._values[index]
+
+    def __setitem__(self, index: int, value) -> None:
+        self._recorder.record_write(self._item(index))
+        if index < 0:
+            index += len(self._values)
+        self._values[index] = value
+
+    def peek(self, index: int):
+        """Read a value without recording an access (verification only)."""
+        return self._values[index]
+
+    def snapshot(self) -> list:
+        """Copy of the current values without recording accesses."""
+        return list(self._values)
+
+
+class TracedScalar:
+    """A scalar variable whose reads/writes are recorded.
+
+    Kernels use ``s.get()`` / ``s.set(v)`` so Python's name binding doesn't
+    hide accesses.
+    """
+
+    def __init__(self, name: str, value, recorder: TraceRecorder) -> None:
+        self.name = name
+        self._value = value
+        self._recorder = recorder
+
+    def get(self):
+        self._recorder.record_read(self.name)
+        return self._value
+
+    def set(self, value) -> None:
+        self._recorder.record_write(self.name)
+        self._value = value
+
+    def peek(self):
+        """Read the value without recording an access."""
+        return self._value

@@ -1,0 +1,126 @@
+"""Phase analysis of access traces.
+
+Utilities for studying how a workload's behaviour changes over time — the
+analysis that motivates online/adaptive placement (E13):
+
+* :func:`windowed_working_sets` — distinct items per fixed-size window;
+* :func:`phase_boundaries` — window indices where the working set turns
+  over (Jaccard similarity between consecutive windows drops below a
+  threshold);
+* :func:`phase_summary` — per-phase sub-traces with their own statistics,
+  ready to feed into per-phase placement studies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import TraceError
+from repro.trace.model import AccessTrace
+
+
+def windowed_working_sets(
+    trace: AccessTrace, window: int = 256
+) -> list[set[str]]:
+    """Distinct items touched in each consecutive window of the trace.
+
+    The final partial window is included (if non-empty).
+    """
+    if window <= 0:
+        raise TraceError(f"window must be positive, got {window}")
+    sets: list[set[str]] = []
+    current: set[str] = set()
+    for position, access in enumerate(trace):
+        current.add(access.item)
+        if (position + 1) % window == 0:
+            sets.append(current)
+            current = set()
+    if current:
+        sets.append(current)
+    return sets
+
+
+def jaccard(left: set[str], right: set[str]) -> float:
+    """Jaccard similarity of two item sets (1.0 for two empty sets)."""
+    if not left and not right:
+        return 1.0
+    union = left | right
+    return len(left & right) / len(union)
+
+
+def phase_boundaries(
+    trace: AccessTrace,
+    window: int = 256,
+    threshold: float = 0.3,
+) -> list[int]:
+    """Access indices where the working set turns over.
+
+    A boundary is reported at the start of window ``k`` when the Jaccard
+    similarity between windows ``k-1`` and ``k`` falls below ``threshold``.
+    """
+    if not 0.0 <= threshold <= 1.0:
+        raise TraceError(f"threshold must be in [0, 1], got {threshold}")
+    sets = windowed_working_sets(trace, window)
+    boundaries: list[int] = []
+    for k in range(1, len(sets)):
+        if jaccard(sets[k - 1], sets[k]) < threshold:
+            boundaries.append(k * window)
+    return boundaries
+
+
+@dataclass(frozen=True)
+class Phase:
+    """One detected phase of a trace."""
+
+    start: int
+    end: int  # exclusive
+    trace: AccessTrace
+
+    @property
+    def length(self) -> int:
+        return self.end - self.start
+
+    @property
+    def working_set_size(self) -> int:
+        return self.trace.num_items
+
+
+def phase_summary(
+    trace: AccessTrace,
+    window: int = 256,
+    threshold: float = 0.3,
+) -> list[Phase]:
+    """Split the trace at detected boundaries into :class:`Phase` records."""
+    boundaries = phase_boundaries(trace, window, threshold)
+    edges = [0] + boundaries + [len(trace)]
+    phases: list[Phase] = []
+    for start, end in zip(edges, edges[1:]):
+        if end <= start:
+            continue
+        phases.append(
+            Phase(
+                start=start,
+                end=end,
+                trace=trace[start:end].renamed(
+                    f"{trace.name}|phase[{start}:{end}]"
+                ),
+            )
+        )
+    return phases
+
+
+def phase_stability_score(
+    trace: AccessTrace, window: int = 256
+) -> float:
+    """Mean Jaccard similarity of consecutive windows (1.0 = one phase).
+
+    Low scores flag workloads where static profiling will decay and online
+    placement is worth its migration costs.
+    """
+    sets = windowed_working_sets(trace, window)
+    if len(sets) < 2:
+        return 1.0
+    similarities = [
+        jaccard(sets[k - 1], sets[k]) for k in range(1, len(sets))
+    ]
+    return sum(similarities) / len(similarities)

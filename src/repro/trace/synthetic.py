@@ -1,0 +1,284 @@
+"""Synthetic access-trace generators.
+
+These provide controlled-locality inputs for unit tests, property tests, and
+the scaling/runtime experiments (E8, E9) where the benchmark kernels would be
+too slow or too irregular.  All generators are deterministic given a seed.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from repro.errors import TraceError
+from repro.trace.model import Access, AccessKind, AccessTrace
+
+
+def _item_names(num_items: int, prefix: str = "v") -> list[str]:
+    if num_items <= 0:
+        raise TraceError(f"num_items must be positive, got {num_items}")
+    return [f"{prefix}{i}" for i in range(num_items)]
+
+
+def _with_writes(
+    items: Sequence[str], write_fraction: float, rng: random.Random
+) -> list[Access]:
+    if not 0.0 <= write_fraction <= 1.0:
+        raise TraceError(
+            f"write_fraction must be in [0, 1], got {write_fraction}"
+        )
+    return [
+        Access(
+            item,
+            AccessKind.WRITE if rng.random() < write_fraction else AccessKind.READ,
+        )
+        for item in items
+    ]
+
+
+def uniform_trace(
+    num_items: int,
+    num_accesses: int,
+    seed: int = 0,
+    write_fraction: float = 0.25,
+) -> AccessTrace:
+    """Uniformly random accesses — the locality-free worst case."""
+    rng = random.Random(seed)
+    names = _item_names(num_items)
+    sequence = [rng.choice(names) for _ in range(num_accesses)]
+    return AccessTrace(
+        _with_writes(sequence, write_fraction, rng),
+        name=f"uniform(n={num_items},m={num_accesses},s={seed})",
+        metadata={"generator": "uniform", "seed": seed},
+    )
+
+
+def zipf_trace(
+    num_items: int,
+    num_accesses: int,
+    alpha: float = 1.2,
+    seed: int = 0,
+    write_fraction: float = 0.25,
+) -> AccessTrace:
+    """Zipf-distributed item popularity (hot/cold skew, no sequencing)."""
+    if alpha <= 0:
+        raise TraceError(f"alpha must be positive, got {alpha}")
+    rng = random.Random(seed)
+    names = _item_names(num_items)
+    weights = [1.0 / (rank + 1) ** alpha for rank in range(num_items)]
+    sequence = rng.choices(names, weights=weights, k=num_accesses)
+    return AccessTrace(
+        _with_writes(sequence, write_fraction, rng),
+        name=f"zipf(n={num_items},m={num_accesses},a={alpha},s={seed})",
+        metadata={"generator": "zipf", "seed": seed, "alpha": alpha},
+    )
+
+
+def markov_trace(
+    num_items: int,
+    num_accesses: int,
+    locality: float = 0.8,
+    neighborhood: int = 2,
+    seed: int = 0,
+    write_fraction: float = 0.25,
+) -> AccessTrace:
+    """First-order Markov trace with tunable sequential locality.
+
+    With probability ``locality`` the next access stays within
+    ``neighborhood`` items (in name-index space) of the current one;
+    otherwise it jumps uniformly.  High locality traces reward placement the
+    way loop-carried reuse in real kernels does.
+    """
+    if not 0.0 <= locality <= 1.0:
+        raise TraceError(f"locality must be in [0, 1], got {locality}")
+    if neighborhood < 1:
+        raise TraceError(f"neighborhood must be >= 1, got {neighborhood}")
+    rng = random.Random(seed)
+    names = _item_names(num_items)
+    current = rng.randrange(num_items)
+    sequence = [names[current]]
+    for _ in range(max(0, num_accesses - 1)):
+        if rng.random() < locality:
+            step = rng.randint(-neighborhood, neighborhood)
+            current = max(0, min(num_items - 1, current + step))
+        else:
+            current = rng.randrange(num_items)
+        sequence.append(names[current])
+    return AccessTrace(
+        _with_writes(sequence[:num_accesses], write_fraction, rng),
+        name=(
+            f"markov(n={num_items},m={num_accesses},"
+            f"l={locality},s={seed})"
+        ),
+        metadata={"generator": "markov", "seed": seed, "locality": locality},
+    )
+
+
+def loop_nest_trace(
+    array_sizes: Sequence[int] = (8, 8),
+    iterations: int = 4,
+    seed: int = 0,
+) -> AccessTrace:
+    """Idealised loop nest: arrays streamed in order, repeated.
+
+    Models the dominant pattern of DSP kernels: per iteration every array is
+    walked sequentially, with a read-modify-write on the last array.
+    """
+    if iterations <= 0:
+        raise TraceError(f"iterations must be positive, got {iterations}")
+    if not array_sizes or any(size <= 0 for size in array_sizes):
+        raise TraceError(f"array_sizes must be positive, got {array_sizes}")
+    accesses: list[Access] = []
+    for _ in range(iterations):
+        for array_index, size in enumerate(array_sizes):
+            name = chr(ord("A") + array_index)
+            is_last = array_index == len(array_sizes) - 1
+            for element in range(size):
+                item = f"{name}[{element}]"
+                accesses.append(Access(item, AccessKind.READ))
+                if is_last:
+                    accesses.append(Access(item, AccessKind.WRITE))
+    return AccessTrace(
+        accesses,
+        name=f"loopnest(sizes={tuple(array_sizes)},it={iterations})",
+        metadata={"generator": "loop_nest", "seed": seed},
+    )
+
+
+def pingpong_trace(
+    num_pairs: int = 4,
+    rounds: int = 32,
+    seed: int = 0,
+) -> AccessTrace:
+    """Pairs of items accessed in strict alternation (A0 B0 A0 B0 ... A1 B1 ...).
+
+    The canonical adversarial input for naive placement: each pair should be
+    adjacent (or split across DBCs) to make its alternation free.
+    """
+    if num_pairs <= 0 or rounds <= 0:
+        raise TraceError("num_pairs and rounds must be positive")
+    accesses: list[Access] = []
+    for pair in range(num_pairs):
+        left, right = f"p{pair}a", f"p{pair}b"
+        for _ in range(rounds):
+            accesses.append(Access(left, AccessKind.READ))
+            accesses.append(Access(right, AccessKind.WRITE))
+    return AccessTrace(
+        accesses,
+        name=f"pingpong(pairs={num_pairs},rounds={rounds})",
+        metadata={"generator": "pingpong", "seed": seed},
+    )
+
+
+def stencil_trace(
+    width: int = 16,
+    sweeps: int = 4,
+    radius: int = 1,
+    seed: int = 0,
+) -> AccessTrace:
+    """1-D stencil sweeps: each point reads its neighbourhood, writes itself."""
+    if width <= 2 * radius:
+        raise TraceError(
+            f"width must exceed 2*radius, got width={width}, radius={radius}"
+        )
+    accesses: list[Access] = []
+    for _ in range(sweeps):
+        for center in range(radius, width - radius):
+            for offset in range(-radius, radius + 1):
+                accesses.append(Access(f"g[{center + offset}]", AccessKind.READ))
+            accesses.append(Access(f"g[{center}]", AccessKind.WRITE))
+    return AccessTrace(
+        accesses,
+        name=f"stencil(w={width},sweeps={sweeps},r={radius})",
+        metadata={"generator": "stencil", "seed": seed},
+    )
+
+
+def gups_trace(
+    table_size: int = 64,
+    num_updates: int = 512,
+    seed: int = 0,
+) -> AccessTrace:
+    """GUPS-style random read-modify-write updates to a table.
+
+    The canonical locality-free RMW stress pattern (HPC Challenge
+    RandomAccess): every update reads and writes a random table word.
+    """
+    if table_size <= 0 or num_updates < 0:
+        raise TraceError("table_size must be positive, num_updates >= 0")
+    rng = random.Random(seed)
+    accesses: list[Access] = []
+    for _ in range(num_updates):
+        index = rng.randrange(table_size)
+        item = f"tab[{index}]"
+        accesses.append(Access(item, AccessKind.READ))
+        accesses.append(Access(item, AccessKind.WRITE))
+    return AccessTrace(
+        accesses,
+        name=f"gups(n={table_size},u={num_updates},s={seed})",
+        metadata={"generator": "gups", "seed": seed},
+    )
+
+
+def butterfly_trace(size: int = 16, seed: int = 0) -> AccessTrace:
+    """FFT-style butterfly pairings: stage s pairs items 2^s apart.
+
+    Pure communication skeleton (reads both lanes, writes both), isolating
+    the stride-doubling pattern from the arithmetic of the real FFT kernel.
+    """
+    if size < 2 or size & (size - 1):
+        raise TraceError(f"size must be a power of two >= 2, got {size}")
+    accesses: list[Access] = []
+    stride = 1
+    while stride < size:
+        for start in range(0, size, stride * 2):
+            for k in range(stride):
+                low = f"x[{start + k}]"
+                high = f"x[{start + k + stride}]"
+                accesses.append(Access(low, AccessKind.READ))
+                accesses.append(Access(high, AccessKind.READ))
+                accesses.append(Access(low, AccessKind.WRITE))
+                accesses.append(Access(high, AccessKind.WRITE))
+        stride *= 2
+    return AccessTrace(
+        accesses,
+        name=f"butterfly(n={size})",
+        metadata={"generator": "butterfly", "seed": seed},
+    )
+
+
+def blocked_trace(
+    array_size: int = 32,
+    block: int = 8,
+    passes: int = 2,
+    seed: int = 0,
+) -> AccessTrace:
+    """Cache-blocked sweeps: each block is revisited ``passes`` times before
+    moving on — the tiled-loop pattern compilers emit for locality."""
+    if array_size <= 0 or block <= 0 or passes <= 0:
+        raise TraceError("array_size, block, and passes must be positive")
+    accesses: list[Access] = []
+    for start in range(0, array_size, block):
+        end = min(array_size, start + block)
+        for _ in range(passes):
+            for index in range(start, end):
+                accesses.append(Access(f"a[{index}]", AccessKind.READ))
+            accesses.append(Access(f"a[{start}]", AccessKind.WRITE))
+    return AccessTrace(
+        accesses,
+        name=f"blocked(n={array_size},b={block},p={passes})",
+        metadata={"generator": "blocked", "seed": seed},
+    )
+
+
+GENERATORS = {
+    "uniform": uniform_trace,
+    "zipf": zipf_trace,
+    "markov": markov_trace,
+    "loop_nest": loop_nest_trace,
+    "pingpong": pingpong_trace,
+    "stencil": stencil_trace,
+    "gups": gups_trace,
+    "butterfly": butterfly_trace,
+    "blocked": blocked_trace,
+}

@@ -1,0 +1,56 @@
+"""Shared fixtures for the repro test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.problem import PlacementProblem
+from repro.dwm.config import DWMConfig
+from repro.trace.model import AccessTrace
+from repro.trace.synthetic import markov_trace, pingpong_trace
+
+
+@pytest.fixture
+def single_dbc_config() -> DWMConfig:
+    """One DBC of 8 words, single port at offset 4 (uniform default)."""
+    return DWMConfig(words_per_dbc=8, num_dbcs=1)
+
+
+@pytest.fixture
+def small_config() -> DWMConfig:
+    """Four DBCs of 8 words each, single centred port."""
+    return DWMConfig(words_per_dbc=8, num_dbcs=4)
+
+
+@pytest.fixture
+def multiport_config() -> DWMConfig:
+    """One DBC of 16 words with two uniform ports."""
+    return DWMConfig.with_uniform_ports(words_per_dbc=16, num_dbcs=1, num_ports=2)
+
+
+@pytest.fixture
+def tiny_trace() -> AccessTrace:
+    """Five accesses over three items, mixed reads/writes."""
+    return AccessTrace(
+        [("a", "R"), ("b", "W"), ("a", "R"), ("c", "R"), ("b", "R")],
+        name="tiny",
+    )
+
+
+@pytest.fixture
+def locality_trace() -> AccessTrace:
+    """A locality-rich Markov trace (16 items, 400 accesses)."""
+    return markov_trace(16, 400, locality=0.85, seed=42)
+
+
+@pytest.fixture
+def pingpong() -> AccessTrace:
+    """Strictly alternating pairs — adversarial for naive placement."""
+    return pingpong_trace(num_pairs=3, rounds=16)
+
+
+@pytest.fixture
+def locality_problem(locality_trace) -> PlacementProblem:
+    """The locality trace on a 2-DBC, 8-word array."""
+    config = DWMConfig(words_per_dbc=8, num_dbcs=2)
+    return PlacementProblem(trace=locality_trace, config=config)

@@ -1,0 +1,154 @@
+"""Unit tests for repro.core.allocation (SPM allocation substrate)."""
+
+import pytest
+
+from repro.core.allocation import (
+    DataObject,
+    _knapsack_select,
+    allocate,
+    object_name_of,
+    partition_objects,
+    simulate_allocation,
+)
+from repro.dwm.config import DWMConfig
+from repro.errors import OptimizationError
+from repro.trace.model import AccessTrace
+from repro.trace.kernels import crc32_trace
+
+
+class TestObjectNameOf:
+    def test_array_element(self):
+        assert object_name_of("A[3]") == "A"
+
+    def test_nested_brackets_take_last(self):
+        assert object_name_of("blk0[12]") == "blk0"
+
+    def test_scalar(self):
+        assert object_name_of("counter") == "counter"
+
+    def test_negative_index(self):
+        assert object_name_of("x[-1]") == "x"
+
+
+class TestPartitionObjects:
+    def test_groups_array_elements(self):
+        trace = AccessTrace(["A[0]", "A[1]", "s", "A[0]"])
+        objects = {obj.name: obj for obj in partition_objects(trace)}
+        assert set(objects) == {"A", "s"}
+        assert objects["A"].size_words == 2
+        assert objects["A"].accesses == 3
+        assert objects["s"].accesses == 1
+
+    def test_heat_density(self):
+        obj = DataObject(name="A", items=("A[0]", "A[1]"), accesses=10)
+        assert obj.heat_density == 5.0
+
+    def test_first_touch_order(self):
+        trace = AccessTrace(["B[0]", "A[0]", "B[1]"])
+        names = [obj.name for obj in partition_objects(trace)]
+        assert names == ["B", "A"]
+
+
+class TestKnapsack:
+    def test_picks_best_subset(self):
+        objects = [
+            DataObject("A", ("A[0]", "A[1]"), 0),
+            DataObject("B", ("B[0]",), 0),
+            DataObject("C", ("C[0]", "C[1]"), 0),
+        ]
+        chosen = _knapsack_select(objects, [10.0, 9.0, 8.0], capacity=3)
+        assert [objects[i].name for i in chosen] == ["A", "B"]
+
+    def test_capacity_zero_chooses_nothing(self):
+        objects = [DataObject("A", ("A[0]",), 5)]
+        assert _knapsack_select(objects, [1.0], 0) == []
+
+    def test_prefers_denser_combination(self):
+        objects = [
+            DataObject("big", tuple(f"b[{i}]" for i in range(4)), 0),
+            DataObject("s1", ("s1",), 0),
+            DataObject("s2", ("s2",), 0),
+        ]
+        chosen = _knapsack_select(objects, [10.0, 6.0, 6.0], capacity=4)
+        assert sorted(objects[i].name for i in chosen) == ["s1", "s2"]
+
+
+class TestAllocate:
+    @pytest.fixture
+    def trace(self):
+        return crc32_trace()
+
+    def test_respects_capacity(self, trace):
+        config = DWMConfig(words_per_dbc=16, num_dbcs=2)
+        allocation = allocate(trace, config)
+        assert allocation.used_words <= allocation.capacity_words
+
+    def test_unknown_policy_raises(self, trace):
+        config = DWMConfig(words_per_dbc=16, num_dbcs=1)
+        with pytest.raises(OptimizationError):
+            allocate(trace, config, policy="psychic")
+
+    def test_unknown_placement_method_raises(self, trace):
+        config = DWMConfig(words_per_dbc=16, num_dbcs=1)
+        with pytest.raises(OptimizationError):
+            allocate(trace, config, placement_method="mystic")
+
+    def test_full_capacity_takes_everything(self, trace):
+        config = DWMConfig.for_items(trace.num_items, words_per_dbc=64)
+        allocation = allocate(trace, config)
+        assert allocation.used_words == trace.num_items
+
+    def test_hot_objects_preferred(self, trace):
+        # crc scalar + table are the densest objects; a 17-word SPM should
+        # hold them rather than buffer slices.
+        config = DWMConfig(words_per_dbc=17, num_dbcs=1)
+        allocation = allocate(trace, config, policy="oblivious")
+        assert "crc" in allocation.resident_objects
+        assert "tbl" in allocation.resident_objects
+
+    def test_placement_valid_for_resident_items(self, trace):
+        config = DWMConfig(words_per_dbc=16, num_dbcs=2)
+        allocation = allocate(trace, config)
+        resident = [
+            item for item in trace.items if allocation.is_resident(item)
+        ]
+        allocation.placement.validate(config, resident)
+
+    def test_policies_agree_when_everything_fits(self, trace):
+        config = DWMConfig.for_items(trace.num_items, words_per_dbc=64)
+        oblivious = allocate(trace, config, policy="oblivious")
+        aware = allocate(trace, config, policy="placement_aware")
+        assert set(oblivious.resident_objects) == set(aware.resident_objects)
+
+
+class TestSimulateAllocation:
+    def test_hit_fraction_and_latency(self):
+        trace = AccessTrace(["A[0]", "A[1]", "B[0]", "A[0]"])
+        config = DWMConfig(words_per_dbc=2, num_dbcs=1, port_offsets=(0,))
+        allocation = allocate(trace, config, dram_latency_ns=100.0)
+        sim = simulate_allocation(trace, config, allocation, dram_latency_ns=100.0)
+        assert sim.spm_accesses + sim.dram_accesses == len(trace)
+        # A (3 accesses, 2 words) must win the 2-word SPM over B.
+        assert allocation.resident_objects == ("A",)
+        assert sim.spm_accesses == 3
+        assert sim.spm_hit_fraction == pytest.approx(0.75)
+        # Latency: 1 dram access at 100 + 3 reads at 1.0 + shift costs.
+        assert sim.total_latency_ns >= 100.0 + 3.0
+
+    def test_zero_capacity_everything_in_dram(self):
+        trace = AccessTrace(["A[0]", "B[0]"])
+        config = DWMConfig(words_per_dbc=1, num_dbcs=1)
+        allocation = allocate(trace, config, dram_latency_ns=10.0)
+        # Only one word fits; at most one access hits.
+        sim = simulate_allocation(trace, config, allocation, dram_latency_ns=10.0)
+        assert sim.dram_accesses >= 1
+
+    def test_larger_spm_never_slower(self):
+        trace = crc32_trace()
+        latencies = []
+        for dbcs in (1, 2, 8):
+            config = DWMConfig(words_per_dbc=16, num_dbcs=dbcs)
+            allocation = allocate(trace, config)
+            sim = simulate_allocation(trace, config, allocation)
+            latencies.append(sim.total_latency_ns)
+        assert latencies == sorted(latencies, reverse=True)

@@ -1,0 +1,154 @@
+"""Unit tests for repro.analysis (metrics, report, sweep)."""
+
+import math
+
+import pytest
+
+from repro.analysis.metrics import (
+    geometric_mean,
+    normalize,
+    reduction_percent,
+    speedup,
+    summarize_normalized,
+)
+from repro.analysis.report import (
+    format_bar_chart,
+    format_grouped_bars,
+    format_table,
+)
+from repro.analysis.sweep import (
+    SweepRecord,
+    normalized_by_method,
+    pivot,
+    sweep,
+)
+from repro.trace.synthetic import markov_trace
+
+
+class TestGeometricMean:
+    def test_single_value(self):
+        assert geometric_mean([4.0]) == pytest.approx(4.0)
+
+    def test_known_value(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_empty_is_nan(self):
+        assert math.isnan(geometric_mean([]))
+
+    def test_zero_clamped(self):
+        assert geometric_mean([0.0, 1.0]) > 0.0
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            geometric_mean([-1.0])
+
+
+class TestSimpleMetrics:
+    def test_reduction_percent(self):
+        assert reduction_percent(100, 60) == pytest.approx(40.0)
+
+    def test_reduction_zero_baseline(self):
+        assert reduction_percent(0, 10) == 0.0
+
+    def test_speedup(self):
+        assert speedup(10, 5) == 2.0
+
+    def test_speedup_zero_improved(self):
+        assert speedup(10, 0) == float("inf")
+        assert speedup(0, 0) == 1.0
+
+    def test_normalize(self):
+        values = {"a": 10.0, "b": 5.0}
+        assert normalize(values, "a") == {"a": 1.0, "b": 0.5}
+
+    def test_normalize_zero_reference(self):
+        values = {"a": 0.0, "b": 5.0}
+        normalized = normalize(values, "a")
+        assert normalized["a"] == 0.0
+        assert normalized["b"] == float("inf")
+
+    def test_summarize_normalized(self):
+        rows = [{"x": 1.0, "y": 4.0}, {"x": 1.0, "y": 1.0}]
+        summary = summarize_normalized(rows, ["x", "y"])
+        assert summary["x"] == pytest.approx(1.0)
+        assert summary["y"] == pytest.approx(2.0)
+
+
+class TestReport:
+    def test_table_contains_cells(self):
+        text = format_table(("a", "b"), [(1, 2.5), ("x", 0.125)], title="T")
+        assert "T" in text
+        assert "2.500" in text
+        assert "x" in text
+
+    def test_table_alignment(self):
+        text = format_table(("col",), [("short",), ("a-much-longer-cell",)])
+        lines = text.splitlines()
+        assert len(set(map(len, lines[2:]))) == 1  # data rows equal width
+
+    def test_bar_chart_scales(self):
+        text = format_bar_chart({"a": 1.0, "b": 2.0}, width=10)
+        bars = {
+            line.split("|")[0].strip(): line.count("#")
+            for line in text.splitlines()
+            if "|" in line
+        }
+        assert bars["b"] == 10
+        assert bars["a"] == 5
+
+    def test_bar_chart_empty(self):
+        assert "(no data)" in format_bar_chart({})
+
+    def test_grouped_bars_mentions_groups_and_series(self):
+        text = format_grouped_bars(
+            {"bench1": {"m1": 1.0, "m2": 0.5}}, title="G"
+        )
+        assert "bench1:" in text
+        assert "m1" in text and "m2" in text
+
+
+class TestSweep:
+    @pytest.fixture(scope="class")
+    def records(self):
+        traces = [markov_trace(10, 150, seed=s) for s in (0, 1)]
+        return sweep(
+            traces,
+            methods=("declaration", "heuristic"),
+            words_per_dbc_values=(4, 8),
+        )
+
+    def test_record_count(self, records):
+        assert len(records) == 2 * 2 * 2  # traces x lengths x methods
+
+    def test_shifts_per_access(self, records):
+        record = records[0]
+        assert record.shifts_per_access == pytest.approx(
+            record.total_shifts / record.num_accesses
+        )
+
+    def test_pivot_sums_cells(self, records):
+        table = pivot(records, "method", "words_per_dbc")
+        total = sum(r.total_shifts for r in records if r.method == "heuristic")
+        assert sum(table["heuristic"].values()) == total
+
+    def test_normalized_by_method(self, records):
+        normalized = normalized_by_method(records)
+        for cell in normalized.values():
+            assert cell["declaration"] == pytest.approx(1.0)
+            assert cell["heuristic"] <= 1.0 + 1e-9
+
+    def test_normalized_missing_baseline_skipped(self):
+        records = [
+            SweepRecord(
+                trace="t", method="heuristic", words_per_dbc=4, num_ports=1,
+                num_dbcs=1, total_shifts=5, num_accesses=10, runtime_seconds=0.0,
+            )
+        ]
+        assert normalized_by_method(records) == {}
+
+    def test_sweep_ports(self):
+        trace = markov_trace(8, 100, seed=2)
+        records = sweep(
+            [trace], methods=("declaration",), num_ports_values=(1, 2)
+        )
+        assert {r.num_ports for r in records} == {1, 2}

@@ -1,0 +1,138 @@
+"""Unit tests for the DWM cache substrate (repro.memory.cache)."""
+
+import pytest
+
+from repro.dwm.config import DWMConfig
+from repro.errors import ConfigError
+from repro.memory.cache import (
+    PLACEMENT_POLICIES,
+    CacheGeometry,
+    CacheResult,
+    DWMCache,
+    compare_cache_policies,
+)
+from repro.trace.model import AccessTrace
+from repro.trace.synthetic import zipf_trace
+
+
+def small_geometry(**overrides):
+    defaults = dict(
+        num_sets=2,
+        ways=4,
+        dbc_config=DWMConfig(words_per_dbc=8, num_dbcs=2, port_offsets=(0,)),
+    )
+    defaults.update(overrides)
+    return CacheGeometry(**defaults)
+
+
+class TestGeometryValidation:
+    def test_defaults_valid(self):
+        CacheGeometry()
+
+    def test_ways_exceed_words_raise(self):
+        with pytest.raises(ConfigError):
+            small_geometry(ways=9)
+
+    def test_sets_exceed_dbcs_raise(self):
+        with pytest.raises(ConfigError):
+            small_geometry(num_sets=3)
+
+    def test_nonpositive_raise(self):
+        with pytest.raises(ConfigError):
+            small_geometry(num_sets=0)
+        with pytest.raises(ConfigError):
+            small_geometry(ways=0)
+
+    def test_capacity(self):
+        assert small_geometry().capacity_lines == 8
+
+
+class TestCacheBasics:
+    def test_unknown_policy_raises(self):
+        with pytest.raises(ConfigError):
+            DWMCache(small_geometry(), policy="chaotic")
+
+    def test_cold_miss_then_hit(self):
+        cache = DWMCache(small_geometry(), policy="static")
+        cache.access("x")
+        result = cache.run(AccessTrace(["x"]))
+        assert result.hits == 1
+        assert result.misses == 1  # the cold access above
+
+    def test_lru_eviction(self):
+        cache = DWMCache(small_geometry(num_sets=1, ways=2), policy="static")
+        cache.access("a")
+        cache.access("b")
+        cache.access("c")  # evicts a (LRU)
+        set0 = cache._sets[0]
+        assert "a" not in set0.slots
+        assert {"b", "c"} <= set0.slots.keys()
+
+    def test_lru_touch_on_hit(self):
+        cache = DWMCache(small_geometry(num_sets=1, ways=2), policy="static")
+        cache.access("a")
+        cache.access("b")
+        cache.access("a")  # a becomes MRU
+        cache.access("c")  # evicts b
+        assert "a" in cache._sets[0].slots
+        assert "b" not in cache._sets[0].slots
+
+    def test_deterministic_set_mapping(self):
+        # crc32-based mapping: identical across cache instances.
+        one = DWMCache(small_geometry())._set_of("item[3]")
+        two = DWMCache(small_geometry())._set_of("item[3]")
+        assert one == two
+
+    def test_run_counts_accesses(self):
+        trace = zipf_trace(20, 200, seed=2)
+        result = DWMCache(small_geometry()).run(trace)
+        assert result.accesses == 200
+        assert 0.0 <= result.hit_rate <= 1.0
+
+
+class TestPolicies:
+    @pytest.fixture(scope="class")
+    def results(self):
+        trace = zipf_trace(60, 1500, alpha=1.2, seed=9)
+        geometry = CacheGeometry(
+            num_sets=2,
+            ways=8,
+            dbc_config=DWMConfig(words_per_dbc=32, num_dbcs=2, port_offsets=(0,)),
+        )
+        return compare_cache_policies(trace, geometry)
+
+    def test_all_policies_run(self, results):
+        assert set(results) == set(PLACEMENT_POLICIES)
+
+    def test_hit_rate_is_policy_invariant(self, results):
+        """Replacement is LRU for all policies; only slot layout differs."""
+        rates = {round(result.hit_rate, 9) for result in results.values()}
+        assert len(rates) == 1
+
+    def test_static_has_no_reorg_traffic(self, results):
+        assert results["static"].reorg_shifts == 0
+        assert results["static"].reorg_swaps == 0
+
+    def test_reorg_policies_pay_for_swaps(self, results):
+        assert results["promote"].reorg_swaps > 0
+        assert results["mru_at_port"].reorg_swaps >= results["promote"].reorg_swaps
+
+    def test_shift_accounting_includes_reorg(self, results):
+        for result in results.values():
+            assert result.shifts >= result.reorg_shifts
+
+
+class TestCacheResult:
+    def test_properties(self):
+        result = CacheResult(
+            hits=3, misses=1, shifts=8, reorg_shifts=2, reorg_swaps=1,
+            policy="promote",
+        )
+        assert result.accesses == 4
+        assert result.hit_rate == 0.75
+        assert result.shifts_per_access == 2.0
+
+    def test_empty(self):
+        result = CacheResult(0, 0, 0, 0, 0, "static")
+        assert result.hit_rate == 0.0
+        assert result.shifts_per_access == 0.0

@@ -1,0 +1,194 @@
+"""Unit tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import load_placement_json, main
+
+
+def run_cli(capsys, *argv):
+    """Invoke the CLI and return (exit_code, stdout, stderr)."""
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+class TestTraceGenerate:
+    def test_kernel_to_jsonl(self, tmp_path, capsys):
+        path = tmp_path / "fir.jsonl"
+        code, out, _err = run_cli(capsys, "trace", "generate", "fir", "-o", str(path))
+        assert code == 0
+        assert path.exists()
+        assert "wrote" in out
+
+    def test_synthetic_with_size(self, tmp_path, capsys):
+        path = tmp_path / "m.trc"
+        code, out, _err = run_cli(
+            capsys, "trace", "generate", "markov",
+            "--items", "10", "--accesses", "200", "--seed", "3",
+            "-o", str(path),
+        )
+        assert code == 0
+        assert "200 accesses" in out
+
+    def test_unknown_source(self, tmp_path, capsys):
+        code, _out, err = run_cli(
+            capsys, "trace", "generate", "nope", "-o", str(tmp_path / "x.trc")
+        )
+        assert code == 2
+        assert "unknown source" in err
+
+
+class TestTraceInfo:
+    def test_prints_stats(self, tmp_path, capsys):
+        path = tmp_path / "t.jsonl"
+        run_cli(capsys, "trace", "generate", "histogram", "-o", str(path))
+        code, out, _err = run_cli(capsys, "trace", "info", str(path))
+        assert code == 0
+        assert "accesses" in out
+        assert "locality score" in out
+
+    def test_missing_file(self, capsys):
+        code, _out, err = run_cli(capsys, "trace", "info", "/no/such/file.jsonl")
+        assert code == 1
+        assert "error" in err
+
+
+class TestPlaceAndSimulate:
+    @pytest.fixture
+    def trace_file(self, tmp_path, capsys):
+        path = tmp_path / "t.jsonl"
+        run_cli(capsys, "trace", "generate", "markov",
+                "--items", "12", "--accesses", "300", "-o", str(path))
+        capsys.readouterr()
+        return path
+
+    def test_place_to_stdout(self, trace_file, capsys):
+        code, out, err = run_cli(capsys, "place", str(trace_file))
+        assert code == 0
+        payload = json.loads(out[: out.rindex("}") + 1])
+        assert payload["method"] == "heuristic"
+        assert payload["total_shifts"] <= payload["baseline_shifts"]
+        assert "vs declaration" in err
+
+    def test_place_to_file_and_reload(self, trace_file, tmp_path, capsys):
+        out_path = tmp_path / "placement.json"
+        code, _out, _err = run_cli(
+            capsys, "place", str(trace_file), "-o", str(out_path),
+            "--words-per-dbc", "8",
+        )
+        assert code == 0
+        placement, config = load_placement_json(out_path)
+        assert config.words_per_dbc == 8
+        assert len(placement) == 12
+
+    def test_place_respects_method_flag(self, trace_file, tmp_path, capsys):
+        out_path = tmp_path / "placement.json"
+        code, _out, _err = run_cli(
+            capsys, "place", str(trace_file), "--method", "declaration",
+            "-o", str(out_path),
+        )
+        assert code == 0
+        payload = json.loads(out_path.read_text())
+        assert payload["method"] == "declaration"
+        assert payload["total_shifts"] == payload["baseline_shifts"]
+
+    def test_simulate_reports_shifts(self, trace_file, tmp_path, capsys):
+        out_path = tmp_path / "placement.json"
+        run_cli(capsys, "place", str(trace_file), "-o", str(out_path))
+        capsys.readouterr()
+        code, out, _err = run_cli(
+            capsys, "simulate", str(trace_file), str(out_path)
+        )
+        assert code == 0
+        assert "shifts/access" in out
+        assert "total energy" in out
+
+    def test_simulate_matches_place_shift_count(self, trace_file, tmp_path, capsys):
+        out_path = tmp_path / "placement.json"
+        run_cli(capsys, "place", str(trace_file), "-o", str(out_path))
+        capsys.readouterr()
+        payload = json.loads(out_path.read_text())
+        _code, out, _err = run_cli(
+            capsys, "simulate", str(trace_file), str(out_path)
+        )
+        assert f"{payload['total_shifts']}" in out
+
+    def test_geometry_flags(self, trace_file, tmp_path, capsys):
+        out_path = tmp_path / "placement.json"
+        code, _out, _err = run_cli(
+            capsys, "place", str(trace_file),
+            "--words-per-dbc", "4", "--ports", "2", "--num-dbcs", "5",
+            "--policy", "eager", "-o", str(out_path),
+        )
+        assert code == 0
+        payload = json.loads(out_path.read_text())
+        assert payload["config"]["words_per_dbc"] == 4
+        assert payload["config"]["num_dbcs"] == 5
+        assert len(payload["config"]["port_offsets"]) == 2
+        assert payload["config"]["port_policy"] == "eager"
+
+
+class TestExperimentsCommand:
+    def test_single_experiment(self, capsys):
+        code, out, _err = run_cli(capsys, "experiments", "e1")
+        assert code == 0
+        assert "Benchmark characteristics" in out
+
+    def test_markdown_report(self, tmp_path, capsys):
+        report = tmp_path / "report.md"
+        code, _out, err = run_cli(
+            capsys, "experiments", "e1", "-o", str(report)
+        )
+        assert code == 0
+        assert "wrote report" in err
+        text = report.read_text()
+        assert text.startswith("# repro — experiment report")
+        assert "## E1" in text
+
+
+class TestExportILP:
+    def test_lp_file_written(self, tmp_path, capsys):
+        trace_path = tmp_path / "t.jsonl"
+        run_cli(capsys, "trace", "generate", "markov",
+                "--items", "6", "--accesses", "80", "-o", str(trace_path))
+        capsys.readouterr()
+        lp_path = tmp_path / "model.lp"
+        code, _out, err = run_cli(
+            capsys, "place", str(trace_path), "--export-ilp", str(lp_path),
+            "-o", str(tmp_path / "p.json"),
+        )
+        assert code == 0
+        assert "wrote ILP" in err
+        text = lp_path.read_text()
+        assert "Minimize" in text and "Binary" in text and "End" in text
+
+
+class TestDseCommand:
+    def test_dse_prints_front(self, tmp_path, capsys):
+        path = tmp_path / "t.jsonl"
+        run_cli(capsys, "trace", "generate", "markov",
+                "--items", "16", "--accesses", "300", "-o", str(path))
+        capsys.readouterr()
+        code, out, _err = run_cli(
+            capsys, "dse", str(path), "--lengths", "8,16", "--port-counts", "1,2"
+        )
+        assert code == 0
+        assert "Pareto-efficient" in out
+        assert "knee" in out
+
+
+class TestSystemCommand:
+    def test_system_study(self, tmp_path, capsys):
+        path = tmp_path / "t.jsonl"
+        run_cli(capsys, "trace", "generate", "markov",
+                "--items", "30", "--accesses", "600", "-o", str(path))
+        capsys.readouterr()
+        code, out, _err = run_cli(
+            capsys, "system", str(path), "--capacity-fraction", "0.5"
+        )
+        assert code == 0
+        assert "all_dram" in out
+        assert "spm_shift_aware" in out
+        assert "speedup" in out

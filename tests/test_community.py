@@ -1,0 +1,96 @@
+"""Unit tests for the community-detection grouping comparator."""
+
+import pytest
+
+from repro.core.api import optimize_placement
+from repro.core.community import (
+    affinity_to_networkx,
+    community_groups,
+    community_placement,
+)
+from repro.core.problem import PlacementProblem
+from repro.dwm.config import DWMConfig
+from repro.errors import OptimizationError
+from repro.trace.model import AccessTrace
+from repro.trace.synthetic import markov_trace
+
+
+@pytest.fixture
+def clustered_problem():
+    """Two strongly-coupled item cliques with one weak cross link."""
+    sequence = []
+    for _ in range(20):
+        sequence.extend(["a1", "a2", "a3"])
+    for _ in range(20):
+        sequence.extend(["b1", "b2", "b3"])
+    sequence.extend(["a1", "b1"])  # weak bridge
+    trace = AccessTrace(sequence)
+    config = DWMConfig(words_per_dbc=4, num_dbcs=2, port_offsets=(0,))
+    return PlacementProblem(trace=trace, config=config)
+
+
+class TestAffinityToNetworkx:
+    def test_nodes_and_weights(self, clustered_problem):
+        graph = affinity_to_networkx(clustered_problem)
+        assert set(graph.nodes) == set(clustered_problem.items)
+        assert graph["a1"]["a2"]["weight"] >= 19
+
+    def test_no_self_loops(self, clustered_problem):
+        graph = affinity_to_networkx(clustered_problem)
+        assert all(u != v for u, v in graph.edges)
+
+
+class TestCommunityGroups:
+    def test_cliques_stay_together(self, clustered_problem):
+        groups = community_groups(clustered_problem)
+        group_of = {
+            item: index for index, group in enumerate(groups) for item in group
+        }
+        assert group_of["a1"] == group_of["a2"] == group_of["a3"]
+        assert group_of["b1"] == group_of["b2"] == group_of["b3"]
+        assert group_of["a1"] != group_of["b1"]
+
+    def test_respects_capacity(self):
+        trace = markov_trace(20, 300, locality=0.9, seed=3)
+        config = DWMConfig(words_per_dbc=4, num_dbcs=5, port_offsets=(0,))
+        problem = PlacementProblem(trace=trace, config=config)
+        groups = community_groups(problem)
+        assert all(len(group) <= 4 for group in groups)
+        placed = sorted(item for group in groups for item in group)
+        assert placed == sorted(problem.items)
+
+    def test_capacity_violation_raises(self, clustered_problem):
+        with pytest.raises(OptimizationError):
+            community_groups(clustered_problem, num_groups=1)
+
+
+class TestCommunityPlacement:
+    def test_valid_placement(self, clustered_problem):
+        placement = community_placement(clustered_problem)
+        placement.validate(
+            clustered_problem.config, clustered_problem.items
+        )
+
+    def test_registered_in_api(self):
+        trace = markov_trace(12, 250, locality=0.85, seed=4)
+        result = optimize_placement(trace, words_per_dbc=8, method="community")
+        assert result.method == "community"
+        assert result.total_shifts >= 0
+
+    def test_deterministic(self, clustered_problem):
+        assert community_placement(clustered_problem) == community_placement(
+            clustered_problem
+        )
+
+    def test_cluster_chains_ordered_contiguously(self, clustered_problem):
+        """Within each community the ordering phase makes the cycle short.
+
+        The a-clique cycles a1→a2→a3→a1; chain ordering must place the three
+        items on consecutive offsets so each cycle costs 1+1+2 shifts rather
+        than arbitrary jumps.
+        """
+        placement = community_placement(clustered_problem)
+        offsets = sorted(
+            placement[item].offset for item in ("a1", "a2", "a3")
+        )
+        assert offsets == list(range(offsets[0], offsets[0] + 3))

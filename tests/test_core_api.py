@@ -1,0 +1,85 @@
+"""Unit tests for the high-level optimization API."""
+
+import pytest
+
+from repro.core.api import ALGORITHMS, build_problem, compare_methods, optimize_placement
+from repro.dwm.config import DWMConfig
+from repro.errors import OptimizationError
+from repro.trace.synthetic import markov_trace, pingpong_trace
+
+
+@pytest.fixture
+def trace():
+    return markov_trace(12, 300, locality=0.8, seed=23)
+
+
+class TestBuildProblem:
+    def test_default_config_fits(self, trace):
+        problem = build_problem(trace)
+        assert problem.config.capacity_words >= trace.num_items
+
+    def test_explicit_config(self, trace):
+        config = DWMConfig(words_per_dbc=16, num_dbcs=1)
+        assert build_problem(trace, config).config is config
+
+    def test_geometry_kwargs(self, trace):
+        problem = build_problem(trace, words_per_dbc=4, num_ports=2)
+        assert problem.config.words_per_dbc == 4
+        assert problem.config.num_ports == 2
+
+
+class TestOptimizePlacement:
+    @pytest.mark.parametrize("method", sorted(set(ALGORITHMS) - {"exact"}))
+    def test_every_method_returns_valid_result(self, trace, method):
+        result = optimize_placement(trace, method=method)
+        result.placement.validate(build_problem(trace).config, trace.items)
+        assert result.total_shifts >= 0
+        assert result.method == method
+        assert result.details["num_accesses"] == len(trace)
+
+    def test_exact_small_instance(self):
+        trace = pingpong_trace(num_pairs=2, rounds=10)
+        config = DWMConfig(words_per_dbc=8, num_dbcs=1)
+        result = optimize_placement(trace, config, method="exact")
+        heuristic = optimize_placement(trace, config, method="heuristic")
+        assert result.total_shifts <= heuristic.total_shifts
+
+    def test_unknown_method_raises(self, trace):
+        with pytest.raises(OptimizationError, match="unknown method"):
+            optimize_placement(trace, method="magic")
+
+    def test_random_seed_passthrough(self, trace):
+        a = optimize_placement(trace, method="random", seed=1)
+        b = optimize_placement(trace, method="random", seed=1)
+        c = optimize_placement(trace, method="random", seed=2)
+        assert a.placement == b.placement
+        assert a.placement != c.placement
+
+    def test_runtime_recorded(self, trace):
+        result = optimize_placement(trace, method="heuristic")
+        assert result.runtime_seconds >= 0.0
+
+    def test_shift_count_matches_simulator(self, trace):
+        from repro.memory.spm import simulate_placement
+
+        result = optimize_placement(trace, method="heuristic")
+        config = build_problem(trace).config
+        sim = simulate_placement(trace, config, result.placement)
+        assert sim.shifts == result.total_shifts
+
+
+class TestCompareMethods:
+    def test_default_methods(self, trace):
+        results = compare_methods(trace)
+        assert set(results) == {"declaration", "random", "frequency", "heuristic"}
+
+    def test_heuristic_wins_on_locality(self, trace):
+        results = compare_methods(trace)
+        assert results["heuristic"].total_shifts <= min(
+            results["declaration"].total_shifts,
+            results["random"].total_shifts,
+        )
+
+    def test_custom_method_list(self, trace):
+        results = compare_methods(trace, methods=("declaration",))
+        assert list(results) == ["declaration"]

@@ -1,0 +1,113 @@
+"""Unit tests for repro.core.baselines."""
+
+import pytest
+
+from repro.core.baselines import (
+    declaration_order_placement,
+    frequency_placement,
+    random_placement,
+    random_placement_mean_shifts,
+)
+from repro.core.cost import evaluate_placement
+from repro.core.problem import PlacementProblem
+from repro.dwm.config import DWMConfig
+from repro.trace.model import AccessTrace
+
+
+@pytest.fixture
+def problem():
+    trace = AccessTrace(["a", "b", "c", "b", "b", "a", "d", "d"])
+    config = DWMConfig(words_per_dbc=4, num_dbcs=2, port_offsets=(0,))
+    return PlacementProblem(trace=trace, config=config)
+
+
+class TestDeclarationOrder:
+    def test_first_touch_sequential(self, problem):
+        placement = declaration_order_placement(problem)
+        assert placement["a"].dbc == 0 and placement["a"].offset == 0
+        assert placement["b"].offset == 1
+        assert placement["c"].offset == 2
+        assert placement["d"].offset == 3
+
+    def test_valid(self, problem):
+        placement = declaration_order_placement(problem)
+        placement.validate(problem.config, problem.items)
+
+
+class TestRandom:
+    def test_deterministic_per_seed(self, problem):
+        assert random_placement(problem, seed=3) == random_placement(problem, seed=3)
+
+    def test_seeds_differ(self, locality_problem):
+        assert random_placement(locality_problem, 0) != random_placement(
+            locality_problem, 1
+        )
+
+    def test_valid(self, problem):
+        random_placement(problem, 7).validate(problem.config, problem.items)
+
+    def test_mean_shifts_between_min_max(self, locality_problem):
+        seeds = range(4)
+        costs = [
+            evaluate_placement(
+                locality_problem, random_placement(locality_problem, s)
+            )
+            for s in seeds
+        ]
+        mean = random_placement_mean_shifts(locality_problem, list(seeds))
+        assert min(costs) <= mean <= max(costs)
+
+
+class TestFrequency:
+    def test_round_robin_hot_items_at_ports(self, problem):
+        # All 4 items fit one DBC (min_dbcs_needed == 1), so round-robin
+        # degenerates to proximity ranking on DBC 0 (port at offset 0).
+        placement = frequency_placement(problem, distribute="round_robin")
+        # b is hottest (3 accesses): gets the port-closest offset (0).
+        assert placement["b"].offset == 0
+        assert placement["b"].dbc == 0
+        # a (2, earlier first touch than d) gets the next-closest offset.
+        assert placement["a"].offset == 1
+        assert placement["d"].offset == 2
+        assert placement["c"].offset == 3
+
+    def test_round_robin_spreads_over_needed_dbcs(self):
+        trace = AccessTrace(["a", "b", "c", "b", "b", "a", "d", "d", "e", "f"])
+        config = DWMConfig(words_per_dbc=3, num_dbcs=4, port_offsets=(0,))
+        problem = PlacementProblem(trace=trace, config=config)
+        placement = frequency_placement(problem, distribute="round_robin")
+        # 6 items over DBCs of 3 words -> 2 DBCs; top-2 hot items get the
+        # port offset of their own DBC.
+        hot = problem.hot_order
+        assert placement[hot[0]] .offset == 0
+        assert placement[hot[1]].offset == 0
+        assert placement[hot[0]].dbc != placement[hot[1]].dbc
+
+    def test_packed_fills_dbc0_first(self, problem):
+        placement = frequency_placement(problem, distribute="packed")
+        hot = problem.hot_order
+        for item in hot[:4]:
+            assert placement[item].dbc == 0
+
+    def test_unknown_mode_raises(self, problem):
+        with pytest.raises(ValueError, match="distribute"):
+            frequency_placement(problem, distribute="diagonal")
+
+    def test_hotter_items_closer_to_port(self, locality_problem):
+        placement = frequency_placement(locality_problem, distribute="packed")
+        config = locality_problem.config
+        hot = locality_problem.hot_order
+
+        def port_distance(item):
+            slot = placement[item]
+            return min(abs(slot.offset - p) for p in config.port_offsets)
+
+        first_dbc_items = [i for i in hot if placement[i].dbc == 0]
+        distances = [port_distance(i) for i in first_dbc_items]
+        assert distances == sorted(distances)
+
+    def test_valid(self, locality_problem):
+        for mode in ("round_robin", "packed"):
+            frequency_placement(locality_problem, distribute=mode).validate(
+                locality_problem.config, locality_problem.items
+            )

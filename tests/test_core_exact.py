@@ -1,0 +1,121 @@
+"""Unit tests for repro.core.exact (DP and brute-force optimum)."""
+
+import itertools
+
+import pytest
+
+from repro.core.cost import evaluate_placement, linear_arrangement_cost
+from repro.core.exact import (
+    exact_single_dbc_placement,
+    exhaustive_placement,
+    minla_exact_order,
+    minla_optimal_cost,
+)
+from repro.core.heuristic import heuristic_placement
+from repro.core.problem import PlacementProblem
+from repro.dwm.config import DWMConfig
+from repro.errors import OptimizationError
+from repro.trace.model import AccessTrace
+from repro.trace.synthetic import markov_trace, zipf_trace
+
+
+class TestMinlaExactOrder:
+    def test_empty(self):
+        assert minla_exact_order([], {}) == []
+
+    def test_single_item(self):
+        assert minla_exact_order(["a"], {}) == ["a"]
+
+    def test_matches_brute_force_small(self):
+        items = ["a", "b", "c", "d", "e"]
+        affinity = {
+            ("a", "b"): 3, ("b", "c"): 1, ("a", "c"): 2,
+            ("c", "d"): 4, ("d", "e"): 1, ("a", "e"): 2,
+        }
+        best_cost = min(
+            linear_arrangement_cost(list(perm), affinity)
+            for perm in itertools.permutations(items)
+        )
+        dp_order = minla_exact_order(items, affinity)
+        assert linear_arrangement_cost(dp_order, affinity) == best_cost
+
+    def test_chain_graph_keeps_chain_order(self):
+        # Path graph a-b-c-d with heavy edges: optimal MinLA is the path.
+        affinity = {("a", "b"): 5, ("b", "c"): 5, ("c", "d"): 5}
+        order = minla_exact_order(["a", "b", "c", "d"], affinity)
+        cost = linear_arrangement_cost(order, affinity)
+        assert cost == 15  # every heavy edge adjacent
+
+    def test_size_guard(self):
+        items = [f"i{k}" for k in range(17)]
+        with pytest.raises(OptimizationError, match="at most"):
+            minla_exact_order(items, {})
+
+    def test_optimal_cost_wrapper(self):
+        affinity = {("a", "b"): 2}
+        assert minla_optimal_cost(["a", "b"], affinity) == 2
+
+
+class TestExactSingleDbc:
+    def test_not_worse_than_heuristic(self):
+        for seed in range(3):
+            trace = markov_trace(8, 120, locality=0.8, seed=seed)
+            config = DWMConfig(words_per_dbc=12, num_dbcs=1, port_offsets=(0,))
+            problem = PlacementProblem(trace=trace, config=config)
+            exact_cost = evaluate_placement(
+                problem, exact_single_dbc_placement(problem)
+            )
+            heuristic_cost = evaluate_placement(
+                problem, heuristic_placement(problem)
+            )
+            assert exact_cost <= heuristic_cost
+
+    def test_too_many_items_raises(self):
+        trace = markov_trace(10, 50, seed=1)
+        config = DWMConfig(words_per_dbc=8, num_dbcs=2)
+        problem = PlacementProblem(trace=trace, config=config)
+        with pytest.raises(OptimizationError):
+            exact_single_dbc_placement(problem)
+
+    def test_single_dbc_valid(self):
+        trace = zipf_trace(6, 80, seed=2)
+        config = DWMConfig(words_per_dbc=8, num_dbcs=1)
+        problem = PlacementProblem(trace=trace, config=config)
+        placement = exact_single_dbc_placement(problem)
+        placement.validate(config, problem.items)
+        assert placement.dbcs_used() == [0]
+
+
+class TestExhaustivePlacement:
+    def test_not_worse_than_heuristic_multi_dbc(self):
+        trace = markov_trace(5, 60, locality=0.7, seed=4)
+        config = DWMConfig(words_per_dbc=3, num_dbcs=2, port_offsets=(0,))
+        problem = PlacementProblem(trace=trace, config=config)
+        exact_cost = evaluate_placement(problem, exhaustive_placement(problem))
+        heuristic_cost = evaluate_placement(problem, heuristic_placement(problem))
+        assert exact_cost <= heuristic_cost
+
+    def test_alternating_pair_split_found(self):
+        trace = AccessTrace(["a", "b"] * 10)
+        config = DWMConfig(words_per_dbc=2, num_dbcs=2, port_offsets=(0,))
+        problem = PlacementProblem(trace=trace, config=config)
+        placement = exhaustive_placement(problem)
+        assert evaluate_placement(problem, placement) == 0
+        assert placement["a"].dbc != placement["b"].dbc
+
+    def test_size_guard(self):
+        trace = markov_trace(10, 30, seed=5)
+        config = DWMConfig(words_per_dbc=16, num_dbcs=1)
+        problem = PlacementProblem(trace=trace, config=config)
+        with pytest.raises(OptimizationError, match="at most"):
+            exhaustive_placement(problem, max_items=7)
+
+    def test_agrees_with_single_dbc_dp_when_forced(self):
+        # One DBC, port at 0: brute force over anchored orders must agree
+        # with the DP up to the brute-force candidate restriction.
+        trace = markov_trace(5, 80, locality=0.9, seed=6)
+        config = DWMConfig(words_per_dbc=5, num_dbcs=1, port_offsets=(0,))
+        problem = PlacementProblem(trace=trace, config=config)
+        brute = evaluate_placement(problem, exhaustive_placement(problem))
+        dp = evaluate_placement(problem, exact_single_dbc_placement(problem))
+        assert brute == dp

@@ -1,0 +1,251 @@
+"""Unit tests for the grouping and ordering phases of the heuristic."""
+
+import pytest
+
+from repro.core.grouping import (
+    greedy_min_affinity_grouping,
+    intra_group_affinity,
+    refine_grouping,
+)
+from repro.core.ordering import (
+    anchored_offsets,
+    greedy_chain_order,
+    order_groups,
+    proximity_offsets,
+    restricted_affinity,
+    restricted_sequence_cost,
+    weighted_median_index,
+)
+from repro.core.problem import PlacementProblem
+from repro.dwm.config import DWMConfig
+from repro.errors import CapacityError, OptimizationError
+from repro.trace.model import AccessTrace
+from repro.trace.synthetic import pingpong_trace
+
+
+class TestIntraGroupAffinity:
+    def test_counts_shared_group_pairs(self):
+        affinity = {("a", "b"): 3, ("b", "c"): 2, ("a", "c"): 1}
+        groups = [["a", "b"], ["c"]]
+        assert intra_group_affinity(groups, affinity) == 3
+
+    def test_empty_groups_zero(self):
+        assert intra_group_affinity([[], []], {("a", "b"): 1}) == 0
+
+
+class TestGreedyGrouping:
+    def make_problem(self, sequence, words=2, dbcs=3):
+        config = DWMConfig(words_per_dbc=words, num_dbcs=dbcs, port_offsets=(0,))
+        return PlacementProblem(trace=AccessTrace(sequence), config=config)
+
+    def test_respects_capacity(self):
+        problem = self.make_problem(["a", "b", "c", "d", "e", "f"], words=2)
+        groups = greedy_min_affinity_grouping(problem)
+        assert all(len(group) <= 2 for group in groups)
+        placed = [item for group in groups for item in group]
+        assert sorted(placed) == sorted(problem.items)
+
+    def test_splits_alternating_pair(self):
+        # a,b alternate heavily: keeping them apart zeroes the interference.
+        problem = self.make_problem(["a", "b"] * 20 + ["c", "d"], words=2)
+        groups = greedy_min_affinity_grouping(problem)
+        group_of = {
+            item: index for index, group in enumerate(groups) for item in group
+        }
+        assert group_of["a"] != group_of["b"]
+
+    def test_too_few_groups_raises(self):
+        problem = self.make_problem(["a", "b", "c"], words=1, dbcs=3)
+        with pytest.raises(CapacityError):
+            greedy_min_affinity_grouping(problem, num_groups=2)
+
+    def test_invalid_num_groups_raises(self):
+        problem = self.make_problem(["a", "b"])
+        with pytest.raises(OptimizationError):
+            greedy_min_affinity_grouping(problem, num_groups=0)
+
+
+class TestRefineGrouping:
+    def test_never_increases_intra_affinity(self, locality_problem):
+        groups = greedy_min_affinity_grouping(locality_problem)
+        before = intra_group_affinity(groups, locality_problem.affinity)
+        refined = refine_grouping(groups, locality_problem)
+        after = intra_group_affinity(refined, locality_problem.affinity)
+        assert after <= before
+
+    def test_preserves_items_and_capacity(self, locality_problem):
+        groups = greedy_min_affinity_grouping(locality_problem)
+        refined = refine_grouping(groups, locality_problem)
+        capacity = locality_problem.config.words_per_dbc
+        assert all(len(group) <= capacity for group in refined)
+        placed = sorted(item for group in refined for item in group)
+        assert placed == sorted(locality_problem.items)
+
+    def test_fixes_bad_initial_grouping(self):
+        trace = AccessTrace(["a", "b"] * 30 + ["c", "d"] * 30)
+        config = DWMConfig(words_per_dbc=2, num_dbcs=2, port_offsets=(0,))
+        problem = PlacementProblem(trace=trace, config=config)
+        bad = [["a", "b"], ["c", "d"]]  # both hot pairs share a DBC
+        refined = refine_grouping(bad, problem)
+        assert intra_group_affinity(refined, problem.affinity) < (
+            intra_group_affinity(bad, problem.affinity)
+        )
+
+
+class TestGreedyChainOrder:
+    def test_heavy_edges_adjacent(self):
+        affinity = {("a", "b"): 10, ("b", "c"): 8, ("a", "c"): 1}
+        order = greedy_chain_order(["a", "b", "c"], affinity)
+        positions = {item: i for i, item in enumerate(order)}
+        assert abs(positions["a"] - positions["b"]) == 1
+        assert abs(positions["b"] - positions["c"]) == 1
+
+    def test_all_items_kept(self):
+        affinity = {("a", "b"): 1}
+        order = greedy_chain_order(["a", "b", "c", "d"], affinity)
+        assert sorted(order) == ["a", "b", "c", "d"]
+
+    def test_no_affinity_keeps_input_order(self):
+        order = greedy_chain_order(["x", "y", "z"], {})
+        assert order == ["x", "y", "z"]
+
+    def test_cycle_avoided(self):
+        # Triangle: all three edges heavy; the chain can use only two.
+        affinity = {("a", "b"): 5, ("b", "c"): 5, ("a", "c"): 5}
+        order = greedy_chain_order(["a", "b", "c"], affinity)
+        assert len(order) == 3
+        assert len(set(order)) == 3
+
+    def test_duplicates_raise(self):
+        with pytest.raises(OptimizationError):
+            greedy_chain_order(["a", "a"], {})
+
+    def test_deterministic(self):
+        affinity = {("a", "b"): 2, ("c", "d"): 2, ("b", "c"): 1}
+        first = greedy_chain_order(["a", "b", "c", "d"], affinity)
+        second = greedy_chain_order(["a", "b", "c", "d"], affinity)
+        assert first == second
+
+
+class TestWeightedMedian:
+    def test_uniform_weights_pick_middle(self):
+        assert weighted_median_index(["a", "b", "c"], {"a": 1, "b": 1, "c": 1}) == 1
+
+    def test_heavy_head(self):
+        assert weighted_median_index(["a", "b", "c"], {"a": 10, "b": 1, "c": 1}) == 0
+
+    def test_heavy_tail(self):
+        assert weighted_median_index(["a", "b", "c"], {"a": 1, "b": 1, "c": 10}) == 2
+
+    def test_no_weights_middle(self):
+        assert weighted_median_index(["a", "b", "c", "d"], {}) == 2
+
+
+class TestAnchoredOffsets:
+    def test_median_lands_on_port(self):
+        config = DWMConfig(words_per_dbc=8, num_dbcs=1)  # port at 4
+        offsets = anchored_offsets(["a", "b", "c"], config, {"a": 1, "b": 1, "c": 1})
+        assert offsets["b"] == 4
+        assert offsets["a"] == 3
+        assert offsets["c"] == 5
+
+    def test_clamped_to_capacity(self):
+        config = DWMConfig(words_per_dbc=4, num_dbcs=1, port_offsets=(3,))
+        offsets = anchored_offsets(["a", "b", "c"], config, {})
+        assert min(offsets.values()) >= 0
+        assert max(offsets.values()) <= 3
+
+    def test_group_too_large_raises(self):
+        config = DWMConfig(words_per_dbc=2, num_dbcs=1)
+        with pytest.raises(OptimizationError):
+            anchored_offsets(["a", "b", "c"], config, {})
+
+    def test_contiguous(self):
+        config = DWMConfig(words_per_dbc=16, num_dbcs=1)
+        offsets = anchored_offsets(list("abcde"), config, {})
+        values = sorted(offsets.values())
+        assert values == list(range(values[0], values[0] + 5))
+
+
+class TestProximityOffsets:
+    def test_hottest_at_port(self):
+        config = DWMConfig(words_per_dbc=8, num_dbcs=1)  # port at 4
+        offsets = proximity_offsets(["a", "b"], config, {"a": 1, "b": 9})
+        assert offsets["b"] == 4
+
+    def test_all_offsets_distinct(self):
+        config = DWMConfig(words_per_dbc=8, num_dbcs=1)
+        offsets = proximity_offsets(list("abcdefgh"), config, {})
+        assert len(set(offsets.values())) == 8
+
+
+class TestRestrictedAffinity:
+    def test_restriction_creates_second_order_pairs(self):
+        trace = AccessTrace(["a", "x", "b", "x", "a"])
+        affinity = restricted_affinity(trace, ["a", "b"])
+        # Restricted sequence is a b a: pairs (a,b) twice.
+        assert affinity == {("a", "b"): 2}
+
+
+class TestRestrictedSequenceCost:
+    def test_matches_full_evaluator_single_group(self):
+        from repro.core.cost import evaluate_placement
+        from repro.core.placement import Placement
+
+        trace = AccessTrace(["a", "b", "c", "a", "b"])
+        config = DWMConfig(words_per_dbc=8, num_dbcs=1, port_offsets=(0,))
+        problem = PlacementProblem(trace=trace, config=config)
+        offsets = {"a": 0, "b": 3, "c": 5}
+        placement = Placement({item: (0, o) for item, o in offsets.items()})
+        assert restricted_sequence_cost(trace, offsets, config) == (
+            evaluate_placement(problem, placement)
+        )
+
+    def test_skips_foreign_items(self):
+        config = DWMConfig(words_per_dbc=8, num_dbcs=1, port_offsets=(0,))
+        trace = AccessTrace(["a", "zzz", "a"])
+        assert restricted_sequence_cost(trace, {"a": 2}, config) == 2
+
+
+class TestOrderGroups:
+    def test_pingpong_groups_get_zero_cost(self):
+        trace = pingpong_trace(num_pairs=2, rounds=10)
+        config = DWMConfig(words_per_dbc=4, num_dbcs=4, port_offsets=(0,))
+        problem = PlacementProblem(trace=trace, config=config)
+        # Put each item alone on a DBC: every access after the first is free.
+        groups = [[item] for item in problem.items]
+        placement = order_groups(problem, groups)
+        from repro.core.cost import evaluate_placement
+
+        assert evaluate_placement(problem, placement) == 0
+
+    def test_empty_groups_skipped(self, locality_problem):
+        items = list(locality_problem.items)
+        groups = [items[:8], [], items[8:]]
+        config = locality_problem.config.resized(num_dbcs=3)
+        problem = locality_problem.with_config(config)
+        placement = order_groups(problem, groups)
+        assert placement.dbcs_used() == [0, 2]
+
+    def test_too_many_groups_raises(self, locality_problem):
+        groups = [[item] for item in locality_problem.items]
+        too_many = groups + [["ghost"]] * locality_problem.config.num_dbcs
+        with pytest.raises(OptimizationError):
+            order_groups(locality_problem, too_many)
+
+    def test_picks_best_ordering_candidate(self):
+        # Star pattern: one hot hub, many satellites -> proximity wins and
+        # order_groups must not do worse than the explicit star layout.
+        sequence = []
+        for satellite in "bcdefg":
+            sequence.extend(["hub", satellite] * 4)
+        trace = AccessTrace(sequence)
+        config = DWMConfig(words_per_dbc=8, num_dbcs=1)
+        problem = PlacementProblem(trace=trace, config=config)
+        placement = order_groups(problem, [list(problem.items)])
+        from repro.core.cost import evaluate_placement
+
+        frequencies = dict(trace.frequencies())
+        star = proximity_offsets(list(problem.items), config, frequencies)
+        star_cost = restricted_sequence_cost(trace, star, config)
+        assert evaluate_placement(problem, placement) <= star_cost

@@ -1,0 +1,158 @@
+"""Unit tests for repro.core.placement."""
+
+import pytest
+
+from repro.core.placement import Placement, Slot
+from repro.dwm.config import DWMConfig
+from repro.errors import CapacityError, PlacementError
+
+
+class TestSlot:
+    def test_ordering(self):
+        assert Slot(0, 1) < Slot(0, 2) < Slot(1, 0)
+
+    def test_negative_dbc_raises(self):
+        with pytest.raises(PlacementError):
+            Slot(-1, 0)
+
+    def test_negative_offset_raises(self):
+        with pytest.raises(PlacementError):
+            Slot(0, -1)
+
+    def test_hashable(self):
+        assert hash(Slot(1, 2)) == hash(Slot(1, 2))
+
+
+class TestPlacementConstruction:
+    def test_from_tuples(self):
+        placement = Placement({"a": (0, 1), "b": (0, 2)})
+        assert placement["a"] == Slot(0, 1)
+
+    def test_overlapping_slots_raise(self):
+        with pytest.raises(PlacementError, match="more than one item"):
+            Placement({"a": (0, 1), "b": (0, 1)})
+
+    def test_mapping_protocol(self):
+        placement = Placement({"a": (0, 0), "b": (1, 0)})
+        assert len(placement) == 2
+        assert "a" in placement
+        assert set(placement) == {"a", "b"}
+
+    def test_missing_item_raises(self):
+        placement = Placement({"a": (0, 0)})
+        with pytest.raises(PlacementError, match="no placement"):
+            placement["zzz"]
+
+    def test_equality(self):
+        assert Placement({"a": (0, 0)}) == Placement({"a": Slot(0, 0)})
+        assert Placement({"a": (0, 0)}) != Placement({"a": (0, 1)})
+
+    def test_as_dict_roundtrip(self):
+        original = Placement({"a": (0, 3), "b": (2, 1)})
+        assert Placement(original.as_dict()) == original
+
+
+class TestValidation:
+    def test_valid_placement_passes(self, small_config):
+        placement = Placement({"a": (0, 0), "b": (3, 7)})
+        placement.validate(small_config, ["a", "b"])
+
+    def test_dbc_out_of_range(self, small_config):
+        placement = Placement({"a": (4, 0)})
+        with pytest.raises(CapacityError):
+            placement.validate(small_config)
+
+    def test_offset_out_of_range(self, small_config):
+        placement = Placement({"a": (0, 8)})
+        with pytest.raises(PlacementError):
+            placement.validate(small_config)
+
+    def test_missing_required_items(self, small_config):
+        placement = Placement({"a": (0, 0)})
+        with pytest.raises(PlacementError, match="lack a placement"):
+            placement.validate(small_config, ["a", "b"])
+
+
+class TestStructure:
+    def test_dbcs_used(self):
+        placement = Placement({"a": (2, 0), "b": (0, 0), "c": (2, 1)})
+        assert placement.dbcs_used() == [0, 2]
+
+    def test_dbc_contents(self):
+        placement = Placement({"a": (1, 3), "b": (1, 0), "c": (0, 0)})
+        assert placement.dbc_contents(1) == {3: "a", 0: "b"}
+
+    def test_groups_ordered_by_offset(self):
+        placement = Placement({"a": (0, 2), "b": (0, 0), "c": (1, 5)})
+        assert placement.groups() == {0: ["b", "a"], 1: ["c"]}
+
+
+class TestFromOrder:
+    def test_fills_dbcs_sequentially(self, small_config):
+        items = [f"i{k}" for k in range(10)]
+        placement = Placement.from_order(items, small_config)
+        assert placement["i0"] == Slot(0, 0)
+        assert placement["i7"] == Slot(0, 7)
+        assert placement["i8"] == Slot(1, 0)
+
+    def test_duplicates_raise(self, small_config):
+        with pytest.raises(PlacementError, match="duplicates"):
+            Placement.from_order(["a", "a"], small_config)
+
+    def test_over_capacity_raises(self, small_config):
+        items = [f"i{k}" for k in range(33)]
+        with pytest.raises(CapacityError):
+            Placement.from_order(items, small_config)
+
+
+class TestFromGroups:
+    def test_groups_land_on_their_dbcs(self, small_config):
+        placement = Placement.from_groups([["a", "b"], ["c"]], small_config)
+        assert placement["a"].dbc == 0
+        assert placement["c"].dbc == 1
+
+    def test_default_anchor_centres_on_port(self, small_config):
+        # Port at offset 4, group of 2 -> starts at 4 - 1 = 3.
+        placement = Placement.from_groups([["a", "b"]], small_config)
+        assert placement["a"].offset == 3
+        assert placement["b"].offset == 4
+
+    def test_explicit_anchor(self, small_config):
+        placement = Placement.from_groups(
+            {0: ["a", "b"]}, small_config, anchor_offsets={0: 6}
+        )
+        assert placement["a"].offset == 6
+
+    def test_anchor_overflow_raises(self, small_config):
+        with pytest.raises(PlacementError):
+            Placement.from_groups(
+                {0: ["a", "b"]}, small_config, anchor_offsets={0: 7}
+            )
+
+    def test_group_over_capacity_raises(self, small_config):
+        with pytest.raises(CapacityError):
+            Placement.from_groups([[f"i{k}" for k in range(9)]], small_config)
+
+    def test_item_in_two_groups_raises(self, small_config):
+        with pytest.raises(PlacementError, match="two groups"):
+            Placement.from_groups([["a"], ["a"]], small_config)
+
+
+class TestEdits:
+    def test_with_swapped(self):
+        placement = Placement({"a": (0, 0), "b": (1, 1)})
+        swapped = placement.with_swapped("a", "b")
+        assert swapped["a"] == Slot(1, 1)
+        assert swapped["b"] == Slot(0, 0)
+        # Original untouched.
+        assert placement["a"] == Slot(0, 0)
+
+    def test_with_moved_to_free_slot(self):
+        placement = Placement({"a": (0, 0)})
+        moved = placement.with_moved("a", (0, 5))
+        assert moved["a"] == Slot(0, 5)
+
+    def test_with_moved_to_occupied_slot_raises(self):
+        placement = Placement({"a": (0, 0), "b": (0, 1)})
+        with pytest.raises(PlacementError):
+            placement.with_moved("a", (0, 1))

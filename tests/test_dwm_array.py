@@ -1,0 +1,164 @@
+"""Unit tests for repro.dwm.array (DWM arrays) and repro.dwm.energy."""
+
+import pytest
+
+from repro.dwm.array import ArrayStats, DWMArray, DWMArrayModel
+from repro.dwm.config import DWMConfig
+from repro.dwm.energy import (
+    DWMEnergyModel,
+    DWMEnergyParams,
+    SRAMEnergyModel,
+    SRAMEnergyParams,
+)
+from repro.errors import ConfigError, SimulationError
+
+
+@pytest.fixture
+def config():
+    return DWMConfig(words_per_dbc=8, num_dbcs=3, port_offsets=(0,), bits_per_word=8)
+
+
+class TestDWMArrayModel:
+    def test_dbcs_are_independent(self, config):
+        array = DWMArrayModel(config)
+        array.access(0, 5)
+        # DBC 1's head is untouched: accessing its offset 0 is free.
+        assert array.access(1, 0).shifts == 0
+        # DBC 0 remembers its head.
+        assert array.access(0, 5).shifts == 0
+
+    def test_head_query(self, config):
+        array = DWMArrayModel(config)
+        array.access(2, 4)
+        assert array.head(2) == 4
+        assert array.head(0) == 0
+
+    def test_stats_aggregate(self, config):
+        array = DWMArrayModel(config)
+        array.access(0, 3)
+        array.access(1, 2, is_write=True)
+        stats = array.stats()
+        assert stats.shifts == 5
+        assert stats.reads == 1
+        assert stats.writes == 1
+        assert stats.per_dbc_shifts == [3, 2, 0]
+
+    def test_invalid_dbc_raises(self, config):
+        array = DWMArrayModel(config)
+        with pytest.raises(SimulationError):
+            array.access(3, 0)
+
+    def test_reset(self, config):
+        array = DWMArrayModel(config)
+        array.access(0, 7)
+        array.reset()
+        assert array.stats().shifts == 0
+        assert array.access(0, 7).shifts == 7
+
+
+class TestDWMArrayFunctional:
+    def test_write_read_across_dbcs(self, config):
+        array = DWMArray(config)
+        array.write(0, 1, 0x11)
+        array.write(2, 5, 0x22)
+        assert array.read(0, 1).value == 0x11
+        assert array.read(2, 5).value == 0x22
+
+    def test_peek_does_not_cost(self, config):
+        array = DWMArray(config)
+        array.write(1, 3, 7)
+        before = array.stats().shifts
+        assert array.peek(1, 3) == 7
+        assert array.stats().shifts == before
+
+    def test_stats_shape(self, config):
+        array = DWMArray(config)
+        array.write(0, 2, 1)
+        stats = array.stats()
+        assert len(stats.per_dbc_shifts) == 3
+        assert stats.writes == 1
+
+    def test_invalid_dbc_raises(self, config):
+        array = DWMArray(config)
+        with pytest.raises(SimulationError):
+            array.read(5, 0)
+
+
+class TestArrayStats:
+    def test_accesses_property(self):
+        stats = ArrayStats(shifts=10, reads=3, writes=2)
+        assert stats.accesses == 5
+
+    def test_shifts_per_access(self):
+        stats = ArrayStats(shifts=10, reads=4, writes=1)
+        assert stats.shifts_per_access == 2.0
+
+    def test_shifts_per_access_empty(self):
+        assert ArrayStats().shifts_per_access == 0.0
+
+
+class TestDWMEnergyModel:
+    def test_linear_in_counts(self):
+        model = DWMEnergyModel(
+            DWMEnergyParams(
+                shift_energy_pj=1.0,
+                read_energy_pj=2.0,
+                write_energy_pj=3.0,
+                shift_latency_ns=1.0,
+                read_latency_ns=1.0,
+                write_latency_ns=1.0,
+                leakage_mw=0.0,
+            )
+        )
+        breakdown = model.evaluate(shifts=10, reads=5, writes=2)
+        assert breakdown.shift_energy_pj == 10.0
+        assert breakdown.read_energy_pj == 10.0
+        assert breakdown.write_energy_pj == 6.0
+        assert breakdown.latency_ns == 17.0
+
+    def test_shift_energy_share(self):
+        model = DWMEnergyModel()
+        breakdown = model.evaluate(shifts=100, reads=10, writes=0)
+        assert 0.0 < breakdown.shift_energy_share < 1.0
+
+    def test_zero_run_has_zero_shares(self):
+        breakdown = DWMEnergyModel().evaluate(0, 0, 0)
+        assert breakdown.shift_energy_share == 0.0
+        assert breakdown.shift_latency_share == 0.0
+        assert breakdown.total_energy_pj == 0.0
+
+    def test_leakage_scales_with_latency(self):
+        params = DWMEnergyParams(leakage_mw=1.0)
+        model = DWMEnergyModel(params)
+        short = model.evaluate(1, 1, 0)
+        long = model.evaluate(100, 1, 0)
+        assert long.leakage_energy_pj > short.leakage_energy_pj
+
+    def test_negative_param_raises(self):
+        with pytest.raises(ConfigError):
+            DWMEnergyParams(shift_energy_pj=-1.0)
+
+    def test_total_is_dynamic_plus_leakage(self):
+        breakdown = DWMEnergyModel().evaluate(10, 10, 10)
+        assert breakdown.total_energy_pj == pytest.approx(
+            breakdown.dynamic_energy_pj + breakdown.leakage_energy_pj
+        )
+
+
+class TestSRAMEnergyModel:
+    def test_no_shift_component(self):
+        breakdown = SRAMEnergyModel().evaluate(reads=10, writes=5)
+        assert breakdown.shift_energy_pj == 0.0
+        assert breakdown.shift_latency_share == 0.0
+
+    def test_sram_leaks_more_than_dwm(self):
+        assert SRAMEnergyParams().leakage_mw > 2 * DWMEnergyParams().leakage_mw
+
+    def test_negative_param_raises(self):
+        with pytest.raises(ConfigError):
+            SRAMEnergyParams(read_latency_ns=-0.1)
+
+    def test_latency_linear(self):
+        params = SRAMEnergyParams(read_latency_ns=1.0, write_latency_ns=2.0)
+        breakdown = SRAMEnergyModel(params).evaluate(reads=3, writes=4)
+        assert breakdown.latency_ns == 11.0

@@ -1,0 +1,196 @@
+"""Unit tests for repro.dwm.dbc (head model and full DBC)."""
+
+import pytest
+
+from repro.dwm.config import DWMConfig, PortPolicy
+from repro.dwm.dbc import DBC, HeadModel, port_access_cost
+from repro.errors import ConfigError, SimulationError
+
+
+class TestPortAccessCost:
+    def test_from_rest_single_port(self):
+        # Port at 0, head at rest: accessing offset 5 costs 5.
+        assert port_access_cost(5, 0, (0,)) == (5, 0, 5)
+
+    def test_sequential_cost_is_delta(self):
+        cost, _port, head = port_access_cost(5, 0, (0,))
+        cost2, _port, head2 = port_access_cost(7, head, (0,))
+        assert cost2 == 2
+        assert head2 == 7
+
+    def test_backward_shift(self):
+        cost, _port, head = port_access_cost(2, 6, (0,))
+        assert cost == 4
+        assert head == 2
+
+    def test_multi_port_picks_cheapest(self):
+        # Ports at 0 and 10; head at rest; offset 9 is 1 away via port 10.
+        cost, port, head = port_access_cost(9, 0, (0, 10))
+        assert cost == 1
+        assert port == 10
+        assert head == -1
+
+    def test_multi_port_tie_breaks_low_port(self):
+        # Offset 5 with ports 0 and 10, head 0: costs 5 via either.
+        cost, port, _head = port_access_cost(5, 0, (0, 10))
+        assert cost == 5
+        assert port == 0
+
+
+class TestHeadModelLazy:
+    def make(self, words=8, ports=(0,)):
+        config = DWMConfig(words_per_dbc=words, port_offsets=ports)
+        return HeadModel(config)
+
+    def test_first_access_cost(self):
+        model = self.make()
+        assert model.access(5).shifts == 5
+
+    def test_head_persists(self):
+        model = self.make()
+        model.access(5)
+        assert model.access(5).shifts == 0
+
+    def test_sequential_walk_costs_one_each(self):
+        model = self.make()
+        model.access(0)
+        costs = [model.access(offset).shifts for offset in range(1, 8)]
+        assert costs == [1] * 7
+
+    def test_total_shifts_accumulate(self):
+        model = self.make()
+        model.access(3)
+        model.access(0)
+        assert model.shifts == 6
+
+    def test_reads_writes_counted(self):
+        model = self.make()
+        model.access(0, is_write=False)
+        model.access(1, is_write=True)
+        assert model.reads == 1
+        assert model.writes == 1
+
+    def test_out_of_range_offset_raises(self):
+        model = self.make()
+        with pytest.raises(SimulationError):
+            model.access(8)
+
+    def test_reset_restores_rest(self):
+        model = self.make()
+        model.access(5)
+        model.reset()
+        assert model.head == 0
+        assert model.shifts == 0
+        assert model.access(5).shifts == 5
+
+    def test_max_abs_head_tracked(self):
+        model = self.make()
+        model.access(7)
+        model.access(0)
+        assert model.max_abs_head == 7
+
+    def test_centred_port_costs(self):
+        model = self.make(words=8, ports=(4,))
+        assert model.access(4).shifts == 0
+        assert model.access(0).shifts == 4
+
+
+class TestHeadModelEager:
+    def test_eager_returns_to_rest(self):
+        config = DWMConfig(
+            words_per_dbc=8, port_offsets=(0,), port_policy=PortPolicy.EAGER
+        )
+        model = HeadModel(config)
+        assert model.access(5).shifts == 10  # 5 out + 5 back
+        assert model.head == 0
+        assert model.access(5).shifts == 10  # no state retained
+
+    def test_eager_port_offset_access_free(self):
+        config = DWMConfig(
+            words_per_dbc=8, port_offsets=(3,), port_policy=PortPolicy.EAGER
+        )
+        model = HeadModel(config)
+        assert model.access(3).shifts == 0
+
+
+class TestDBCFunctional:
+    def make(self, words=8, ports=(0,), bits=8, policy=PortPolicy.LAZY):
+        config = DWMConfig(
+            words_per_dbc=words,
+            port_offsets=ports,
+            bits_per_word=bits,
+            port_policy=policy,
+        )
+        return DBC(config)
+
+    def test_write_read_roundtrip(self):
+        dbc = self.make()
+        dbc.write(3, 0xAB)
+        assert dbc.read(3).value == 0xAB
+
+    def test_value_masked_to_word_width(self):
+        dbc = self.make(bits=4)
+        dbc.write(0, 0x1F)
+        assert dbc.read(0).value == 0xF
+
+    def test_shift_costs_match_head_model(self):
+        dbc = self.make()
+        config = DWMConfig(words_per_dbc=8, port_offsets=(0,), bits_per_word=8)
+        model = HeadModel(config)
+        pattern = [5, 2, 7, 7, 0, 3]
+        for offset in pattern:
+            assert dbc.read(offset).shifts == model.access(offset).shifts
+
+    def test_values_survive_shifting(self):
+        dbc = self.make()
+        for offset in range(8):
+            dbc.write(offset, offset + 1)
+        # Access far ends repeatedly, then verify all values.
+        dbc.read(0)
+        dbc.read(7)
+        dbc.read(0)
+        for offset in range(8):
+            assert dbc.peek(offset) == offset + 1
+
+    def test_tapes_stay_in_lockstep(self):
+        dbc = self.make()
+        dbc.write(5, 0x5A)
+        dbc.read(1)
+        assert dbc.tape_shift_consistency()
+
+    def test_load_words_then_read(self):
+        dbc = self.make()
+        dbc.load_words([10, 20, 30])
+        assert dbc.read(1).value == 20
+        assert dbc.read(2).value == 30
+
+    def test_load_words_too_many_raises(self):
+        dbc = self.make(words=2)
+        with pytest.raises(SimulationError):
+            dbc.load_words([1, 2, 3])
+
+    def test_eager_policy_roundtrip(self):
+        dbc = self.make(policy=PortPolicy.EAGER)
+        dbc.write(4, 0x3C)
+        result = dbc.read(4)
+        assert result.value == 0x3C
+        assert dbc.head == 0
+
+    def test_multiport_uses_cheapest(self):
+        dbc = self.make(words=16, ports=(2, 12))
+        dbc.write(11, 0x42)
+        result = dbc.read(11)
+        assert result.value == 0x42
+
+    def test_insufficient_overhead_raises(self):
+        config = DWMConfig(words_per_dbc=8, overhead_domains=2)
+        with pytest.raises(ConfigError, match="overhead_domains"):
+            DBC(config)
+
+    def test_counters_mirror_model(self):
+        dbc = self.make()
+        dbc.write(3, 1)
+        dbc.read(3)
+        assert dbc.reads == 1
+        assert dbc.writes == 1
+        assert dbc.shifts == 3

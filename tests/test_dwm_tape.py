@@ -1,0 +1,158 @@
+"""Unit tests for repro.dwm.tape (domain-level nanowire model)."""
+
+import pytest
+
+from repro.dwm.tape import Tape, TapeStats
+from repro.errors import ConfigError, SimulationError
+
+
+class TestTapeConstruction:
+    def test_defaults(self):
+        tape = Tape(8)
+        assert tape.data_len == 8
+        assert tape.overhead == 7
+        assert tape.shift_state == 0
+
+    def test_explicit_overhead(self):
+        tape = Tape(8, overhead=3)
+        assert tape.overhead == 3
+
+    def test_zero_length_raises(self):
+        with pytest.raises(ConfigError):
+            Tape(0)
+
+    def test_negative_overhead_raises(self):
+        with pytest.raises(ConfigError):
+            Tape(4, overhead=-1)
+
+    def test_initial_bits_zero(self):
+        tape = Tape(4)
+        assert [tape.peek(i) for i in range(4)] == [0, 0, 0, 0]
+
+
+class TestShift:
+    def test_shift_updates_state(self):
+        tape = Tape(8)
+        tape.shift(3)
+        assert tape.shift_state == 3
+
+    def test_shift_returns_magnitude(self):
+        tape = Tape(8)
+        assert tape.shift(-4) == 4
+
+    def test_shift_accumulates(self):
+        tape = Tape(8)
+        tape.shift(3)
+        tape.shift(-5)
+        assert tape.shift_state == -2
+
+    def test_shift_beyond_overhead_raises(self):
+        tape = Tape(8, overhead=2)
+        with pytest.raises(SimulationError, match="exceeds overhead"):
+            tape.shift(3)
+
+    def test_shift_to_exact_overhead_allowed(self):
+        tape = Tape(8, overhead=2)
+        tape.shift(2)
+        assert tape.shift_state == 2
+
+    def test_shift_stats_counted(self):
+        tape = Tape(8)
+        tape.shift(3)
+        tape.shift(-1)
+        assert tape.stats.shifts == 4
+        assert tape.stats.shift_ops == 2
+
+    def test_zero_shift_is_free(self):
+        tape = Tape(8)
+        tape.shift(0)
+        assert tape.stats.shifts == 0
+        assert tape.stats.shift_ops == 0
+
+
+class TestReadWrite:
+    def test_write_then_read_at_port(self):
+        tape = Tape(8)
+        tape.write(3, 1)
+        assert tape.read(3) == 1
+
+    def test_read_counts_stat(self):
+        tape = Tape(8)
+        tape.read(0)
+        assert tape.stats.reads == 1
+
+    def test_write_counts_stat(self):
+        tape = Tape(8)
+        tape.write(0, 1)
+        assert tape.stats.writes == 1
+
+    def test_write_invalid_bit_raises(self):
+        tape = Tape(8)
+        with pytest.raises(SimulationError, match="bit value"):
+            tape.write(0, 2)
+
+    def test_aligned_index_follows_shift(self):
+        tape = Tape(8)
+        tape.write(5, 1)  # logical domain 5 holds a 1
+        tape.shift(2)  # domain 5 now under physical position 7
+        assert tape.aligned_index(7) == 5
+        assert tape.read(7) == 1
+
+    def test_read_non_data_domain_raises(self):
+        tape = Tape(4, overhead=4)
+        tape.shift(4)
+        # Physical position 0 now aligns with logical index -4.
+        with pytest.raises(SimulationError, match="non-data domain"):
+            tape.read(0)
+
+
+class TestShiftToAlign:
+    def test_align_moves_correct_amount(self):
+        tape = Tape(8)
+        cost = tape.shift_to_align(2, 5)
+        assert cost == 3
+        assert tape.aligned_index(5) == 2
+
+    def test_align_is_idempotent(self):
+        tape = Tape(8)
+        tape.shift_to_align(2, 5)
+        assert tape.shift_to_align(2, 5) == 0
+
+    def test_align_out_of_range_raises(self):
+        tape = Tape(4)
+        with pytest.raises(SimulationError):
+            tape.shift_to_align(4, 0)
+
+
+class TestLoadAndPeek:
+    def test_load_sets_bits(self):
+        tape = Tape(4)
+        tape.load([1, 0, 1, 1])
+        assert [tape.peek(i) for i in range(4)] == [1, 0, 1, 1]
+
+    def test_load_wrong_length_raises(self):
+        tape = Tape(4)
+        with pytest.raises(SimulationError, match="expected 4 bits"):
+            tape.load([1, 0])
+
+    def test_load_invalid_bit_raises(self):
+        tape = Tape(2)
+        with pytest.raises(SimulationError):
+            tape.load([1, 5])
+
+    def test_load_charges_no_operations(self):
+        tape = Tape(4)
+        tape.load([1, 1, 0, 0])
+        assert tape.stats.shifts == 0
+        assert tape.stats.writes == 0
+
+
+class TestTapeStats:
+    def test_merged_sums_fields(self):
+        a = TapeStats(shifts=3, shift_ops=1, reads=2, writes=4)
+        b = TapeStats(shifts=1, shift_ops=1, reads=0, writes=1)
+        merged = a.merged(b)
+        assert merged.shifts == 4
+        assert merged.shift_ops == 2
+        assert merged.reads == 2
+        assert merged.writes == 5

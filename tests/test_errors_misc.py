@@ -1,0 +1,85 @@
+"""Tests for the exception hierarchy and remaining small surfaces."""
+
+import pytest
+
+from repro.errors import (
+    CapacityError,
+    ConfigError,
+    OptimizationError,
+    PlacementError,
+    ReproError,
+    SimulationError,
+    TraceError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize("exc", [
+        ConfigError, TraceError, PlacementError, CapacityError,
+        SimulationError, OptimizationError,
+    ])
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+
+    def test_value_error_compatibility(self):
+        # Config/trace/placement problems double as ValueErrors so generic
+        # callers can catch them idiomatically.
+        assert issubclass(ConfigError, ValueError)
+        assert issubclass(TraceError, ValueError)
+        assert issubclass(PlacementError, ValueError)
+
+    def test_runtime_error_compatibility(self):
+        assert issubclass(SimulationError, RuntimeError)
+        assert issubclass(OptimizationError, RuntimeError)
+
+    def test_capacity_is_placement_error(self):
+        assert issubclass(CapacityError, PlacementError)
+
+    def test_single_catch_at_api_boundary(self):
+        from repro.core.api import optimize_placement
+        from repro.trace.model import AccessTrace
+
+        with pytest.raises(ReproError):
+            optimize_placement(AccessTrace(["a"]), method="nope")
+
+
+class TestExperimentsMain:
+    def test_main_prints_single_experiment(self, capsys):
+        from repro.analysis.experiments import main
+
+        assert main(["e1"]) == 0
+        out = capsys.readouterr().out
+        assert "Benchmark characteristics" in out
+
+    def test_main_unknown_id_raises(self):
+        from repro.analysis.experiments import main
+
+        with pytest.raises(KeyError):
+            main(["e999"])
+
+
+class TestPackageSurface:
+    def test_version_exposed(self):
+        import repro
+
+        assert repro.__version__
+
+    def test_all_exports_resolve(self):
+        import repro
+
+        for name in repro.__all__:
+            assert getattr(repro, name, None) is not None, name
+
+    def test_subpackage_exports_resolve(self):
+        import repro.analysis
+        import repro.core
+        import repro.dwm
+        import repro.memory
+        import repro.trace
+
+        for module in (repro.core, repro.dwm, repro.memory, repro.trace,
+                       repro.analysis):
+            for name in module.__all__:
+                assert getattr(module, name, None) is not None, (
+                    module.__name__, name
+                )

@@ -1,0 +1,113 @@
+"""Unit tests for the full-system model (repro.memory.hierarchy)."""
+
+import pytest
+
+from repro.dwm.config import DWMConfig
+from repro.errors import ConfigError
+from repro.memory.hierarchy import (
+    SystemModel,
+    SystemParams,
+    SystemResult,
+    system_comparison,
+)
+from repro.memory.timing import TimingParams
+from repro.trace.model import AccessTrace
+from repro.trace.kernels import fir_trace
+from repro.trace.synthetic import markov_trace
+
+
+class TestSystemParams:
+    def test_defaults_valid(self):
+        SystemParams()
+
+    def test_invalid_dram_cycles(self):
+        with pytest.raises(ConfigError):
+            SystemParams(dram_cycles=0)
+
+    def test_invalid_queue_depth(self):
+        with pytest.raises(ConfigError):
+            SystemParams(dram_queue_depth=0)
+
+
+class TestAllDram:
+    def test_blocking_reads_serialise_at_dram_latency(self):
+        trace = AccessTrace(["a", "b", "c"])  # all reads, all misses
+        config = DWMConfig(words_per_dbc=8, num_dbcs=1)
+        params = SystemParams(dram_cycles=50)
+        result = SystemModel(config, None, params, "all_dram").run(trace)
+        assert result.dram_accesses == 3
+        assert result.spm_accesses == 0
+        # Each read blocks the core: 3 sequential 50-cycle accesses.
+        assert result.total_cycles >= 150
+
+    def test_write_pipeline_overlaps(self):
+        trace = AccessTrace([("a", "W"), ("b", "W"), ("c", "W")])
+        config = DWMConfig(words_per_dbc=8, num_dbcs=1)
+        params = SystemParams(dram_cycles=50, dram_queue_depth=4)
+        result = SystemModel(config, None, params, "all_dram").run(trace)
+        # Stores don't block the core; the channel pipelines them.
+        assert result.total_cycles < 150
+
+
+class TestSystemComparison:
+    @pytest.fixture(scope="class")
+    def results(self):
+        trace = fir_trace(taps=8, samples=24)
+        capacity = max(16, int(trace.num_items * 0.6))
+        config = DWMConfig(
+            words_per_dbc=16, num_dbcs=max(1, capacity // 16), port_offsets=(8,)
+        )
+        return system_comparison(trace, config)
+
+    def test_three_configurations(self, results):
+        assert set(results) == {"all_dram", "spm_oblivious", "spm_shift_aware"}
+
+    def test_spm_beats_all_dram(self, results):
+        assert results["spm_oblivious"].total_cycles < (
+            results["all_dram"].total_cycles
+        )
+
+    def test_shift_aware_not_worse_than_oblivious(self, results):
+        assert results["spm_shift_aware"].total_cycles <= (
+            results["spm_oblivious"].total_cycles
+        )
+
+    def test_access_accounting(self, results):
+        trace_length = results["all_dram"].accesses
+        for result in results.values():
+            assert result.accesses == trace_length
+        assert results["all_dram"].spm_accesses == 0
+        assert results["spm_oblivious"].spm_accesses > 0
+
+    def test_shift_cycles_only_in_spm_configs(self, results):
+        assert results["all_dram"].spm_shift_cycles == 0
+        assert results["spm_shift_aware"].spm_shift_cycles > 0
+
+
+class TestSystemResult:
+    def test_properties(self):
+        result = SystemResult(
+            total_cycles=100, spm_accesses=8, dram_accesses=2,
+            spm_shift_cycles=30, configuration="x",
+        )
+        assert result.accesses == 10
+        assert result.cycles_per_access == 10.0
+
+    def test_speedup(self):
+        fast = SystemResult(50, 10, 0, 0, "f")
+        slow = SystemResult(200, 10, 0, 0, "s")
+        assert fast.speedup_over(slow) == 4.0
+
+    def test_empty(self):
+        empty = SystemResult(0, 0, 0, 0, "e")
+        assert empty.cycles_per_access == 0.0
+
+
+class TestDeterminism:
+    def test_repeat_runs_identical(self):
+        trace = markov_trace(20, 400, seed=81)
+        config = DWMConfig(words_per_dbc=8, num_dbcs=2)
+        first = system_comparison(trace, config)
+        second = system_comparison(trace, config)
+        for key in first:
+            assert first[key] == second[key]

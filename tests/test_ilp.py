@@ -1,0 +1,141 @@
+"""Unit tests for the ILP formulation (repro.core.ilp)."""
+
+import itertools
+
+import pytest
+
+from repro.core.cost import linear_arrangement_cost
+from repro.core.ilp import (
+    Constraint,
+    ILPModel,
+    LinearExpr,
+    Variable,
+    assignment_for_order,
+    build_minla_ilp,
+    solve_by_enumeration,
+    verify_formulation,
+)
+from repro.errors import OptimizationError
+from repro.trace.stats import affinity_graph
+from repro.trace.synthetic import markov_trace
+
+
+class TestLinearExpr:
+    def test_add_accumulates(self):
+        expr = LinearExpr().add("x", 2.0).add("x", 3.0)
+        assert expr.coefficients == {"x": 5.0}
+
+    def test_evaluate(self):
+        expr = LinearExpr({"x": 2.0, "y": -1.0}, constant=4.0)
+        assert expr.evaluate({"x": 3.0, "y": 1.0}) == 9.0
+
+    def test_render_skips_zero_coefficients(self):
+        expr = LinearExpr({"a": 0.0, "b": 1.0})
+        assert expr.render() == "b"
+
+    def test_render_signs(self):
+        expr = LinearExpr({"a": 1.0, "b": -2.0})
+        assert expr.render() == "a - 2 b"
+
+    def test_render_empty(self):
+        assert LinearExpr().render() == "0"
+
+
+class TestConstraint:
+    def test_senses(self):
+        expr = LinearExpr({"x": 1.0})
+        assert Constraint("c", expr, "<=", 5).holds({"x": 5.0})
+        assert not Constraint("c", expr, "<=", 5).holds({"x": 6.0})
+        assert Constraint("c", expr, ">=", 5).holds({"x": 5.0})
+        assert Constraint("c", expr, "=", 5).holds({"x": 5.0})
+        assert not Constraint("c", expr, "=", 5).holds({"x": 4.0})
+
+
+class TestModelStructure:
+    @pytest.fixture
+    def instance(self):
+        items = ["a", "b", "c"]
+        affinity = {("a", "b"): 2, ("b", "c"): 1}
+        return items, affinity
+
+    def test_variable_counts(self, instance):
+        items, affinity = instance
+        model = build_minla_ilp(items, affinity)
+        binaries = [v for v in model.variables if v.is_binary]
+        continuous = [v for v in model.variables if not v.is_binary]
+        assert len(binaries) == 9  # n^2 assignment vars
+        assert len(continuous) == 2  # one d per affinity pair
+
+    def test_constraint_counts(self, instance):
+        items, affinity = instance
+        model = build_minla_ilp(items, affinity)
+        # n item constraints + n position constraints + 2 per pair.
+        assert len(model.constraints) == 3 + 3 + 2 * 2
+
+    def test_empty_items_raise(self):
+        with pytest.raises(OptimizationError):
+            build_minla_ilp([], {})
+
+    def test_check_requires_full_assignment(self, instance):
+        items, affinity = instance
+        model = build_minla_ilp(items, affinity)
+        with pytest.raises(OptimizationError, match="misses"):
+            model.check({"x_0_0": 1.0})
+
+
+class TestLPExport:
+    def test_lp_format_sections(self):
+        model = build_minla_ilp(["a", "b"], {("a", "b"): 1})
+        text = model.to_lp_format()
+        assert text.startswith("\\ dwm-placement-minla")
+        for section in ("Minimize", "Subject To", "Bounds", "Binary", "End"):
+            assert section in text
+
+    def test_lp_format_objective_mentions_d(self):
+        model = build_minla_ilp(["a", "b"], {("a", "b"): 3})
+        assert "3 d_0_1" in model.to_lp_format()
+
+
+class TestAssignments:
+    def test_assignment_is_feasible(self):
+        items = ["a", "b", "c"]
+        affinity = {("a", "b"): 2, ("a", "c"): 1}
+        model = build_minla_ilp(items, affinity)
+        for permutation in itertools.permutations(items):
+            assignment = assignment_for_order(items, affinity, permutation)
+            assert model.check(assignment) == []
+
+    def test_objective_matches_arrangement_cost(self):
+        items = ["a", "b", "c", "d"]
+        affinity = {("a", "b"): 2, ("b", "d"): 3, ("a", "c"): 1}
+        model = build_minla_ilp(items, affinity)
+        for permutation in itertools.permutations(items):
+            assignment = assignment_for_order(items, affinity, permutation)
+            assert model.objective.evaluate(assignment) == pytest.approx(
+                linear_arrangement_cost(list(permutation), affinity)
+            )
+
+    def test_non_permutation_raises(self):
+        with pytest.raises(OptimizationError):
+            assignment_for_order(["a", "b"], {}, ["a", "a"])
+
+
+class TestSolveAndVerify:
+    def test_enumeration_matches_dp_on_random_instances(self):
+        for seed in range(3):
+            trace = markov_trace(5, 80, locality=0.7, seed=seed)
+            affinity = affinity_graph(trace)
+            assert verify_formulation(list(trace.items), affinity)
+
+    def test_enumeration_guard(self):
+        items = [f"i{k}" for k in range(9)]
+        with pytest.raises(OptimizationError, match="at most"):
+            solve_by_enumeration(items, {})
+
+    def test_known_optimum(self):
+        # Path graph: chain order is optimal with cost = sum of weights.
+        items = ["a", "b", "c"]
+        affinity = {("a", "b"): 5, ("b", "c"): 7}
+        order, value = solve_by_enumeration(items, affinity)
+        assert value == 12.0
+        assert order.index("b") == 1  # b must sit between a and c

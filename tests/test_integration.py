@@ -1,0 +1,125 @@
+"""End-to-end integration tests: kernel → trace → optimize → simulate → report."""
+
+import pytest
+
+import repro
+from repro.analysis.metrics import reduction_percent
+from repro.analysis.report import format_table
+from repro.core.api import compare_methods, optimize_placement
+from repro.dwm.config import DWMConfig
+from repro.dwm.energy import DWMEnergyModel
+from repro.memory.spm import ScratchpadMemory
+from repro.memory.sram import SRAMScratchpad
+from repro.trace import io as trace_io
+from repro.trace.kernels import fir_trace, matmul_trace
+from repro.trace.synthetic import markov_trace
+
+
+class TestFullPipeline:
+    def test_kernel_to_report(self, tmp_path):
+        # 1. Generate a trace by executing a real kernel.
+        trace = fir_trace(taps=8, samples=24)
+        # 2. Persist and reload it (as a trace-driven flow would).
+        path = tmp_path / "fir.jsonl"
+        trace_io.save(trace, path)
+        reloaded = trace_io.load(path)
+        assert reloaded == trace
+        # 3. Optimize placement.
+        config = DWMConfig.for_items(reloaded.num_items, words_per_dbc=32)
+        baseline = optimize_placement(reloaded, config, method="declaration")
+        optimized = optimize_placement(reloaded, config, method="heuristic")
+        assert optimized.total_shifts < baseline.total_shifts
+        # 4. Simulate both placements on the device model.
+        sim_base = ScratchpadMemory(config, baseline.placement).simulate(reloaded)
+        sim_opt = ScratchpadMemory(config, optimized.placement).simulate(reloaded)
+        assert sim_base.shifts == baseline.total_shifts
+        assert sim_opt.shifts == optimized.total_shifts
+        # 5. Energy and latency improve accordingly.
+        model = DWMEnergyModel()
+        assert sim_opt.energy(model).total_energy_pj < (
+            sim_base.energy(model).total_energy_pj
+        )
+        assert sim_opt.energy(model).latency_ns < sim_base.energy(model).latency_ns
+        # 6. Report.
+        table = format_table(
+            ("metric", "value"),
+            [
+                ("shift reduction %", reduction_percent(
+                    baseline.total_shifts, optimized.total_shifts
+                )),
+            ],
+        )
+        assert "shift reduction" in table
+
+    def test_public_api_surface(self):
+        trace = markov_trace(10, 200, seed=1)
+        result = repro.optimize_placement(trace, method="heuristic")
+        assert isinstance(result, repro.PlacementResult)
+        problem = repro.build_problem(trace)
+        assert isinstance(problem, repro.PlacementProblem)
+        sim = repro.simulate_placement(trace, problem.config, result.placement)
+        assert isinstance(sim, repro.SimulationResult)
+        assert sim.shifts == result.total_shifts
+
+    def test_docstring_quickstart_claim(self):
+        """The quickstart example in repro.__doc__ must actually hold."""
+        from repro.trace import kernels
+
+        trace = kernels.fir_trace()
+        result = repro.optimize_placement(trace, method="heuristic")
+        baseline = repro.optimize_placement(trace, method="declaration")
+        assert result.total_shifts < baseline.total_shifts
+
+    def test_benchmark_suite_end_to_end(self):
+        suite = repro.benchmark_suite(("matmul", "histogram"))
+        for trace in suite.values():
+            results = compare_methods(trace)
+            assert results["heuristic"].total_shifts <= (
+                results["declaration"].total_shifts
+            )
+
+    def test_dwm_vs_sram_energy_story(self):
+        """DWM + good placement needs less energy than an SRAM scratchpad."""
+        trace = matmul_trace(size=6)
+        config = DWMConfig.for_items(trace.num_items, words_per_dbc=64)
+        optimized = optimize_placement(trace, config, method="heuristic")
+        sim = ScratchpadMemory(config, optimized.placement).simulate(trace)
+        dwm_energy = sim.energy(DWMEnergyModel()).total_energy_pj
+        sram_energy = (
+            SRAMScratchpad(config.capacity_words)
+            .simulate(trace)
+            .sram_reference()
+            .total_energy_pj
+        )
+        assert dwm_energy < sram_energy
+
+    def test_functional_simulation_of_kernel_trace(self):
+        """The bit-true device model survives a real kernel's access stream."""
+        trace = fir_trace(taps=4, samples=10)
+        config = DWMConfig.for_items(trace.num_items, words_per_dbc=16)
+        result = optimize_placement(trace, config, method="heuristic")
+        spm = ScratchpadMemory(config, result.placement)
+        functional = spm.simulate_functional(trace)
+        assert functional.shifts == result.total_shifts
+
+
+class TestCrossMethodConsistency:
+    @pytest.mark.parametrize(
+        "method", ["declaration", "frequency", "spectral", "heuristic"]
+    )
+    def test_simulator_confirms_every_method(self, method):
+        trace = markov_trace(14, 250, seed=4)
+        config = DWMConfig.for_items(trace.num_items, words_per_dbc=8)
+        result = optimize_placement(trace, config, method=method)
+        sim = ScratchpadMemory(config, result.placement).simulate(trace)
+        assert sim.shifts == result.total_shifts
+
+    def test_multiport_end_to_end(self):
+        trace = markov_trace(14, 250, seed=4)
+        config = DWMConfig.for_items(trace.num_items, words_per_dbc=16, num_ports=2)
+        single = DWMConfig.for_items(trace.num_items, words_per_dbc=16, num_ports=1)
+        multi_cost = optimize_placement(trace, config, method="heuristic").total_shifts
+        single_cost = optimize_placement(trace, single, method="heuristic").total_shifts
+        # A second port can only reduce the optimized shift count (weakly) --
+        # with the heuristic this holds for identical geometry otherwise.
+        assert multi_cost <= single_cost * 1.1  # small heuristic tolerance

@@ -1,0 +1,131 @@
+"""Unit tests for repro.memory.timing (overlapped controller model)."""
+
+import pytest
+
+from repro.core.api import build_problem, optimize_placement
+from repro.core.placement import Placement
+from repro.dwm.config import DWMConfig
+from repro.errors import ConfigError
+from repro.memory.timing import (
+    TimingParams,
+    TimingResult,
+    TimingSimulator,
+    overlap_benefit,
+)
+from repro.trace.model import AccessTrace
+from repro.trace.synthetic import markov_trace, pingpong_trace
+
+
+@pytest.fixture
+def placed():
+    trace = markov_trace(12, 300, locality=0.8, seed=41, write_fraction=0.3)
+    config = DWMConfig(words_per_dbc=8, num_dbcs=2, port_offsets=(0,))
+    result = optimize_placement(trace, config, method="heuristic")
+    return trace, config, result.placement
+
+
+class TestTimingParams:
+    def test_defaults_valid(self):
+        TimingParams()
+
+    def test_nonpositive_cycles_raise(self):
+        with pytest.raises(ConfigError):
+            TimingParams(shift_cycles=0)
+        with pytest.raises(ConfigError):
+            TimingParams(read_cycles=-1)
+
+    def test_negative_store_queue_raises(self):
+        with pytest.raises(ConfigError):
+            TimingParams(store_queue_depth=-1)
+
+
+class TestSerialModel:
+    def test_serial_cycles_are_closed_form(self, placed):
+        trace, config, placement = placed
+        params = TimingParams(shift_cycles=1, read_cycles=2, write_cycles=3)
+        simulator = TimingSimulator(config, placement, params)
+        result = simulator.run(trace, overlap=False)
+        problem = build_problem(trace, config)
+        from repro.core.cost import evaluate_placement
+
+        shifts = evaluate_placement(problem, placement)
+        reads, writes = trace.read_write_counts()
+        assert result.total_cycles == shifts + 2 * reads + 3 * writes
+        assert result.shift_cycles == shifts
+        assert result.port_cycles == 2 * reads + 3 * writes
+
+    def test_overlap_flag_recorded(self, placed):
+        trace, config, placement = placed
+        simulator = TimingSimulator(config, placement)
+        assert simulator.run(trace, overlap=False).overlap is False
+        assert simulator.run(trace, overlap=True).overlap is True
+
+
+class TestOverlapModel:
+    def test_overlap_never_slower_than_serial(self, placed):
+        trace, config, placement = placed
+        serial, overlapped = overlap_benefit(trace, config, placement)
+        assert overlapped.total_cycles <= serial.total_cycles
+
+    def test_nonblocking_loads_never_slower(self, placed):
+        trace, config, placement = placed
+        blocking = TimingSimulator(config, placement, TimingParams())
+        decoupled = TimingSimulator(
+            config, placement, TimingParams(blocking_loads=False)
+        )
+        assert decoupled.run(trace).total_cycles <= blocking.run(trace).total_cycles
+
+    def test_single_dbc_no_overlap_benefit(self):
+        # Everything on one DBC: the shift driver is the bottleneck and the
+        # dependent-load chain serialises — overlap cannot help.
+        trace = AccessTrace(["a", "b"] * 50)
+        config = DWMConfig(words_per_dbc=8, num_dbcs=1, port_offsets=(0,))
+        placement = Placement({"a": (0, 0), "b": (0, 7)})
+        simulator = TimingSimulator(config, placement)
+        serial = simulator.run(trace, overlap=False)
+        overlapped = simulator.run(trace, overlap=True)
+        assert overlapped.total_cycles == serial.total_cycles
+
+    def test_cross_dbc_write_streams_overlap(self):
+        # Writes to alternating DBCs: shifting of one DBC hides behind the
+        # other's port beat, so overlapped time beats serial.
+        accesses = []
+        for k in range(40):
+            accesses.append((f"a{k % 4}", "W"))
+            accesses.append((f"b{k % 4}", "W"))
+        trace = AccessTrace(accesses)
+        config = DWMConfig(words_per_dbc=8, num_dbcs=2, port_offsets=(0,))
+        mapping = {f"a{k}": (0, 2 * k) for k in range(4)}
+        mapping.update({f"b{k}": (1, 2 * k) for k in range(4)})
+        placement = Placement(mapping)
+        simulator = TimingSimulator(config, placement)
+        serial = simulator.run(trace, overlap=False)
+        overlapped = simulator.run(trace, overlap=True)
+        assert overlapped.total_cycles < serial.total_cycles
+
+    def test_zero_shift_trace_is_port_bound(self):
+        trace = AccessTrace(["a"] * 10)
+        config = DWMConfig(words_per_dbc=8, num_dbcs=1, port_offsets=(0,))
+        placement = Placement({"a": (0, 0)})
+        params = TimingParams(read_cycles=2)
+        result = TimingSimulator(config, placement, params).run(trace)
+        assert result.shift_cycles == 0
+        assert result.total_cycles == 10 * 2
+
+
+class TestTimingResult:
+    def test_cycles_per_access(self):
+        result = TimingResult(
+            total_cycles=100, shift_cycles=50, port_cycles=50,
+            accesses=25, overlap=True,
+        )
+        assert result.cycles_per_access == 4.0
+
+    def test_speedup_over(self):
+        fast = TimingResult(50, 0, 50, 10, True)
+        slow = TimingResult(100, 50, 50, 10, False)
+        assert fast.speedup_over(slow) == 2.0
+
+    def test_empty_run(self):
+        empty = TimingResult(0, 0, 0, 0, True)
+        assert empty.cycles_per_access == 0.0

@@ -1,0 +1,87 @@
+"""Unit tests for repro.core.online (adaptive placement)."""
+
+import pytest
+
+from repro.core.online import (
+    OnlinePlacer,
+    OnlineResult,
+    compare_static_vs_online,
+)
+from repro.dwm.config import DWMConfig
+from repro.errors import OptimizationError
+from repro.trace.model import AccessTrace
+from repro.trace.synthetic import markov_trace, zipf_trace
+
+
+def phased_trace(per_phase=2000):
+    a = markov_trace(20, per_phase, locality=0.9, seed=1).prefixed("a_")
+    b = markov_trace(20, per_phase, locality=0.9, seed=2).prefixed("b_")
+    return a.concatenated(b)
+
+
+class TestOnlinePlacerValidation:
+    def test_bad_window_raises(self):
+        with pytest.raises(OptimizationError):
+            OnlinePlacer(DWMConfig(), window=0)
+
+    def test_bad_hysteresis_raises(self):
+        with pytest.raises(OptimizationError):
+            OnlinePlacer(DWMConfig(), hysteresis=0.5)
+
+    def test_bad_amortization_raises(self):
+        with pytest.raises(OptimizationError):
+            OnlinePlacer(DWMConfig(), amortization_windows=0)
+
+    def test_empty_trace(self):
+        result = OnlinePlacer(DWMConfig()).run(AccessTrace([]))
+        assert result == OnlineResult(0, 0, 0, 0)
+
+
+class TestOnlinePlacerBehaviour:
+    def test_stable_workload_never_migrates(self):
+        trace = markov_trace(16, 2000, locality=0.9, seed=7)
+        config = DWMConfig.for_items(trace.num_items, words_per_dbc=8)
+        result = OnlinePlacer(config, window=400).run(trace)
+        assert result.replacements == 0
+        assert result.migration_shifts == 0
+
+    def test_phase_change_triggers_migration(self):
+        trace = phased_trace()
+        config = DWMConfig.for_items(trace.num_items, words_per_dbc=8)
+        result = OnlinePlacer(config, window=400).run(trace)
+        assert result.replacements >= 1
+        assert result.migration_shifts > 0
+        assert result.migrated_words > 0
+
+    def test_total_includes_migration(self):
+        trace = phased_trace()
+        config = DWMConfig.for_items(trace.num_items, words_per_dbc=8)
+        result = OnlinePlacer(config, window=400).run(trace)
+        assert result.total_shifts == result.access_shifts + result.migration_shifts
+
+    def test_deterministic(self):
+        trace = phased_trace(per_phase=800)
+        config = DWMConfig.for_items(trace.num_items, words_per_dbc=8)
+        first = OnlinePlacer(config, window=300).run(trace)
+        second = OnlinePlacer(config, window=300).run(trace)
+        assert first == second
+
+
+class TestCompareStaticVsOnline:
+    @pytest.fixture(scope="class")
+    def comparison(self):
+        a = markov_trace(30, 3000, locality=0.9, seed=1).prefixed("a_")
+        b = zipf_trace(30, 3000, alpha=1.3, seed=2).prefixed("b_")
+        trace = a.concatenated(b)
+        config = DWMConfig.for_items(trace.num_items, words_per_dbc=16)
+        return compare_static_vs_online(trace, config, window=500)
+
+    def test_oracle_is_lower_bound_of_statics(self, comparison):
+        assert comparison["oracle_static"] <= comparison["static_first_window"]
+
+    def test_online_beats_stale_profile(self, comparison):
+        assert comparison["online"] < comparison["static_first_window"]
+
+    def test_migration_accounted(self, comparison):
+        assert comparison["online_migration"] >= 0
+        assert comparison["online_replacements"] >= 1

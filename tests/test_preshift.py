@@ -1,0 +1,129 @@
+"""Unit tests for the speculative pre-shifting controller."""
+
+import pytest
+
+from repro.core.api import build_problem, optimize_placement
+from repro.core.placement import Placement
+from repro.dwm.config import DWMConfig, PortPolicy
+from repro.dwm.preshift import (
+    NextOffsetPredictor,
+    PreshiftResult,
+    simulate_preshift,
+)
+from repro.errors import OptimizationError
+from repro.trace.model import AccessTrace
+from repro.trace.synthetic import markov_trace, uniform_trace
+
+
+class TestPredictor:
+    def test_no_history_no_prediction(self):
+        assert NextOffsetPredictor().predict(0) is None
+
+    def test_learns_deterministic_transition(self):
+        predictor = NextOffsetPredictor()
+        for _ in range(3):
+            predictor.observe(0, 1)
+            predictor.observe(0, 2)
+        # After observing offset 1, the successor has always been 2.
+        predictor.observe(0, 1)
+        assert predictor.predict(0) == 2
+
+    def test_confidence_gate_blocks_weak_signal(self):
+        predictor = NextOffsetPredictor()
+        # 1 -> 2 once, 1 -> 3 once: 50% confidence < default 60%.
+        predictor.observe(0, 1)
+        predictor.observe(0, 2)
+        predictor.observe(0, 1)
+        predictor.observe(0, 3)
+        predictor.observe(0, 1)
+        assert predictor.predict(0) is None
+        # With the gate relaxed the majority successor is returned.
+        assert predictor.predict(0, confidence=0.0, min_observations=1) in (2, 3)
+
+    def test_min_observations(self):
+        predictor = NextOffsetPredictor()
+        predictor.observe(0, 1)
+        predictor.observe(0, 2)
+        predictor.observe(0, 1)
+        assert predictor.predict(0, min_observations=2) is None
+
+    def test_per_dbc_isolation(self):
+        predictor = NextOffsetPredictor()
+        for _ in range(3):
+            predictor.observe(0, 1)
+            predictor.observe(0, 2)
+        predictor.observe(0, 1)
+        assert predictor.predict(1) is None
+
+
+class TestSimulatePreshift:
+    def test_perfectly_periodic_pattern_near_free(self):
+        # a b a b ... on one DBC: after warm-up every access is predicted.
+        trace = AccessTrace(["a", "b"] * 50)
+        config = DWMConfig(words_per_dbc=8, num_dbcs=1, port_offsets=(0,))
+        problem = build_problem(trace, config)
+        placement = Placement({"a": (0, 0), "b": (0, 4)})
+        result = simulate_preshift(problem, placement)
+        assert result.latency_reduction_percent > 80.0
+        assert result.prediction_accuracy > 0.9
+
+    def test_random_pattern_abstains(self):
+        trace = uniform_trace(16, 400, seed=3)
+        config = DWMConfig.for_items(16, words_per_dbc=16)
+        problem = build_problem(trace, config)
+        placement = optimize_placement(
+            trace, config, method="declaration"
+        ).placement
+        result = simulate_preshift(problem, placement)
+        # The gate may allow a few speculations, but never a latency loss
+        # beyond noise, and overhead stays bounded.
+        assert result.latency_reduction_percent >= -5.0
+
+    def test_baseline_matches_evaluator(self):
+        from repro.core.cost import evaluate_placement
+
+        trace = markov_trace(10, 200, seed=4)
+        config = DWMConfig.for_items(10, words_per_dbc=8)
+        problem = build_problem(trace, config)
+        placement = optimize_placement(trace, config, method="heuristic").placement
+        result = simulate_preshift(problem, placement)
+        assert result.baseline_demand_shifts == evaluate_placement(
+            problem, placement
+        )
+
+    def test_energy_includes_speculation(self):
+        trace = AccessTrace(["a", "b"] * 30)
+        config = DWMConfig(words_per_dbc=8, num_dbcs=1, port_offsets=(0,))
+        problem = build_problem(trace, config)
+        placement = Placement({"a": (0, 0), "b": (0, 4)})
+        result = simulate_preshift(problem, placement)
+        assert result.total_energy_shifts == (
+            result.demand_shifts + result.speculative_shifts
+        )
+        assert result.speculative_shifts > 0
+
+    def test_eager_policy_rejected(self):
+        trace = AccessTrace(["a"])
+        config = DWMConfig(
+            words_per_dbc=4, num_dbcs=1, port_policy=PortPolicy.EAGER
+        )
+        problem = build_problem(trace, config)
+        with pytest.raises(OptimizationError, match="lazy"):
+            simulate_preshift(problem, Placement({"a": (0, 0)}))
+
+
+class TestPreshiftResult:
+    def test_zero_baseline(self):
+        result = PreshiftResult(0, 0, 0, 0, 0)
+        assert result.latency_reduction_percent == 0.0
+        assert result.energy_overhead_percent == 0.0
+        assert result.prediction_accuracy == 0.0
+
+    def test_metrics(self):
+        result = PreshiftResult(
+            demand_shifts=50, speculative_shifts=30,
+            baseline_demand_shifts=100, predictions=10, correct_predictions=7,
+        )
+        assert result.latency_reduction_percent == pytest.approx(50.0)
+        assert result.energy_overhead_percent == pytest.approx(-20.0)
+        assert result.prediction_accuracy == pytest.approx(0.7)

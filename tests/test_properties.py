@@ -1,0 +1,276 @@
+"""Property-based tests (hypothesis) for core invariants.
+
+These pin down the load-bearing invariants of the reproduction:
+
+* the analytical cost evaluator ≡ the event-driven simulator ≡ the bit-true
+  device model, on arbitrary traces/placements/geometries;
+* every placement algorithm emits a valid (injective, in-capacity) placement;
+* the exact DP really is optimal for the MinLA objective;
+* trace IO round-trips; head-state arithmetic of the DBC model is sound.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.api import ALGORITHMS, build_problem
+from repro.core.baselines import random_placement
+from repro.core.cost import evaluate_placement, linear_arrangement_cost
+from repro.core.exact import minla_exact_order
+from repro.core.heuristic import heuristic_placement
+from repro.core.problem import PlacementProblem
+from repro.dwm.config import DWMConfig, PortPolicy
+from repro.dwm.dbc import HeadModel, port_access_cost
+from repro.memory.spm import ScratchpadMemory
+from repro.trace import io as trace_io
+from repro.trace.model import Access, AccessKind, AccessTrace
+from repro.trace.stats import affinity_graph
+
+
+# ---------------------------------------------------------------------------
+# Strategies
+# ---------------------------------------------------------------------------
+
+item_names = st.integers(min_value=0, max_value=11).map(lambda i: f"v{i}")
+
+accesses = st.builds(
+    Access,
+    item=item_names,
+    kind=st.sampled_from([AccessKind.READ, AccessKind.WRITE]),
+)
+
+traces = st.lists(accesses, min_size=1, max_size=60).map(
+    lambda records: AccessTrace(records, name="hyp")
+)
+
+geometries = st.builds(
+    lambda words, dbcs, ports, policy: DWMConfig(
+        words_per_dbc=words,
+        num_dbcs=dbcs,
+        port_offsets=tuple(sorted(set(p % words for p in ports))) or (0,),
+        port_policy=policy,
+    ),
+    words=st.integers(min_value=12, max_value=24),
+    dbcs=st.integers(min_value=1, max_value=3),
+    ports=st.lists(st.integers(min_value=0, max_value=23), min_size=1, max_size=3),
+    policy=st.sampled_from([PortPolicy.LAZY, PortPolicy.EAGER]),
+)
+
+
+@st.composite
+def problems(draw):
+    trace = draw(traces)
+    config = draw(geometries)
+    # Guarantee capacity.
+    while config.capacity_words < trace.num_items:  # pragma: no cover
+        config = config.resized(num_dbcs=config.num_dbcs + 1)
+    return PlacementProblem(trace=trace, config=config)
+
+
+# ---------------------------------------------------------------------------
+# Differential equivalence of the three cost engines
+# ---------------------------------------------------------------------------
+
+@given(problem=problems(), seed=st.integers(min_value=0, max_value=99))
+@settings(max_examples=60, deadline=None)
+def test_evaluator_equals_fast_simulator(problem, seed):
+    placement = random_placement(problem, seed)
+    analytical = evaluate_placement(problem, placement)
+    sim = ScratchpadMemory(problem.config, placement).simulate(problem.trace)
+    assert sim.shifts == analytical
+
+
+@given(problem=problems(), seed=st.integers(min_value=0, max_value=99))
+@settings(max_examples=25, deadline=None)
+def test_fast_simulator_equals_device_model(problem, seed):
+    placement = random_placement(problem, seed)
+    spm = ScratchpadMemory(problem.config, placement)
+    fast = spm.simulate(problem.trace)
+    functional = spm.simulate_functional(problem.trace)
+    assert fast.shifts == functional.shifts
+    assert fast.per_dbc_shifts == functional.per_dbc_shifts
+
+
+# ---------------------------------------------------------------------------
+# Algorithm output validity and ordering
+# ---------------------------------------------------------------------------
+
+@given(problem=problems())
+@settings(max_examples=40, deadline=None)
+def test_heuristic_emits_valid_placement(problem):
+    placement = heuristic_placement(problem)
+    placement.validate(problem.config, problem.items)
+    slots = [placement[item] for item in problem.items]
+    assert len(set(slots)) == len(slots)  # injective
+
+
+@given(problem=problems())
+@settings(max_examples=25, deadline=None)
+def test_heuristic_not_worse_than_declaration(problem):
+    from repro.core.baselines import declaration_order_placement
+
+    heuristic_cost = evaluate_placement(problem, heuristic_placement(problem))
+    declaration_cost = evaluate_placement(
+        problem, declaration_order_placement(problem)
+    )
+    assert heuristic_cost <= declaration_cost
+
+
+@given(
+    trace=traces,
+    method=st.sampled_from(
+        ["declaration", "random", "frequency", "spectral", "heuristic"]
+    ),
+)
+@settings(max_examples=40, deadline=None)
+def test_methods_cover_all_items(trace, method):
+    from repro.core.api import optimize_placement
+
+    result = optimize_placement(trace, words_per_dbc=16, method=method)
+    for item in trace.items:
+        assert item in result.placement
+
+
+# ---------------------------------------------------------------------------
+# Exact DP optimality
+# ---------------------------------------------------------------------------
+
+@given(
+    n=st.integers(min_value=2, max_value=6),
+    weights=st.lists(st.integers(min_value=0, max_value=9), min_size=15, max_size=15),
+)
+@settings(max_examples=40, deadline=None)
+def test_minla_dp_matches_brute_force(n, weights):
+    items = [f"v{i}" for i in range(n)]
+    pairs = list(itertools.combinations(items, 2))
+    affinity = {
+        pair: weight
+        for pair, weight in zip(pairs, weights)
+        if weight > 0
+    }
+    dp_cost = linear_arrangement_cost(
+        minla_exact_order(items, affinity), affinity
+    )
+    brute = min(
+        linear_arrangement_cost(list(perm), affinity)
+        for perm in itertools.permutations(items)
+    )
+    assert dp_cost == brute
+
+
+# ---------------------------------------------------------------------------
+# Cost-model arithmetic
+# ---------------------------------------------------------------------------
+
+@given(
+    offsets=st.lists(st.integers(min_value=0, max_value=15), min_size=1, max_size=40),
+    ports=st.lists(st.integers(min_value=0, max_value=15), min_size=1, max_size=3),
+)
+@settings(max_examples=60, deadline=None)
+def test_head_model_cost_bounds(offsets, ports):
+    config = DWMConfig(
+        words_per_dbc=16, num_dbcs=1, port_offsets=tuple(sorted(set(ports)))
+    )
+    model = HeadModel(config)
+    for offset in offsets:
+        result = model.access(offset)
+        assert 0 <= result.shifts <= 2 * (config.words_per_dbc - 1)
+    assert model.shifts == sum(
+        abs(b - a)
+        for a, b in zip([0] + _head_trajectory(offsets, config)[:-1],
+                        _head_trajectory(offsets, config))
+    )
+
+
+def _head_trajectory(offsets, config):
+    """Reference head states after each lazy access (independent impl).
+
+    Ties between ports break toward the lower-numbered port, matching the
+    documented deterministic rule of :func:`port_access_cost`.
+    """
+    heads = []
+    head = 0
+    for offset in offsets:
+        best_cost = None
+        best_target = 0
+        for port in config.port_offsets:  # ascending port order
+            target = offset - port
+            cost = abs(target - head)
+            if best_cost is None or cost < best_cost:
+                best_cost = cost
+                best_target = target
+        head = best_target
+        heads.append(head)
+    return heads
+
+
+@given(
+    offset=st.integers(min_value=0, max_value=31),
+    head=st.integers(min_value=-31, max_value=31),
+    ports=st.lists(st.integers(min_value=0, max_value=31), min_size=1, max_size=4),
+)
+def test_port_access_cost_is_min_over_ports(offset, head, ports):
+    ports = tuple(sorted(set(ports)))
+    cost, port, new_head = port_access_cost(offset, head, ports)
+    assert cost == min(abs((offset - p) - head) for p in ports)
+    assert new_head == offset - port
+    assert abs(new_head - head) == cost
+
+
+# ---------------------------------------------------------------------------
+# Trace invariants and IO round-trips
+# ---------------------------------------------------------------------------
+
+@given(trace=traces)
+@settings(max_examples=50, deadline=None)
+def test_affinity_mass_bounded_by_transitions(trace):
+    graph = affinity_graph(trace)
+    assert sum(graph.values()) <= max(0, len(trace) - 1)
+    for (left, right), weight in graph.items():
+        assert left <= right
+        assert weight > 0
+
+
+@given(trace=traces)
+@settings(max_examples=30, deadline=None)
+def test_jsonl_roundtrip(trace, tmp_path_factory):
+    path = tmp_path_factory.mktemp("io") / "trace.jsonl"
+    trace_io.save_jsonl(trace, path)
+    assert trace_io.load_jsonl(path) == trace
+
+
+@given(trace=traces)
+@settings(max_examples=30, deadline=None)
+def test_text_roundtrip(trace, tmp_path_factory):
+    path = tmp_path_factory.mktemp("io") / "trace.trc"
+    trace_io.save_text(trace, path)
+    assert trace_io.load_text(path) == trace
+
+
+@given(trace=traces, items=st.sets(item_names, max_size=5))
+@settings(max_examples=50, deadline=None)
+def test_restriction_is_projection(trace, items):
+    restricted = trace.restricted_to(items)
+    assert all(access.item in items for access in restricted)
+    # Restricting twice is the same as once (idempotent projection).
+    assert restricted.restricted_to(items) == restricted
+
+
+@given(problem=problems())
+@settings(max_examples=25, deadline=None)
+def test_eager_cost_is_order_independent_round_trips(problem):
+    """Return-to-zero cost = Σ 2·dist(offset, nearest port), order-free."""
+    placement = heuristic_placement(problem)
+    eager_config = problem.config.resized(port_policy=PortPolicy.EAGER)
+    eager_cost = evaluate_placement(
+        problem.with_config(eager_config), placement
+    )
+    expected = 0
+    for access in problem.trace:
+        slot = placement[access.item]
+        expected += 2 * min(
+            abs(slot.offset - port) for port in eager_config.port_offsets
+        )
+    assert eager_cost == expected

@@ -1,0 +1,146 @@
+"""Property-based tests for the newer substrates (loops, mixes, phases, dse)."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.dse import dominates, pareto_front, DesignPoint
+from repro.trace.loops import Loop, LoopNest, Ref
+from repro.trace.mixes import interleave
+from repro.trace.model import Access, AccessKind, AccessTrace
+from repro.trace.phases import (
+    phase_summary,
+    windowed_working_sets,
+)
+
+item_names = st.integers(min_value=0, max_value=7).map(lambda i: f"v{i}")
+traces = st.lists(
+    st.builds(
+        Access,
+        item=item_names,
+        kind=st.sampled_from([AccessKind.READ, AccessKind.WRITE]),
+    ),
+    min_size=1,
+    max_size=40,
+).map(lambda records: AccessTrace(records, name="hyp-sub"))
+
+
+# ---------------------------------------------------------------------------
+# Loop-nest DSL: trace length and bounds are structural
+# ---------------------------------------------------------------------------
+
+@given(
+    extents=st.lists(st.integers(min_value=1, max_value=4), min_size=1, max_size=3),
+    repetitions=st.integers(min_value=1, max_value=3),
+)
+@settings(max_examples=40)
+def test_loopnest_length_is_product_of_extents(extents, repetitions):
+    loops = [
+        Loop(f"i{d}", 0, extent) for d, extent in enumerate(extents)
+    ]
+    body = [Ref("A", tuple(f"i{d}" for d in range(len(extents))), "R")]
+    nest = LoopNest(
+        loops=loops,
+        body=body,
+        shapes={"A": tuple(extents)},
+        repetitions=repetitions,
+    )
+    trace = nest.trace()
+    expected = repetitions
+    for extent in extents:
+        expected *= extent
+    assert len(trace) == expected
+    # Every emitted item is within the declared footprint.
+    footprint = nest.footprint_words()
+    assert trace.num_items <= footprint
+
+
+# ---------------------------------------------------------------------------
+# Interleaving: conservation and per-task order preservation
+# ---------------------------------------------------------------------------
+
+@given(
+    left=traces,
+    right=traces,
+    quantum=st.integers(min_value=1, max_value=10),
+)
+@settings(max_examples=50, deadline=None)
+def test_interleave_preserves_per_task_subsequences(left, right, quantum):
+    mixed = interleave([left, right], quantum=quantum)
+    assert len(mixed) == len(left) + len(right)
+    recovered_left = [
+        access.item[len("t0_"):]
+        for access in mixed
+        if access.item.startswith("t0_")
+    ]
+    recovered_right = [
+        access.item[len("t1_"):]
+        for access in mixed
+        if access.item.startswith("t1_")
+    ]
+    assert recovered_left == list(left.item_sequence)
+    assert recovered_right == list(right.item_sequence)
+
+
+# ---------------------------------------------------------------------------
+# Phases: partitions cover the trace exactly
+# ---------------------------------------------------------------------------
+
+@given(trace=traces, window=st.integers(min_value=1, max_value=16))
+@settings(max_examples=50)
+def test_phase_summary_partitions_trace(trace, window):
+    phases = phase_summary(trace, window=window)
+    assert phases[0].start == 0
+    assert phases[-1].end == len(trace)
+    total = 0
+    previous_end = 0
+    for phase in phases:
+        assert phase.start == previous_end
+        previous_end = phase.end
+        total += phase.length
+    assert total == len(trace)
+
+
+@given(trace=traces, window=st.integers(min_value=1, max_value=16))
+@settings(max_examples=50)
+def test_working_sets_cover_all_items(trace, window):
+    sets = windowed_working_sets(trace, window)
+    union = set().union(*sets) if sets else set()
+    assert union == set(trace.items)
+
+
+# ---------------------------------------------------------------------------
+# Pareto front: soundness and completeness
+# ---------------------------------------------------------------------------
+
+objective_triples = st.tuples(
+    st.integers(min_value=0, max_value=9),
+    st.integers(min_value=0, max_value=9),
+    st.integers(min_value=0, max_value=9),
+)
+
+
+@given(objectives=st.lists(objective_triples, min_size=1, max_size=12))
+@settings(max_examples=60)
+def test_pareto_front_sound_and_complete(objectives):
+    points = [
+        DesignPoint(
+            words_per_dbc=16, num_ports=1, policy="lazy", num_dbcs=1,
+            total_shifts=0, latency_ns=float(a), energy_pj=float(b),
+            area_per_bit=float(c),
+        )
+        for a, b, c in objectives
+    ]
+    front = pareto_front(points)
+    assert front  # at least one non-dominated point always exists
+    front_ids = {id(point) for point in front}
+    for point in points:
+        dominated = any(
+            dominates(other.objectives(), point.objectives())
+            for other in points
+            if other is not point
+        )
+        if dominated:
+            assert id(point) not in front_ids
+        else:
+            assert id(point) in front_ids

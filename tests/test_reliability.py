@@ -1,0 +1,98 @@
+"""Unit tests for repro.dwm.reliability (shift-error exposure)."""
+
+import math
+
+import pytest
+
+from repro.dwm.reliability import (
+    DEFAULT_SHIFT_ERROR_RATE,
+    ReliabilityReport,
+    reliability_report,
+)
+from repro.errors import ConfigError
+
+
+class TestValidation:
+    def test_rate_out_of_range_raises(self):
+        with pytest.raises(ConfigError):
+            ReliabilityReport(total_shifts=1, shift_error_rate=1.0)
+        with pytest.raises(ConfigError):
+            ReliabilityReport(total_shifts=1, shift_error_rate=-0.1)
+
+    def test_negative_shifts_raise(self):
+        with pytest.raises(ConfigError):
+            ReliabilityReport(total_shifts=-1, shift_error_rate=0.0)
+
+
+class TestMetrics:
+    def test_expected_errors_linear(self):
+        report = reliability_report(1000, shift_error_rate=1e-3)
+        assert report.expected_position_errors == pytest.approx(1.0)
+
+    def test_error_free_probability(self):
+        report = reliability_report(100, shift_error_rate=0.01)
+        assert report.error_free_probability == pytest.approx(0.99**100)
+
+    def test_zero_shifts_is_safe(self):
+        report = reliability_report(0, shift_error_rate=0.5)
+        assert report.error_free_probability == 1.0
+        assert report.expected_position_errors == 0.0
+
+    def test_zero_rate_never_fails(self):
+        report = reliability_report(10**9, shift_error_rate=0.0)
+        assert report.error_free_probability == 1.0
+        assert report.mean_shifts_between_failures == float("inf")
+
+    def test_mean_shifts_between_failures(self):
+        report = reliability_report(10, shift_error_rate=1e-5)
+        assert report.mean_shifts_between_failures == pytest.approx(1e5)
+
+    def test_per_dbc_probabilities(self):
+        report = reliability_report(
+            30, per_dbc_shifts=(10, 20, 0), shift_error_rate=0.01
+        )
+        probabilities = report.per_dbc_error_free_probability()
+        assert probabilities[0] == pytest.approx(0.99**10)
+        assert probabilities[1] == pytest.approx(0.99**20)
+        assert probabilities[2] == 1.0
+        # Whole-array survival = product over DBCs.
+        assert math.prod(probabilities) == pytest.approx(
+            report.error_free_probability
+        )
+
+    def test_exposure_reduction(self):
+        optimized = reliability_report(500)
+        baseline = reliability_report(1000)
+        assert optimized.exposure_reduction_vs(baseline) == pytest.approx(0.5)
+
+    def test_exposure_reduction_zero_baseline(self):
+        assert reliability_report(5).exposure_reduction_vs(
+            reliability_report(0)
+        ) == 0.0
+
+
+class TestPlacementReliabilityLink:
+    def test_fewer_shifts_means_fewer_errors(self):
+        """Shift-minimizing placement reduces error exposure end-to-end."""
+        from repro.core.api import optimize_placement
+        from repro.dwm.config import DWMConfig
+        from repro.memory.spm import ScratchpadMemory
+        from repro.trace.kernels import fir_trace
+
+        trace = fir_trace(taps=8, samples=24)
+        config = DWMConfig.for_items(trace.num_items, words_per_dbc=16)
+        reports = {}
+        for method in ("declaration", "heuristic"):
+            result = optimize_placement(trace, config, method=method)
+            sim = ScratchpadMemory(config, result.placement).simulate(trace)
+            reports[method] = reliability_report(
+                sim.shifts, sim.per_dbc_shifts, DEFAULT_SHIFT_ERROR_RATE
+            )
+        assert (
+            reports["heuristic"].expected_position_errors
+            < reports["declaration"].expected_position_errors
+        )
+        assert (
+            reports["heuristic"].error_free_probability
+            > reports["declaration"].error_free_probability
+        )

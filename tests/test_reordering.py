@@ -1,0 +1,114 @@
+"""Unit tests for repro.core.reordering (shift-aware access scheduling)."""
+
+from collections import defaultdict
+
+import pytest
+
+from repro.core.api import build_problem, optimize_placement
+from repro.core.cost import evaluate_placement
+from repro.core.placement import Placement
+from repro.core.problem import PlacementProblem
+from repro.core.reordering import reorder_accesses
+from repro.dwm.config import DWMConfig
+from repro.errors import OptimizationError
+from repro.trace.model import AccessTrace
+from repro.trace.synthetic import markov_trace
+
+
+def per_item_subsequences(trace: AccessTrace) -> dict:
+    sequences = defaultdict(list)
+    for access in trace:
+        sequences[access.item].append(access.kind)
+    return dict(sequences)
+
+
+@pytest.fixture
+def placed():
+    trace = markov_trace(12, 300, locality=0.8, seed=61, write_fraction=0.3)
+    config = DWMConfig(words_per_dbc=8, num_dbcs=2, port_offsets=(0,))
+    problem = build_problem(trace, config)
+    placement = optimize_placement(trace, config, method="heuristic").placement
+    return problem, placement
+
+
+class TestInvariant:
+    def test_window_one_is_identity(self, placed):
+        problem, placement = placed
+        result = reorder_accesses(problem, placement, window=1)
+        assert result.trace == problem.trace
+        assert result.total_shifts == result.original_shifts
+
+    def test_per_item_order_preserved(self, placed):
+        problem, placement = placed
+        result = reorder_accesses(problem, placement, window=16)
+        assert per_item_subsequences(result.trace) == per_item_subsequences(
+            problem.trace
+        )
+
+    def test_same_multiset_of_accesses(self, placed):
+        problem, placement = placed
+        result = reorder_accesses(problem, placement, window=16)
+        assert sorted(a.item for a in result.trace) == sorted(
+            a.item for a in problem.trace
+        )
+
+    def test_never_worse_than_original(self, placed):
+        problem, placement = placed
+        for window in (2, 4, 8, 32):
+            result = reorder_accesses(problem, placement, window=window)
+            assert result.total_shifts <= result.original_shifts
+
+    def test_reported_cost_is_exact(self, placed):
+        problem, placement = placed
+        result = reorder_accesses(problem, placement, window=8)
+        reordered_problem = PlacementProblem(
+            trace=result.trace, config=problem.config
+        )
+        assert result.total_shifts == evaluate_placement(
+            reordered_problem, placement, validate=False
+        )
+
+    def test_invalid_window_raises(self, placed):
+        problem, placement = placed
+        with pytest.raises(OptimizationError):
+            reorder_accesses(problem, placement, window=0)
+
+
+class TestBehaviour:
+    def test_interleaved_streams_get_separated(self):
+        # Two interleaved streams on one DBC: program order ping-pongs
+        # between distant slots; the scheduler batches each stream.
+        sequence = []
+        for k in range(8):
+            sequence.append(f"a{k}")
+            sequence.append(f"b{k}")
+        trace = AccessTrace(sequence)
+        config = DWMConfig(words_per_dbc=16, num_dbcs=1, port_offsets=(0,))
+        problem = build_problem(trace, config)
+        mapping = {f"a{k}": (0, k) for k in range(8)}
+        mapping.update({f"b{k}": (0, 8 + k) for k in range(8)})
+        placement = Placement(mapping)
+        result = reorder_accesses(problem, placement, window=16)
+        assert result.total_shifts < result.original_shifts / 2
+
+    def test_reduction_monotone_in_window_or_safe(self, placed):
+        problem, placement = placed
+        small = reorder_accesses(problem, placement, window=2)
+        large = reorder_accesses(problem, placement, window=64)
+        # Both are safe; the larger window is at least as good here.
+        assert large.total_shifts <= small.total_shifts
+
+    def test_deterministic(self, placed):
+        problem, placement = placed
+        first = reorder_accesses(problem, placement, window=8)
+        second = reorder_accesses(problem, placement, window=8)
+        assert first.trace == second.trace
+        assert first.total_shifts == second.total_shifts
+
+    def test_reduction_percent(self, placed):
+        problem, placement = placed
+        result = reorder_accesses(problem, placement, window=16)
+        expected = 100.0 * (
+            result.original_shifts - result.total_shifts
+        ) / result.original_shifts
+        assert result.reduction_percent == pytest.approx(expected)

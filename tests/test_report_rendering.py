@@ -1,0 +1,81 @@
+"""Additional rendering tests: heatmaps and formatting edge cases."""
+
+import pytest
+
+from repro.analysis.report import (
+    format_bar_chart,
+    format_grouped_bars,
+    format_heatmap,
+    format_table,
+)
+
+
+class TestHeatmap:
+    def test_intensities_scale_to_glyphs(self):
+        text = format_heatmap({"r": [0.0, 0.5, 1.0]}, levels=" ab")
+        row = next(line for line in text.splitlines() if line.startswith("r"))
+        cells = row.split("|")[1]
+        assert cells[0] == " "
+        assert cells[2] == "b"
+
+    def test_all_zero_rows(self):
+        text = format_heatmap({"a": [0, 0], "b": [0]})
+        assert "scale" not in text  # no max line when everything is zero
+        assert "a" in text and "b" in text
+
+    def test_scale_line_present(self):
+        text = format_heatmap({"a": [3.0]})
+        assert "max=3" in text
+
+    def test_labels_aligned(self):
+        text = format_heatmap({"x": [1], "longer": [1]})
+        lines = [line for line in text.splitlines() if "|" in line]
+        assert lines[0].index("|") == lines[1].index("|")
+
+    def test_title(self):
+        assert format_heatmap({}, title="T").startswith("T")
+
+
+class TestTableEdgeCases:
+    def test_empty_rows(self):
+        text = format_table(("a", "b"), [])
+        assert "a" in text and "b" in text
+
+    def test_mixed_types(self):
+        text = format_table(("v",), [(None,), (True,), (1.5,)])
+        assert "None" in text
+        assert "True" in text
+        assert "1.500" in text
+
+    def test_custom_float_format(self):
+        text = format_table(("v",), [(0.123456,)], float_format="{:.1f}")
+        assert "0.1" in text
+        assert "0.12" not in text
+
+
+class TestBarChartEdgeCases:
+    def test_zero_values_render(self):
+        text = format_bar_chart({"a": 0.0, "b": 0.0})
+        assert "a" in text and "b" in text
+
+    def test_negative_width_never_crashes(self):
+        # Rounded bar lengths are clamped at zero.
+        text = format_bar_chart({"a": 1.0}, width=1)
+        assert "a" in text
+
+
+class TestGroupedBarsEdgeCases:
+    def test_empty(self):
+        text = format_grouped_bars({})
+        assert text == ""
+
+    def test_missing_series_in_some_groups(self):
+        text = format_grouped_bars(
+            {"g1": {"m1": 1.0}, "g2": {"m2": 2.0}}
+        )
+        assert "g1:" in text and "g2:" in text
+        assert "m1" in text and "m2" in text
+
+    def test_all_zero_values(self):
+        text = format_grouped_bars({"g": {"m": 0.0}})
+        assert "0.000" in text

@@ -1,0 +1,125 @@
+"""Unit tests for repro.trace.address (raw-address trace ingestion)."""
+
+import pytest
+
+from repro.errors import TraceError
+from repro.trace.address import (
+    items_from_addresses,
+    load_address_trace,
+    parse_address_line,
+    save_address_trace,
+    synthetic_address_stream,
+    word_item_name,
+)
+
+
+class TestWordItemName:
+    def test_word_quantisation(self):
+        assert word_item_name(0x1000) == "w_1000"
+        assert word_item_name(0x1001) == "w_1000"
+        assert word_item_name(0x1003) == "w_1000"
+        assert word_item_name(0x1004) == "w_1004"
+
+    def test_custom_word_size(self):
+        assert word_item_name(0x10, word_bytes=8) == "w_10"
+        assert word_item_name(0x17, word_bytes=8) == "w_10"
+
+    def test_invalid_inputs(self):
+        with pytest.raises(TraceError):
+            word_item_name(-1)
+        with pytest.raises(TraceError):
+            word_item_name(0, word_bytes=0)
+
+
+class TestItemsFromAddresses:
+    def test_sub_word_accesses_collapse(self):
+        trace = items_from_addresses([(0x100, "R"), (0x102, "W"), (0x104, "R")])
+        assert trace.num_items == 2
+        assert trace[0].item == trace[1].item
+
+    def test_kinds_preserved(self):
+        trace = items_from_addresses([(0x0, "R"), (0x0, "W")])
+        assert not trace[0].is_write
+        assert trace[1].is_write
+
+    def test_address_range_filter(self):
+        records = [(0x100, "R"), (0x900, "R"), (0x104, "R")]
+        trace = items_from_addresses(records, address_range=(0x100, 0x200))
+        assert len(trace) == 2
+
+    def test_metadata_records_word_size(self):
+        trace = items_from_addresses([(0, "R")], word_bytes=8)
+        assert trace.metadata["word_bytes"] == 8
+
+
+class TestParseLine:
+    def test_standard_format(self):
+        assert parse_address_line("R 0x1000") == (0x1000, "R")
+        assert parse_address_line("w 4096") == (4096, "W")
+
+    def test_address_first_format(self):
+        assert parse_address_line("0x20 R") == (0x20, "R")
+
+    def test_blank_and_comment(self):
+        assert parse_address_line("") is None
+        assert parse_address_line("# header") is None
+
+    def test_malformed(self):
+        with pytest.raises(TraceError):
+            parse_address_line("justone", 3)
+        with pytest.raises(TraceError):
+            parse_address_line("X 0x10", 4)
+        with pytest.raises(TraceError):
+            parse_address_line("R notanumber", 5)
+
+
+class TestFileRoundtrip:
+    def test_save_and_load(self, tmp_path):
+        records = [(0x1000, "R"), (0x1004, "W"), (0x1000, "R")]
+        path = tmp_path / "dump.txt"
+        save_address_trace(records, path, comment="test dump")
+        trace = load_address_trace(path)
+        assert len(trace) == 3
+        assert trace[1].is_write
+        assert trace.name == "dump"
+
+    def test_load_with_range(self, tmp_path):
+        records = [(0x0, "R"), (0x1000, "R")]
+        path = tmp_path / "dump.txt"
+        save_address_trace(records, path)
+        trace = load_address_trace(path, address_range=(0x1000, 0x2000))
+        assert len(trace) == 1
+
+    def test_bad_line_reports_number(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("R 0x10\noops\n")
+        with pytest.raises(TraceError, match="line 2"):
+            load_address_trace(path)
+
+
+class TestSyntheticStream:
+    def test_deterministic(self):
+        assert synthetic_address_stream(seed=4) == synthetic_address_stream(seed=4)
+
+    def test_word_aligned_in_range(self):
+        stream = synthetic_address_stream(
+            base=0x2000, num_words=16, num_accesses=200, seed=1
+        )
+        for address, kind in stream:
+            assert address % 4 == 0
+            assert 0x2000 <= address < 0x2000 + 16 * 4
+            assert kind in ("R", "W")
+
+    def test_end_to_end_placement(self):
+        """Address stream → trace → optimized placement, full flow."""
+        from repro.core.api import optimize_placement
+
+        stream = synthetic_address_stream(num_words=24, num_accesses=600, seed=9)
+        trace = items_from_addresses(stream)
+        heuristic = optimize_placement(trace, words_per_dbc=8, method="heuristic")
+        declaration = optimize_placement(trace, words_per_dbc=8, method="declaration")
+        assert heuristic.total_shifts <= declaration.total_shifts
+
+    def test_validation(self):
+        with pytest.raises(TraceError):
+            synthetic_address_stream(num_words=0)

@@ -1,0 +1,130 @@
+"""Unit tests for repro.trace.io (JSONL and compact text formats)."""
+
+import pytest
+
+from repro.errors import TraceError
+from repro.trace import io as trace_io
+from repro.trace.model import AccessTrace
+from repro.trace.synthetic import markov_trace
+
+
+class TestJSONLRoundtrip:
+    def test_roundtrip_preserves_accesses(self, tmp_path, tiny_trace):
+        path = tmp_path / "t.jsonl"
+        trace_io.save_jsonl(tiny_trace, path)
+        loaded = trace_io.load_jsonl(path)
+        assert loaded == tiny_trace
+
+    def test_roundtrip_preserves_name_and_metadata(self, tmp_path):
+        trace = AccessTrace(["a"], name="named", metadata={"seed": 3})
+        path = tmp_path / "t.jsonl"
+        trace_io.save_jsonl(trace, path)
+        loaded = trace_io.load_jsonl(path)
+        assert loaded.name == "named"
+        assert loaded.metadata["seed"] == 3
+
+    def test_non_json_metadata_dropped(self, tmp_path):
+        trace = AccessTrace(["a"], metadata={"fn": len, "ok": 1})
+        path = tmp_path / "t.jsonl"
+        trace_io.save_jsonl(trace, path)
+        loaded = trace_io.load_jsonl(path)
+        assert "fn" not in loaded.metadata
+        assert loaded.metadata["ok"] == 1
+
+    def test_large_trace_roundtrip(self, tmp_path):
+        trace = markov_trace(20, 500, seed=9)
+        path = tmp_path / "big.jsonl"
+        trace_io.save_jsonl(trace, path)
+        assert trace_io.load_jsonl(path) == trace
+
+    def test_empty_file_raises(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        with pytest.raises(TraceError, match="empty"):
+            trace_io.load_jsonl(path)
+
+    def test_wrong_format_raises(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"format": "other"}\n')
+        with pytest.raises(TraceError, match="not a repro trace"):
+            trace_io.load_jsonl(path)
+
+    def test_bad_header_json_raises(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("not-json\n")
+        with pytest.raises(TraceError, match="invalid JSONL header"):
+            trace_io.load_jsonl(path)
+
+    def test_count_mismatch_raises(self, tmp_path, tiny_trace):
+        path = tmp_path / "t.jsonl"
+        trace_io.save_jsonl(tiny_trace, path)
+        lines = path.read_text().splitlines()
+        path.write_text("\n".join(lines[:-1]) + "\n")  # drop one access
+        with pytest.raises(TraceError, match="declares"):
+            trace_io.load_jsonl(path)
+
+    def test_malformed_record_raises(self, tmp_path, tiny_trace):
+        path = tmp_path / "t.jsonl"
+        trace_io.save_jsonl(tiny_trace, path)
+        lines = path.read_text().splitlines()
+        lines[2] = '{"bogus": true}'
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(TraceError, match="malformed"):
+            trace_io.load_jsonl(path)
+
+    def test_unsupported_version_raises(self, tmp_path):
+        path = tmp_path / "v9.jsonl"
+        path.write_text('{"format": "repro-trace", "version": 99}\n')
+        with pytest.raises(TraceError, match="version"):
+            trace_io.load_jsonl(path)
+
+
+class TestTextRoundtrip:
+    def test_roundtrip(self, tmp_path, tiny_trace):
+        path = tmp_path / "t.trc"
+        trace_io.save_text(tiny_trace, path)
+        loaded = trace_io.load_text(path)
+        assert loaded == tiny_trace
+        assert loaded.name == "tiny"
+
+    def test_comments_ignored(self, tmp_path):
+        path = tmp_path / "c.trc"
+        path.write_text("# a comment\nR x\n\nW y\n")
+        loaded = trace_io.load_text(path)
+        assert loaded.item_sequence == ("x", "y")
+        assert loaded[1].is_write
+
+    def test_whitespace_item_rejected_on_save(self, tmp_path):
+        trace = AccessTrace(["has space"])
+        with pytest.raises(TraceError, match="whitespace"):
+            trace_io.save_text(trace, tmp_path / "t.trc")
+
+    def test_malformed_line_raises(self, tmp_path):
+        path = tmp_path / "bad.trc"
+        path.write_text("JUSTONETOKEN\n")
+        with pytest.raises(TraceError, match="expected"):
+            trace_io.load_text(path)
+
+    def test_bad_kind_raises_with_line_number(self, tmp_path):
+        path = tmp_path / "bad.trc"
+        path.write_text("R ok\nQ item\n")
+        with pytest.raises(TraceError, match=":2"):
+            trace_io.load_text(path)
+
+
+class TestDispatch:
+    def test_save_load_by_extension_jsonl(self, tmp_path, tiny_trace):
+        path = tmp_path / "x.jsonl"
+        trace_io.save(tiny_trace, path)
+        assert trace_io.load(path) == tiny_trace
+
+    def test_save_load_by_extension_trc(self, tmp_path, tiny_trace):
+        path = tmp_path / "x.trc"
+        trace_io.save(tiny_trace, path)
+        assert trace_io.load(path) == tiny_trace
+
+    def test_unknown_extension_raises(self, tmp_path, tiny_trace):
+        with pytest.raises(TraceError, match="extension"):
+            trace_io.save(tiny_trace, tmp_path / "x.csv")
+        with pytest.raises(TraceError, match="extension"):
+            trace_io.load(tmp_path / "x.csv")

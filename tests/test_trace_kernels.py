@@ -1,0 +1,369 @@
+"""Functional-correctness tests for the instrumented benchmark kernels.
+
+The kernels must compute *correct* results (they are real executions whose
+access sequences we trace), so each test checks the kernel's functional
+output against an independent reference — numpy, zlib, or a clean-room
+re-implementation.
+"""
+
+import random
+import zlib
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceError
+from repro.trace.kernels import (
+    KERNELS,
+    SWEEP_KERNELS,
+    benchmark_suite,
+    bitonic_sort_trace,
+    conv2d_trace,
+    crc32_trace,
+    dct8x8_trace,
+    dijkstra_trace,
+    fft_trace,
+    fir_trace,
+    histogram_trace,
+    iir_trace,
+    insertion_sort_trace,
+    kmp_trace,
+    lms_trace,
+    matmul_trace,
+    quicksort_trace,
+    spmv_trace,
+    transpose_trace,
+    viterbi_trace,
+    _rand_ints,
+    _rand_values,
+)
+
+
+class TestRegistry:
+    def test_seventeen_kernels(self):
+        assert len(KERNELS) == 17
+
+    def test_sweep_kernels_subset(self):
+        assert set(SWEEP_KERNELS) <= set(KERNELS)
+
+    def test_benchmark_suite_all(self):
+        suite = benchmark_suite()
+        assert set(suite) == set(KERNELS)
+        assert all(len(trace) > 0 for trace in suite.values())
+
+    def test_benchmark_suite_selection(self):
+        suite = benchmark_suite(("fir", "crc32"))
+        assert set(suite) == {"fir", "crc32"}
+
+    def test_benchmark_suite_unknown_raises(self):
+        with pytest.raises(TraceError):
+            benchmark_suite(("nope",))
+
+    @pytest.mark.parametrize("name", sorted(KERNELS))
+    def test_kernels_deterministic(self, name):
+        assert KERNELS[name]() == KERNELS[name]()
+
+    @pytest.mark.parametrize("name", sorted(KERNELS))
+    def test_traces_have_reads_and_items(self, name):
+        trace = KERNELS[name]()
+        assert trace.num_items > 0
+        reads, _writes = trace.read_write_counts()
+        assert reads > 0
+
+
+class TestFIR:
+    def test_matches_direct_convolution(self):
+        taps, samples, seed = 6, 20, 1
+        trace = fir_trace(taps=taps, samples=samples, seed=seed)
+        coeffs = _rand_values(taps, seed)
+        inputs = _rand_values(samples, seed + 1)
+        expected = []
+        for n in range(samples):
+            acc = 0.0
+            for k in range(taps):
+                if n - k >= 0:
+                    acc += coeffs[k] * inputs[n - k]
+            expected.append(acc)
+        assert trace.metadata["result"] == pytest.approx(expected)
+
+    def test_trace_length_scales_with_samples(self):
+        short = fir_trace(taps=4, samples=8)
+        long = fir_trace(taps=4, samples=16)
+        assert len(long) > len(short)
+
+
+class TestIIR:
+    def test_matches_reference_biquad_cascade(self):
+        sections, samples, seed = 2, 16, 2
+        trace = iir_trace(sections=sections, samples=samples, seed=seed)
+        coeffs = _rand_values(5 * sections, seed, -0.4, 0.4)
+        inputs = _rand_values(samples, seed + 1)
+        state = [0.0] * (2 * sections)
+        expected = []
+        for sample in inputs:
+            x = sample
+            for s in range(sections):
+                b0, b1, b2, a1, a2 = coeffs[5 * s : 5 * s + 5]
+                w1, w2 = state[2 * s], state[2 * s + 1]
+                w0 = x - a1 * w1 - a2 * w2
+                x = b0 * w0 + b1 * w1 + b2 * w2
+                state[2 * s + 1] = w1
+                state[2 * s] = w0
+            expected.append(x)
+        assert trace.metadata["result"] == pytest.approx(expected)
+
+
+class TestMatmul:
+    def test_matches_numpy(self):
+        size, seed = 4, 3
+        trace = matmul_trace(size=size, seed=seed)
+        a = np.array(_rand_values(size * size, seed)).reshape(size, size)
+        b = np.array(_rand_values(size * size, seed + 1)).reshape(size, size)
+        expected = (a @ b).ravel()
+        assert trace.metadata["result"] == pytest.approx(expected.tolist())
+
+
+class TestFFT:
+    def test_matches_numpy_fft(self):
+        size, seed = 16, 4
+        trace = fft_trace(size=size, seed=seed)
+        inputs = _rand_values(size, seed)
+        expected = np.fft.fft(inputs)
+        real, imag = trace.metadata["result"]
+        assert real == pytest.approx(expected.real.tolist(), abs=1e-9)
+        assert imag == pytest.approx(expected.imag.tolist(), abs=1e-9)
+
+    def test_non_power_of_two_raises(self):
+        with pytest.raises(TraceError):
+            fft_trace(size=12)
+
+
+class TestDCT:
+    def test_dc_coefficient_is_block_sum(self):
+        trace = dct8x8_trace(blocks=2, seed=5)
+        for block_index, out in enumerate(trace.metadata["result"]):
+            block = _rand_values(64, 5 + block_index, 0.0, 255.0)
+            assert out[0] == pytest.approx(sum(block))
+
+    def test_one_output_block_per_input_block(self):
+        trace = dct8x8_trace(blocks=3)
+        assert len(trace.metadata["result"]) == 3
+
+
+class TestSorts:
+    def test_insertion_sort_sorts(self):
+        trace = insertion_sort_trace(length=16, seed=8)
+        result = trace.metadata["result"]
+        assert result == sorted(result)
+
+    def test_insertion_sort_is_permutation(self):
+        trace = insertion_sort_trace(length=16, seed=8)
+        assert sorted(trace.metadata["result"]) == sorted(_rand_ints(16, 8))
+
+    def test_quicksort_sorts(self):
+        trace = quicksort_trace(length=20, seed=9)
+        result = trace.metadata["result"]
+        assert result == sorted(result)
+
+    def test_quicksort_is_permutation(self):
+        trace = quicksort_trace(length=20, seed=9)
+        assert sorted(trace.metadata["result"]) == sorted(_rand_ints(20, 9))
+
+
+class TestHistogram:
+    def test_total_count_equals_samples(self):
+        trace = histogram_trace(bins=8, samples=100, seed=10)
+        assert sum(trace.metadata["result"]) == 100
+
+    def test_counts_match_reference(self):
+        bins, samples, seed = 8, 100, 10
+        trace = histogram_trace(bins=bins, samples=samples, seed=seed)
+        expected = [0] * bins
+        for value in _rand_ints(samples, seed):
+            expected[value % bins] += 1
+        assert trace.metadata["result"] == expected
+
+
+class TestKMP:
+    def test_planted_pattern_found(self):
+        text_length = 160
+        trace = kmp_trace(text_length=text_length, pattern_length=8, seed=11)
+        assert text_length // 3 in trace.metadata["result"]
+
+    def test_matches_in_range(self):
+        trace = kmp_trace(text_length=120, pattern_length=6, seed=2)
+        for position in trace.metadata["result"]:
+            assert 0 <= position <= 120 - 6
+
+
+class TestDijkstra:
+    def test_source_distance_zero(self):
+        trace = dijkstra_trace(nodes=10, seed=12)
+        assert trace.metadata["result"][0] == 0.0
+
+    def test_all_reachable_with_positive_distances(self):
+        trace = dijkstra_trace(nodes=10, seed=12)
+        distances = trace.metadata["result"]
+        assert all(d < float("inf") for d in distances)
+        assert all(d >= 0 for d in distances)
+
+    def test_ring_bound_holds(self):
+        # The generator guarantees a ring with weights <= 10, so every node
+        # is at most (nodes/2)*10 away from the source.
+        nodes = 8
+        trace = dijkstra_trace(nodes=nodes, seed=1)
+        assert max(trace.metadata["result"]) <= 10 * nodes
+
+
+class TestCRC32:
+    def test_matches_zlib(self):
+        num_bytes, seed = 64, 13
+        trace = crc32_trace(num_bytes=num_bytes, seed=seed)
+        buffer = bytes(_rand_ints(num_bytes, seed))
+        assert trace.metadata["result"] == zlib.crc32(buffer)
+
+    def test_different_data_different_crc(self):
+        a = crc32_trace(num_bytes=32, seed=1).metadata["result"]
+        b = crc32_trace(num_bytes=32, seed=2).metadata["result"]
+        assert a != b
+
+
+class TestLMS:
+    def test_matches_reference_implementation(self):
+        taps, samples, seed = 4, 24, 6
+        trace = lms_trace(taps=taps, samples=samples, seed=seed)
+        rng = random.Random(seed)
+        weights = [0.0] * taps
+        delay = [0.0] * taps
+        expected = []
+        mu = 0.05
+        for _ in range(samples):
+            sample = rng.uniform(-1, 1)
+            desired = 0.7 * sample + rng.uniform(-0.05, 0.05)
+            delay = [sample] + delay[:-1]
+            estimate = sum(w * x for w, x in zip(weights, delay))
+            err = desired - estimate
+            expected.append(err)
+            weights = [w + mu * err * x for w, x in zip(weights, delay)]
+        assert trace.metadata["result"] == pytest.approx(expected)
+
+    def test_filter_converges(self):
+        trace = lms_trace(taps=8, samples=96, seed=6)
+        errors = [abs(e) for e in trace.metadata["result"]]
+        quarter = len(errors) // 4
+        assert sum(errors[-quarter:]) < sum(errors[:quarter])
+
+
+class TestViterbi:
+    def test_path_states_in_range(self):
+        states, steps = 5, 12
+        trace = viterbi_trace(states=states, steps=steps, seed=14)
+        path = trace.metadata["result"]
+        assert len(path) == steps
+        assert all(0 <= s < states for s in path)
+
+    def test_matches_reference_dp(self):
+        import random as random_module
+
+        states, steps, seed = 4, 8, 14
+        trace = viterbi_trace(states=states, steps=steps, seed=seed)
+        rng = random_module.Random(seed)
+        trans = [
+            [rng.uniform(-2.0, -0.1) for _ in range(states)]
+            for _ in range(states)
+        ]
+        # Kernel builds transition row-major then emission row-major.
+        flat_trans = [value for row in trans for value in row]
+        del flat_trans
+        emit = [
+            [rng.uniform(-2.0, -0.1) for _ in range(steps)]
+            for _ in range(states)
+        ]
+        score = [emit[s][0] for s in range(states)]
+        back = [[0] * states for _ in range(steps)]
+        for t in range(1, steps):
+            new_score = []
+            for s in range(states):
+                best, best_p = None, 0
+                for p in range(states):
+                    candidate = score[p] + trans[p][s]
+                    if best is None or candidate > best:
+                        best, best_p = candidate, p
+                new_score.append(best + emit[s][t])
+                back[t][s] = best_p
+            score = new_score
+        final = max(range(states), key=lambda s: score[s])
+        path = [final]
+        for t in range(steps - 1, 0, -1):
+            path.append(back[t][path[-1]])
+        path.reverse()
+        assert trace.metadata["result"] == path
+
+
+class TestBitonicSort:
+    def test_sorts(self):
+        trace = bitonic_sort_trace(length=16, seed=15)
+        result = trace.metadata["result"]
+        assert result == sorted(result)
+
+    def test_is_permutation(self):
+        trace = bitonic_sort_trace(length=16, seed=15)
+        assert sorted(trace.metadata["result"]) == sorted(_rand_ints(16, 15))
+
+    def test_data_independent_access_pattern(self):
+        """The compare-exchange schedule doesn't depend on the data."""
+        a = bitonic_sort_trace(length=8, seed=1)
+        b = bitonic_sort_trace(length=8, seed=2)
+        assert a.item_sequence == b.item_sequence
+
+    def test_non_power_of_two_raises(self):
+        with pytest.raises(TraceError):
+            bitonic_sort_trace(length=12)
+
+
+class TestTranspose:
+    def test_matches_numpy(self):
+        rows, cols, seed = 4, 6, 16
+        trace = transpose_trace(rows=rows, cols=cols, seed=seed)
+        source = np.array(_rand_values(rows * cols, seed)).reshape(rows, cols)
+        assert trace.metadata["result"] == pytest.approx(
+            source.T.ravel().tolist()
+        )
+
+
+class TestSpMV:
+    def test_matches_reference(self):
+        trace = spmv_trace(size=10, density=0.3, seed=17)
+        values, columns, row_ptr = trace.metadata["csr"]
+        vector = _rand_values(10, 18)
+        expected = []
+        for row in range(10):
+            acc = 0.0
+            for entry in range(row_ptr[row], row_ptr[row + 1]):
+                acc += values[entry] * vector[columns[entry]]
+            expected.append(acc)
+        assert trace.metadata["result"] == pytest.approx(expected)
+
+    def test_invalid_density_raises(self):
+        with pytest.raises(TraceError):
+            spmv_trace(density=0.0)
+        with pytest.raises(TraceError):
+            spmv_trace(density=1.5)
+
+
+class TestConv2D:
+    def test_matches_numpy(self):
+        image, kernel, seed = 6, 3, 7
+        trace = conv2d_trace(image=image, kernel=kernel, seed=seed)
+        img = np.array(_rand_values(image * image, seed)).reshape(image, image)
+        ker = np.array(_rand_values(kernel * kernel, seed + 1)).reshape(kernel, kernel)
+        out_size = image - kernel + 1
+        expected = np.zeros((out_size, out_size))
+        for r in range(out_size):
+            for c in range(out_size):
+                expected[r, c] = (img[r : r + kernel, c : c + kernel] * ker).sum()
+        assert trace.metadata["result"] == pytest.approx(expected.ravel().tolist())
+
+    def test_kernel_larger_than_image_raises(self):
+        with pytest.raises(TraceError):
+            conv2d_trace(image=2, kernel=3)

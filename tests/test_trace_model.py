@@ -1,0 +1,225 @@
+"""Unit tests for repro.trace.model."""
+
+import pytest
+
+from repro.errors import TraceError
+from repro.trace.model import (
+    Access,
+    AccessKind,
+    AccessTrace,
+    TracedArray,
+    TracedScalar,
+    TraceRecorder,
+)
+
+
+class TestAccessKind:
+    def test_parse_letters(self):
+        assert AccessKind.parse("R") is AccessKind.READ
+        assert AccessKind.parse("w") is AccessKind.WRITE
+
+    def test_parse_words(self):
+        assert AccessKind.parse("read") is AccessKind.READ
+        assert AccessKind.parse("WRITE") is AccessKind.WRITE
+
+    def test_parse_invalid_raises(self):
+        with pytest.raises(TraceError):
+            AccessKind.parse("X")
+
+
+class TestAccess:
+    def test_defaults_to_read(self):
+        assert Access("a").kind is AccessKind.READ
+
+    def test_kind_coerced_from_string(self):
+        assert Access("a", "W").is_write
+
+    def test_empty_item_raises(self):
+        with pytest.raises(TraceError):
+            Access("")
+
+    def test_str(self):
+        assert str(Access("x", "W")) == "W x"
+
+    def test_frozen_and_hashable(self):
+        assert hash(Access("a")) == hash(Access("a"))
+
+
+class TestAccessTraceConstruction:
+    def test_from_strings(self):
+        trace = AccessTrace(["a", "b", "a"])
+        assert len(trace) == 3
+        assert all(not access.is_write for access in trace)
+
+    def test_from_tuples(self):
+        trace = AccessTrace([("a", "R"), ("b", "W")])
+        assert trace[1].is_write
+
+    def test_from_access_objects(self):
+        trace = AccessTrace([Access("a"), Access("b", "W")])
+        assert trace[0].item == "a"
+
+    def test_bad_entry_raises(self):
+        with pytest.raises(TraceError):
+            AccessTrace([42])
+
+    def test_from_items_classmethod(self):
+        trace = AccessTrace.from_items(["x", "y", "x"], name="seq")
+        assert trace.name == "seq"
+        assert trace.item_sequence == ("x", "y", "x")
+
+
+class TestAccessTraceViews:
+    def test_items_first_touch_order(self, tiny_trace):
+        assert tiny_trace.items == ("a", "b", "c")
+
+    def test_num_items(self, tiny_trace):
+        assert tiny_trace.num_items == 3
+
+    def test_frequencies(self, tiny_trace):
+        frequencies = tiny_trace.frequencies()
+        assert frequencies["a"] == 2
+        assert frequencies["b"] == 2
+        assert frequencies["c"] == 1
+
+    def test_read_write_counts(self, tiny_trace):
+        reads, writes = tiny_trace.read_write_counts()
+        assert (reads, writes) == (4, 1)
+
+    def test_adjacent_pairs(self):
+        trace = AccessTrace(["a", "b", "b", "c"])
+        assert list(trace.adjacent_pairs()) == [
+            ("a", "b"),
+            ("b", "b"),
+            ("b", "c"),
+        ]
+
+    def test_equality_ignores_name(self):
+        assert AccessTrace(["a"], name="x") == AccessTrace(["a"], name="y")
+
+    def test_hashable(self):
+        assert hash(AccessTrace(["a", "b"])) == hash(AccessTrace(["a", "b"]))
+
+    def test_slice_returns_trace(self, tiny_trace):
+        head = tiny_trace[:2]
+        assert isinstance(head, AccessTrace)
+        assert len(head) == 2
+
+    def test_repr_mentions_counts(self, tiny_trace):
+        assert "n_accesses=5" in repr(tiny_trace)
+
+
+class TestAccessTraceTransforms:
+    def test_restricted_to(self, tiny_trace):
+        restricted = tiny_trace.restricted_to({"a", "c"})
+        assert restricted.item_sequence == ("a", "a", "c")
+
+    def test_restricted_preserves_kinds(self):
+        trace = AccessTrace([("a", "W"), ("b", "R"), ("a", "R")])
+        restricted = trace.restricted_to({"a"})
+        assert [access.is_write for access in restricted] == [True, False]
+
+    def test_truncated(self, tiny_trace):
+        assert len(tiny_trace.truncated(3)) == 3
+
+    def test_truncated_negative_raises(self, tiny_trace):
+        with pytest.raises(TraceError):
+            tiny_trace.truncated(-1)
+
+    def test_top_items(self):
+        trace = AccessTrace(["a"] * 5 + ["b"] * 3 + ["c"])
+        top = trace.top_items(2)
+        assert set(top.items) == {"a", "b"}
+
+    def test_top_items_zero_raises(self, tiny_trace):
+        with pytest.raises(TraceError):
+            tiny_trace.top_items(0)
+
+    def test_concatenated(self):
+        left = AccessTrace(["a"], name="l")
+        right = AccessTrace(["b"], name="r")
+        combined = left.concatenated(right)
+        assert combined.item_sequence == ("a", "b")
+        assert combined.name == "l+r"
+
+    def test_renamed(self, tiny_trace):
+        assert tiny_trace.renamed("new").name == "new"
+        assert tiny_trace.renamed("new") == tiny_trace
+
+
+class TestTraceRecorder:
+    def test_records_in_order(self):
+        recorder = TraceRecorder()
+        recorder.record_read("a")
+        recorder.record_write("b")
+        trace = recorder.to_trace("rec")
+        assert trace.item_sequence == ("a", "b")
+        assert trace[1].is_write
+
+    def test_len(self):
+        recorder = TraceRecorder()
+        recorder.record_read("a")
+        assert len(recorder) == 1
+
+
+class TestTracedArray:
+    def test_getitem_records_read(self):
+        recorder = TraceRecorder()
+        array = TracedArray("x", [10, 20], recorder)
+        assert array[1] == 20
+        trace = recorder.to_trace("t")
+        assert trace[0].item == "x[1]"
+        assert not trace[0].is_write
+
+    def test_setitem_records_write(self):
+        recorder = TraceRecorder()
+        array = TracedArray("x", [0], recorder)
+        array[0] = 9
+        trace = recorder.to_trace("t")
+        assert trace[0].item == "x[0]"
+        assert trace[0].is_write
+        assert array.peek(0) == 9
+
+    def test_negative_index_normalised(self):
+        recorder = TraceRecorder()
+        array = TracedArray("x", [1, 2, 3], recorder)
+        assert array[-1] == 3
+        trace = recorder.to_trace("t")
+        assert trace[0].item == "x[2]"
+
+    def test_out_of_range_raises(self):
+        recorder = TraceRecorder()
+        array = TracedArray("x", [1], recorder)
+        with pytest.raises(IndexError):
+            array[5]
+
+    def test_peek_and_snapshot_silent(self):
+        recorder = TraceRecorder()
+        array = TracedArray("x", [1, 2], recorder)
+        array.peek(0)
+        array.snapshot()
+        assert len(recorder) == 0
+
+    def test_len(self):
+        recorder = TraceRecorder()
+        assert len(TracedArray("x", [1, 2, 3], recorder)) == 3
+
+
+class TestTracedScalar:
+    def test_get_records_read(self):
+        recorder = TraceRecorder()
+        scalar = TracedScalar("s", 5, recorder)
+        assert scalar.get() == 5
+        assert recorder.to_trace("t")[0].item == "s"
+
+    def test_set_records_write(self):
+        recorder = TraceRecorder()
+        scalar = TracedScalar("s", 0, recorder)
+        scalar.set(7)
+        assert scalar.peek() == 7
+        assert recorder.to_trace("t")[0].is_write
+
+    def test_peek_silent(self):
+        recorder = TraceRecorder()
+        TracedScalar("s", 1, recorder).peek()
+        assert len(recorder) == 0

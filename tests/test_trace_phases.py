@@ -1,0 +1,102 @@
+"""Unit tests for repro.trace.phases (phase analysis)."""
+
+import pytest
+
+from repro.errors import TraceError
+from repro.trace.model import AccessTrace
+from repro.trace.phases import (
+    jaccard,
+    phase_boundaries,
+    phase_stability_score,
+    phase_summary,
+    windowed_working_sets,
+)
+from repro.trace.synthetic import markov_trace
+
+
+def two_phase_trace(per_phase=512):
+    a = markov_trace(10, per_phase, locality=0.9, seed=1).prefixed("a_")
+    b = markov_trace(10, per_phase, locality=0.9, seed=2).prefixed("b_")
+    return a.concatenated(b)
+
+
+class TestWindowedWorkingSets:
+    def test_window_partitioning(self):
+        trace = AccessTrace(["a"] * 10)
+        sets = windowed_working_sets(trace, window=4)
+        assert len(sets) == 3  # 4 + 4 + 2
+        assert all(s == {"a"} for s in sets)
+
+    def test_exact_multiple_no_empty_tail(self):
+        trace = AccessTrace(["a"] * 8)
+        assert len(windowed_working_sets(trace, window=4)) == 2
+
+    def test_invalid_window_raises(self):
+        with pytest.raises(TraceError):
+            windowed_working_sets(AccessTrace(["a"]), window=0)
+
+
+class TestJaccard:
+    def test_identical(self):
+        assert jaccard({"a", "b"}, {"a", "b"}) == 1.0
+
+    def test_disjoint(self):
+        assert jaccard({"a"}, {"b"}) == 0.0
+
+    def test_partial(self):
+        assert jaccard({"a", "b"}, {"b", "c"}) == pytest.approx(1 / 3)
+
+    def test_empty_sets(self):
+        assert jaccard(set(), set()) == 1.0
+
+
+class TestPhaseBoundaries:
+    def test_single_phase_no_boundaries(self):
+        trace = markov_trace(10, 1024, locality=0.9, seed=3)
+        assert phase_boundaries(trace, window=256) == []
+
+    def test_two_phases_one_boundary(self):
+        trace = two_phase_trace(512)
+        boundaries = phase_boundaries(trace, window=256)
+        assert boundaries == [512]
+
+    def test_invalid_threshold_raises(self):
+        with pytest.raises(TraceError):
+            phase_boundaries(AccessTrace(["a"]), threshold=2.0)
+
+
+class TestPhaseSummary:
+    def test_phases_cover_trace(self):
+        trace = two_phase_trace(512)
+        phases = phase_summary(trace, window=256)
+        assert phases[0].start == 0
+        assert phases[-1].end == len(trace)
+        assert sum(phase.length for phase in phases) == len(trace)
+
+    def test_phase_traces_are_slices(self):
+        trace = two_phase_trace(512)
+        phases = phase_summary(trace, window=256)
+        assert len(phases) == 2
+        assert all(item.startswith("a_") for item in phases[0].trace.items)
+        assert all(item.startswith("b_") for item in phases[1].trace.items)
+
+    def test_working_set_size(self):
+        trace = two_phase_trace(512)
+        phases = phase_summary(trace, window=256)
+        assert phases[0].working_set_size <= 10
+
+
+class TestStabilityScore:
+    def test_single_phase_high(self):
+        trace = markov_trace(8, 1024, locality=0.95, seed=4)
+        assert phase_stability_score(trace, window=256) > 0.7
+
+    def test_phase_change_lowers_score(self):
+        stable = markov_trace(8, 1024, locality=0.95, seed=4)
+        phased = two_phase_trace(512)
+        assert phase_stability_score(phased, window=256) < (
+            phase_stability_score(stable, window=256)
+        )
+
+    def test_short_trace_scores_one(self):
+        assert phase_stability_score(AccessTrace(["a"] * 10), window=256) == 1.0

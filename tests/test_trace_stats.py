@@ -1,0 +1,154 @@
+"""Unit tests for repro.trace.stats."""
+
+import pytest
+
+from repro.trace.model import AccessTrace
+from repro.trace.stats import (
+    AffinityMatrix,
+    affinity_graph,
+    compute_stats,
+    hot_items,
+    reuse_distances,
+    shift_locality_score,
+    transition_counts,
+)
+
+
+class TestAffinityGraph:
+    def test_counts_unordered_pairs(self):
+        trace = AccessTrace(["a", "b", "a", "b"])
+        graph = affinity_graph(trace)
+        assert graph == {("a", "b"): 3}
+
+    def test_self_pairs_excluded_by_default(self):
+        trace = AccessTrace(["a", "a", "b"])
+        graph = affinity_graph(trace)
+        assert ("a", "a") not in graph
+        assert graph[("a", "b")] == 1
+
+    def test_self_pairs_included_on_request(self):
+        trace = AccessTrace(["a", "a"])
+        graph = affinity_graph(trace, include_self_pairs=True)
+        assert graph[("a", "a")] == 1
+
+    def test_key_is_sorted(self):
+        trace = AccessTrace(["b", "a"])
+        assert list(affinity_graph(trace)) == [("a", "b")]
+
+    def test_empty_trace(self):
+        assert affinity_graph(AccessTrace([])) == {}
+
+    def test_total_mass_is_nonself_transitions(self):
+        trace = AccessTrace(["a", "b", "c", "b", "b", "a"])
+        graph = affinity_graph(trace)
+        # transitions: ab bc cb bb ba -> 4 non-self
+        assert sum(graph.values()) == 4
+
+
+class TestTransitionCounts:
+    def test_keeps_direction(self):
+        trace = AccessTrace(["a", "b", "a"])
+        counts = transition_counts(trace)
+        assert counts[("a", "b")] == 1
+        assert counts[("b", "a")] == 1
+
+    def test_keeps_self_pairs(self):
+        trace = AccessTrace(["a", "a"])
+        assert transition_counts(trace) == {("a", "a"): 1}
+
+
+class TestReuseDistances:
+    def test_immediate_reuse_distance_zero(self):
+        assert reuse_distances(AccessTrace(["a", "a"])) == [0]
+
+    def test_one_item_between(self):
+        assert reuse_distances(AccessTrace(["a", "b", "a"])) == [1]
+
+    def test_cold_misses_excluded(self):
+        assert reuse_distances(AccessTrace(["a", "b", "c"])) == []
+
+    def test_lru_stack_semantics(self):
+        # a b c b a: b reused at distance 1, a reused at distance 2 (c,b seen)
+        assert reuse_distances(AccessTrace(["a", "b", "c", "b", "a"])) == [1, 2]
+
+
+class TestComputeStats:
+    def test_basic_fields(self, tiny_trace):
+        stats = compute_stats(tiny_trace)
+        assert stats.num_accesses == 5
+        assert stats.num_items == 3
+        assert stats.reads == 4
+        assert stats.writes == 1
+        assert stats.name == "tiny"
+
+    def test_write_fraction(self, tiny_trace):
+        assert compute_stats(tiny_trace).write_fraction == pytest.approx(0.2)
+
+    def test_accesses_per_item(self, tiny_trace):
+        assert compute_stats(tiny_trace).accesses_per_item == pytest.approx(5 / 3)
+
+    def test_top_item(self):
+        trace = AccessTrace(["a", "a", "b"])
+        stats = compute_stats(trace)
+        assert stats.top_item == "a"
+        assert stats.max_item_frequency == 2
+
+    def test_empty_reuse_stats_zero(self):
+        stats = compute_stats(AccessTrace(["a", "b"]))
+        assert stats.mean_reuse_distance == 0.0
+
+
+class TestAffinityMatrix:
+    def test_from_trace_weights(self):
+        trace = AccessTrace(["a", "b", "a", "c"])
+        matrix = AffinityMatrix.from_trace(trace)
+        ia, ib, ic = (matrix.index[x] for x in "abc")
+        assert matrix.weight(ia, ib) == 2
+        assert matrix.weight(ia, ic) == 1
+        assert matrix.weight(ib, ic) == 0
+
+    def test_weight_symmetric(self):
+        trace = AccessTrace(["a", "b"])
+        matrix = AffinityMatrix.from_trace(trace)
+        assert matrix.weight(0, 1) == matrix.weight(1, 0)
+
+    def test_to_numpy(self):
+        import numpy as np
+
+        trace = AccessTrace(["a", "b", "a"])
+        dense = AffinityMatrix.from_trace(trace).to_numpy()
+        assert dense.shape == (2, 2)
+        assert np.allclose(dense, dense.T)
+        assert dense[0, 1] == 2
+
+    def test_neighbor_weights(self):
+        trace = AccessTrace(["a", "b", "a", "c"])
+        matrix = AffinityMatrix.from_trace(trace)
+        neighbors = matrix.neighbor_weights(matrix.index["a"])
+        assert neighbors == {matrix.index["b"]: 2, matrix.index["c"]: 1}
+
+    def test_num_items(self, tiny_trace):
+        assert AffinityMatrix.from_trace(tiny_trace).num_items == 3
+
+
+class TestHotItems:
+    def test_sorted_by_frequency(self):
+        trace = AccessTrace(["a", "b", "b", "c", "c", "c"])
+        assert hot_items(trace) == ["c", "b", "a"]
+
+    def test_ties_break_first_touch(self):
+        trace = AccessTrace(["b", "a", "b", "a"])
+        assert hot_items(trace) == ["b", "a"]
+
+
+class TestShiftLocalityScore:
+    def test_empty_trace_zero(self):
+        assert shift_locality_score(AccessTrace([])) == 0.0
+
+    def test_concentrated_transitions_score_high(self):
+        concentrated = AccessTrace(["a", "b"] * 50)
+        assert shift_locality_score(concentrated) == 1.0
+
+    def test_score_bounded(self, locality_trace):
+        score = shift_locality_score(locality_trace)
+        assert 0.0 <= score <= 1.0

@@ -1,0 +1,191 @@
+"""Unit tests for repro.trace.synthetic generators."""
+
+import pytest
+
+from repro.errors import TraceError
+from repro.trace.synthetic import (
+    GENERATORS,
+    loop_nest_trace,
+    markov_trace,
+    pingpong_trace,
+    stencil_trace,
+    uniform_trace,
+    zipf_trace,
+)
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("generator", [uniform_trace, zipf_trace, markov_trace])
+    def test_same_seed_same_trace(self, generator):
+        assert generator(10, 100, seed=5) == generator(10, 100, seed=5)
+
+    @pytest.mark.parametrize("generator", [uniform_trace, zipf_trace, markov_trace])
+    def test_different_seed_different_trace(self, generator):
+        assert generator(10, 100, seed=1) != generator(10, 100, seed=2)
+
+
+class TestUniform:
+    def test_shape(self):
+        trace = uniform_trace(5, 50)
+        assert len(trace) == 50
+        assert trace.num_items <= 5
+
+    def test_zero_items_raises(self):
+        with pytest.raises(TraceError):
+            uniform_trace(0, 10)
+
+    def test_write_fraction_zero(self):
+        trace = uniform_trace(5, 100, write_fraction=0.0)
+        _reads, writes = trace.read_write_counts()
+        assert writes == 0
+
+    def test_write_fraction_one(self):
+        trace = uniform_trace(5, 100, write_fraction=1.0)
+        reads, _writes = trace.read_write_counts()
+        assert reads == 0
+
+    def test_invalid_write_fraction_raises(self):
+        with pytest.raises(TraceError):
+            uniform_trace(5, 10, write_fraction=1.5)
+
+
+class TestZipf:
+    def test_skews_to_head_items(self):
+        trace = zipf_trace(20, 2000, alpha=1.5, seed=1)
+        frequencies = trace.frequencies()
+        head = frequencies.get("v0", 0)
+        tail = frequencies.get("v19", 0)
+        assert head > 5 * max(tail, 1)
+
+    def test_invalid_alpha_raises(self):
+        with pytest.raises(TraceError):
+            zipf_trace(5, 10, alpha=0)
+
+
+class TestMarkov:
+    def test_high_locality_has_small_steps(self):
+        trace = markov_trace(50, 2000, locality=1.0, neighborhood=1, seed=3)
+        steps = []
+        for left, right in trace.adjacent_pairs():
+            steps.append(abs(int(left[1:]) - int(right[1:])))
+        assert max(steps) <= 1
+
+    def test_locality_out_of_range_raises(self):
+        with pytest.raises(TraceError):
+            markov_trace(5, 10, locality=2.0)
+
+    def test_neighborhood_validation(self):
+        with pytest.raises(TraceError):
+            markov_trace(5, 10, neighborhood=0)
+
+    def test_length(self):
+        assert len(markov_trace(5, 123)) == 123
+
+
+class TestLoopNest:
+    def test_structure(self):
+        trace = loop_nest_trace(array_sizes=(2, 3), iterations=2)
+        # Per iteration: A streamed (2 reads) + B streamed with RMW (3*2).
+        assert len(trace) == 2 * (2 + 6)
+        assert trace.num_items == 5
+
+    def test_last_array_written(self):
+        trace = loop_nest_trace(array_sizes=(2, 2), iterations=1)
+        writes = [access.item for access in trace if access.is_write]
+        assert all(item.startswith("B") for item in writes)
+
+    def test_invalid_iterations_raises(self):
+        with pytest.raises(TraceError):
+            loop_nest_trace(iterations=0)
+
+    def test_invalid_sizes_raise(self):
+        with pytest.raises(TraceError):
+            loop_nest_trace(array_sizes=(0,))
+
+
+class TestPingpong:
+    def test_alternation(self):
+        trace = pingpong_trace(num_pairs=1, rounds=3)
+        assert trace.item_sequence == ("p0a", "p0b") * 3
+
+    def test_pair_count(self):
+        trace = pingpong_trace(num_pairs=4, rounds=2)
+        assert trace.num_items == 8
+
+    def test_invalid_args_raise(self):
+        with pytest.raises(TraceError):
+            pingpong_trace(num_pairs=0)
+
+
+class TestStencil:
+    def test_reads_neighbourhood_writes_center(self):
+        trace = stencil_trace(width=5, sweeps=1, radius=1)
+        # First point: reads g[0..2], writes g[1].
+        first_four = list(trace)[:4]
+        assert [a.item for a in first_four] == ["g[0]", "g[1]", "g[2]", "g[1]"]
+        assert first_four[3].is_write
+
+    def test_width_validation(self):
+        with pytest.raises(TraceError):
+            stencil_trace(width=2, radius=1)
+
+
+class TestGups:
+    def test_rmw_structure(self):
+        trace = GENERATORS["gups"](table_size=8, num_updates=10, seed=1)
+        assert len(trace) == 20
+        for read, write in zip(list(trace)[::2], list(trace)[1::2]):
+            assert read.item == write.item
+            assert not read.is_write
+            assert write.is_write
+
+    def test_validation(self):
+        with pytest.raises(TraceError):
+            GENERATORS["gups"](table_size=0)
+
+
+class TestButterfly:
+    def test_stage_strides_double(self):
+        trace = GENERATORS["butterfly"](size=8)
+        # First stage pairs neighbours; last stage pairs items 4 apart.
+        first_pair = trace.item_sequence[:2]
+        assert first_pair == ("x[0]", "x[1]")
+        last_stage = trace.item_sequence[-4:]
+        assert last_stage[0] == "x[3]" and last_stage[1] == "x[7]"
+
+    def test_non_power_of_two_raises(self):
+        with pytest.raises(TraceError):
+            GENERATORS["butterfly"](size=6)
+
+    def test_every_item_touched_per_stage(self):
+        import math
+
+        size = 16
+        trace = GENERATORS["butterfly"](size=size)
+        stages = int(math.log2(size))
+        assert len(trace) == stages * size * 2  # 2 reads + 2 writes per pair
+
+
+class TestBlocked:
+    def test_blocks_revisited(self):
+        trace = GENERATORS["blocked"](array_size=8, block=4, passes=2)
+        head = trace.item_sequence[:10]
+        # First block of 4 scanned, written, then scanned again.
+        assert head[:4] == ("a[0]", "a[1]", "a[2]", "a[3]")
+        assert head[5:9] == ("a[0]", "a[1]", "a[2]", "a[3]")
+
+    def test_validation(self):
+        with pytest.raises(TraceError):
+            GENERATORS["blocked"](passes=0)
+
+
+class TestRegistry:
+    def test_all_generators_listed(self):
+        assert set(GENERATORS) == {
+            "uniform", "zipf", "markov", "loop_nest", "pingpong", "stencil",
+            "gups", "butterfly", "blocked",
+        }
+
+    def test_registry_entries_callable(self):
+        trace = GENERATORS["pingpong"]()
+        assert len(trace) > 0
