@@ -29,10 +29,16 @@ from repro.core.cost import (
     evaluate_placement,
     linear_arrangement_cost,
     per_dbc_costs,
+    shift_lower_bound,
     single_dbc_lower_bound,
 )
 from repro.core.exact_partition import exact_partitioned_placement
-from repro.core.fast_eval import evaluate_placement_fast
+from repro.core.fast_eval import (
+    evaluate_placement_auto,
+    evaluate_placement_fast,
+    evaluate_placements_fast,
+)
+from repro.core.incremental import CostEvaluator
 from repro.core.exact import (
     exact_single_dbc_placement,
     exhaustive_placement,
@@ -110,9 +116,13 @@ __all__ = [
     "compare_methods",
     "declaration_block_groups",
     "hot_spread_groups",
+    "CostEvaluator",
     "declaration_order_placement",
     "evaluate_placement",
+    "evaluate_placement_auto",
     "evaluate_placement_fast",
+    "evaluate_placements_fast",
+    "shift_lower_bound",
     "exact_partitioned_placement",
     "exact_single_dbc_placement",
     "exhaustive_placement",

@@ -30,6 +30,7 @@ from repro.core.exact import (
     exact_single_dbc_placement,
     exhaustive_placement,
 )
+from repro.core.fast_eval import evaluate_placement_auto
 from repro.core.heuristic import (
     grouping_only_placement,
     heuristic_placement,
@@ -165,7 +166,7 @@ def optimize_placement(
     placement = ALGORITHMS[method](problem, **kwargs)
     runtime = time.perf_counter() - start
     placement.validate(problem.config, problem.items)
-    shifts = evaluate_placement(problem, placement, validate=False)
+    shifts = evaluate_placement_auto(problem, placement, validate=False)
     return PlacementResult(
         method=method,
         placement=placement,

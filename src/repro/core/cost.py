@@ -138,23 +138,63 @@ def linear_arrangement_cost(
 def shift_lower_bound(problem: PlacementProblem) -> int:
     """Instance-wide lower bound on the shift count of *any* placement.
 
-    Under the lazy policy, a consecutive pair (u, v), u ≠ v, placed on the
-    same DBC costs at least ``|pos(u) − pos(v)| ≥ 1`` per occurrence, and
-    costs 0 only if u and v sit on different DBCs.  With ``n`` items and DBC
-    capacity ``L`` at least ``n − ceil(n/L)·(L−1) ... `` — a tight
-    combinatorial bound is NP-hard itself, so we use the weakest sound bound:
+    Three sound cases, by geometry:
 
-    * 0 when the items fit in distinct DBCs entirely (n ≤ num_dbcs), since
-      every item can then monopolise a DBC and never shift after the first
-      approach (with the port anchored on it, even that is free);
-    * otherwise, pairs must share DBCs only if forced, and a sound bound is 0.
+    * **Eager policy** (any port count) — the total is exactly
+      ``Σ_items freq(item) · 2·dist(offset(item))`` and the per-slot distance
+      multiset is fixed by the geometry, so the minimum over injective
+      assignments is the sorted pairing (rearrangement inequality): hottest
+      items on the closest-to-port slots.  This bound is *tight* — some
+      placement achieves it.
+    * **Lazy, single port** — whenever ``n > num_dbcs``, capacity forces at
+      least ``n − num_dbcs`` co-located item pairs (a partition into ``g ≤
+      num_dbcs`` groups merges ``n − g`` times, and each merge co-locates at
+      least one new pair).  A co-located adjacent pair (u, v) costs at least
+      its full-trace affinity weight ``w(u, v)`` (restriction to the DBC's
+      subsequence preserves adjacency, and ``|pos(u) − pos(v)| ≥ 1``).  An
+      adversary co-locates the lightest pairs first — zero-weight pairs
+      (never adjacent in the trace) before any weighted edge — so the bound
+      is the sum of the smallest ``n − num_dbcs`` pairwise weights, zeros
+      included.
+    * **Lazy, multi port** — a co-located adjacent pair can be *free* (the
+      head can leave u under one port with v under another), so the only
+      sound cheap bound is 0.
 
-    The bound is therefore only nontrivial for *orders within one DBC*; see
-    :func:`single_dbc_lower_bound`, which branch-and-bound actually uses.
+    Used by the exhaustive search as an optimality early-exit; see
+    :func:`single_dbc_lower_bound` for the per-order bound branch-and-bound
+    uses inside one DBC.
     """
-    if problem.num_items <= problem.config.num_dbcs:
+    config = problem.config
+    n = problem.num_items
+    if config.port_policy is PortPolicy.EAGER:
+        # Distance multiset: each per-DBC offset distance repeated num_dbcs
+        # times; pair ascending distances with descending frequencies.
+        per_dbc = sorted(
+            2 * min(abs(offset - port) for port in config.port_offsets)
+            for offset in range(config.words_per_dbc)
+        )
+        frequencies = sorted(
+            problem.trace.frequencies().values(), reverse=True
+        )
+        total = 0
+        rank = 0
+        for distance in per_dbc:
+            for _ in range(config.num_dbcs):
+                if rank >= len(frequencies):
+                    return total
+                total += frequencies[rank] * distance
+                rank += 1
+        return total
+    if len(config.port_offsets) > 1:
         return 0
-    return 0
+    forced_pairs = n - config.num_dbcs
+    if forced_pairs <= 0:
+        return 0
+    zero_pairs = n * (n - 1) // 2 - len(problem.affinity)
+    if forced_pairs <= zero_pairs:
+        return 0
+    weights = sorted(problem.affinity.values())
+    return sum(weights[: forced_pairs - zero_pairs])
 
 
 def single_dbc_lower_bound(

@@ -166,8 +166,12 @@ def exhaustive_placement(
     Enumerates every partition of the items into at most ``num_dbcs`` groups
     of at most ``L``, every within-group order, and both canonical anchors
     (port-anchored and offset-0), evaluating the *true* trace cost of each.
-    Exponential; guarded to ``max_items`` items.
+    Exponential; guarded to ``max_items`` items.  The instance-wide
+    :func:`~repro.core.cost.shift_lower_bound` prunes the search: once a
+    candidate matches it, no better placement can exist and the scan stops.
     """
+    from repro.core.cost import shift_lower_bound
+
     items = list(problem.items)
     if len(items) > max_items:
         raise OptimizationError(
@@ -176,6 +180,7 @@ def exhaustive_placement(
         )
     config = problem.config
     frequencies = dict(problem.trace.frequencies())
+    lower_bound = shift_lower_bound(problem)
     best_cost: int | None = None
     best_placement: Placement | None = None
     for partition in _ordered_partitions(
@@ -201,6 +206,8 @@ def exhaustive_placement(
                 if best_cost is None or cost < best_cost:
                     best_cost = cost
                     best_placement = placement
+                    if best_cost <= lower_bound:
+                        return best_placement
     assert best_placement is not None
     return best_placement
 

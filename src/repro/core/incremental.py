@@ -1,0 +1,577 @@
+"""Incremental (delta) shift-cost evaluation — the optimizer hot path.
+
+Every local-search optimizer scores candidate moves (swap two items, move an
+item to a free slot, reverse a segment) against the exact trace cost.  The
+reference evaluator (:func:`repro.core.cost.evaluate_placement`) re-walks the
+*entire* trace per candidate — O(T) per move.  :class:`CostEvaluator`
+exploits the per-DBC decomposition (docs/COST_MODEL.md §2) to score a move
+as a **delta touching only the affected DBCs' access subsequences** —
+O(T_affected) per move, exact for every port count and policy:
+
+* **eager** (any port count) — each access costs ``2·min_p|offset−p|``
+  independent of history, so an item's contribution is
+  ``freq(item)·2·dist(offset)`` and a move is O(1) per moved item;
+* **lazy, single port** — a DBC's cost is ``|t₁| + Σ|Δt|`` over its
+  restricted target subsequence (the diff decomposition proven in
+  :mod:`repro.core.fast_eval`), recomputed vectorised for the touched DBCs
+  only;
+* **lazy, multi port** — head-dependent port choice is sequential, so the
+  touched DBCs' subsequences are replayed scalar — still only the touched
+  DBCs, never the full trace.
+
+The evaluator maintains the current assignment mutably with ``apply_*`` /
+``undo`` (no :class:`Placement` dict rebuild per candidate) and materialises
+a :class:`Placement` only on demand.  Differential tests assert that totals
+and deltas agree exactly with the reference evaluator under every policy ×
+port-count combination, including after arbitrary apply/undo sequences.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+from repro.core.placement import Placement, Slot
+from repro.core.problem import PlacementProblem
+from repro.dwm.config import PortPolicy
+from repro.errors import PlacementError
+
+#: Multi-port lazy subsequences at least this long replay through the
+#: vectorised port-state fold; shorter ones use the scalar walk, which has
+#: lower constant overhead.
+MULTI_PORT_VECTOR_MIN = 256
+
+
+class CostEvaluator:
+    """Exact incremental cost evaluation of moves on one placement.
+
+    Parameters
+    ----------
+    problem:
+        The placement problem (trace + geometry).  The trace is resolved
+        once into per-item access-position arrays.
+    placement:
+        Starting placement.  Items of the placement that the problem's trace
+        never touches are tracked for occupancy (they block slots) but
+        contribute zero cost, mirroring the reference evaluator.
+    validate:
+        Validate the placement against the geometry first (default True).
+    """
+
+    def __init__(
+        self,
+        problem: PlacementProblem,
+        placement: Placement,
+        validate: bool = True,
+    ) -> None:
+        import numpy as np
+
+        self._np = np
+        self._problem = problem
+        config = problem.config
+        self._config = config
+        self._ports: tuple[int, ...] = config.port_offsets
+        self._eager = config.port_policy is PortPolicy.EAGER
+        self._single_port = len(self._ports) == 1
+        self._port = self._ports[0]
+        if validate:
+            placement.validate(config, problem.items)
+
+        items = problem.items
+        self._items = items
+        self._index = problem.item_index
+        n = len(items)
+        trace_len = len(problem.trace)
+        item_at = np.fromiter(problem.index_sequence, np.int64, trace_len)
+        self._item_at = item_at
+        order = np.argsort(item_at, kind="stable")
+        boundaries = np.searchsorted(item_at[order], np.arange(n + 1))
+        #: trace positions of each item's accesses, ascending.
+        self._positions: list = [
+            order[boundaries[i] : boundaries[i + 1]] for i in range(n)
+        ]
+        self._freq = [int(boundaries[i + 1] - boundaries[i]) for i in range(n)]
+
+        # Current assignment (dense per-item arrays; _offset_np mirrors
+        # _offset for vectorised gathers).
+        self._dbc: list[int] = [0] * n
+        self._offset: list[int] = [0] * n
+        self._offset_np = np.zeros(n, dtype=np.int64)
+        self._members: dict[int, set[int]] = {}
+        for i, item in enumerate(items):
+            slot = placement[item]
+            self._dbc[i] = slot.dbc
+            self._offset[i] = slot.offset
+            self._offset_np[i] = slot.offset
+            self._members.setdefault(slot.dbc, set()).add(i)
+        #: placement entries outside the trace: occupancy only, zero cost.
+        self._extra: dict[str, tuple[int, int]] = {
+            item: (slot.dbc, slot.offset)
+            for item, slot in placement.items()
+            if item not in self._index
+        }
+        self._occupied: set[tuple[int, int]] = {
+            (self._dbc[i], self._offset[i]) for i in range(n)
+        }
+        self._occupied.update(self._extra.values())
+
+        # Eager: 2 * distance-to-nearest-port per offset, precomputed.
+        self._eager_dist: list[int] = [
+            2 * min(abs(o - p) for p in self._ports)
+            for o in range(config.words_per_dbc)
+        ]
+        self._item_cost: list[int] = [0] * n
+        self._dbc_cost: dict[int, int] = {}
+        self._dbc_positions: dict[int, object] = {}
+        self._undo: list = []
+        self._probe: tuple | None = None
+        #: instrumentation: number of delta computations performed.
+        self.delta_evaluations = 0
+        #: instrumentation: number of applied (committed) moves.
+        self.applied_moves = 0
+
+        if self._eager:
+            total = 0
+            for i in range(n):
+                cost = self._freq[i] * self._eager_dist[self._offset[i]]
+                self._item_cost[i] = cost
+                total += cost
+            self._total = total
+        else:
+            total = 0
+            for dbc, members in self._members.items():
+                positions = self._merged_positions(members)
+                self._dbc_positions[dbc] = positions
+                cost = self._lazy_dbc_cost(positions)
+                self._dbc_cost[dbc] = cost
+                total += cost
+            self._total = total
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+    @property
+    def total(self) -> int:
+        """Current exact total shift count."""
+        return self._total
+
+    def slot_of(self, item: str) -> Slot:
+        """Current slot of ``item``."""
+        if item in self._extra:
+            return Slot(*self._extra[item])
+        i = self._index.get(item)
+        if i is None:
+            raise PlacementError(f"item {item!r} has no placement")
+        return Slot(self._dbc[i], self._offset[i])
+
+    def placement(self) -> Placement:
+        """Materialise the current assignment as a :class:`Placement`."""
+        mapping: dict[str, Slot] = {
+            item: Slot(self._dbc[i], self._offset[i])
+            for i, item in enumerate(self._items)
+        }
+        for item, slot in self._extra.items():
+            mapping[item] = Slot(*slot)
+        return Placement(mapping)
+
+    def dbcs_used(self) -> list[int]:
+        """Sorted DBC indices holding at least one item (incl. extras)."""
+        used = {dbc for dbc, members in self._members.items() if members}
+        used.update(dbc for dbc, _ in self._extra.values())
+        return sorted(used)
+
+    def dbc_contents(self, dbc: int) -> dict[int, str]:
+        """``{offset: item}`` for one DBC (incl. extras)."""
+        contents = {
+            self._offset[i]: self._items[i]
+            for i in self._members.get(dbc, ())
+        }
+        for item, (extra_dbc, offset) in self._extra.items():
+            if extra_dbc == dbc:
+                contents[offset] = item
+        return contents
+
+    def free_slots(self) -> list[Slot]:
+        """Unoccupied slots on used DBCs, in (DBC, offset) order.
+
+        Matches the enumeration the local-search refiners historically used,
+        so seeded runs stay reproducible.
+        """
+        occupied = self._occupied
+        free: list[Slot] = []
+        for dbc in self.dbcs_used():
+            for offset in range(self._config.words_per_dbc):
+                if (dbc, offset) not in occupied:
+                    free.append(Slot(dbc, offset))
+        return free
+
+    # ------------------------------------------------------------------
+    # Per-DBC machinery
+    # ------------------------------------------------------------------
+    def _merged_positions(self, members: Iterable[int]):
+        """Ascending trace positions of all accesses to ``members``."""
+        np = self._np
+        arrays = [self._positions[i] for i in members]
+        if not arrays:
+            return np.empty(0, dtype=np.int64)
+        if len(arrays) == 1:
+            return arrays[0]
+        merged = np.concatenate(arrays)
+        merged.sort()
+        return merged
+
+    def _lazy_dbc_cost(self, positions) -> int:
+        """Exact lazy-policy cost of one DBC's restricted subsequence."""
+        np = self._np
+        if positions.size == 0:
+            return 0
+        sequence = self._item_at[positions]
+        offsets = self._offset_np[sequence]
+        if self._single_port:
+            targets = offsets - self._port
+            cost = abs(int(targets[0]))
+            if targets.size > 1:
+                cost += int(np.abs(np.diff(targets)).sum())
+            return cost
+        # Multi-port: the chosen port depends on the running head, so the
+        # subsequence replays sequentially (ties break to lower port,
+        # matching the reference evaluator).  Long subsequences use the
+        # vectorised port-state fold instead of the scalar walk.
+        if offsets.size >= MULTI_PORT_VECTOR_MIN:
+            if len(self._ports) == 2:
+                return self._two_port_vector_cost(offsets)
+            return self._multi_port_vector_cost(offsets)
+        ports = self._ports
+        head = 0
+        total = 0
+        for offset in offsets.tolist():
+            best_cost = None
+            best_target = 0
+            for port in ports:
+                target = offset - port
+                cost = abs(target - head)
+                if best_cost is None or cost < best_cost:
+                    best_cost = cost
+                    best_target = target
+            total += best_cost
+            head = best_target
+        return total
+
+    def _multi_port_vector_cost(self, offsets) -> int:
+        """Vectorised multi-port lazy replay via port-state folding.
+
+        After any access the head equals ``offset − p`` for exactly one port
+        ``p``, so the walk is a deterministic automaton over ``P`` states.
+        Each step's (cost, next-state) tables over all P previous states are
+        computed vectorised, then the chain is folded by associative pairwise
+        composition (pointer doubling) — O(k·P²) numpy work and O(log k)
+        python iterations instead of an O(k·P) interpreted walk.  Greedy
+        tie-breaks resolve to the lowest port (argmin-first), matching the
+        reference evaluator exactly.
+        """
+        np = self._np
+        ports = np.asarray(self._ports, dtype=np.int64)
+        num_ports = ports.size
+        first_costs = np.abs(int(offsets[0]) - ports)
+        state = int(first_costs.argmin())
+        total = int(first_costs[state])
+        if offsets.size == 1:
+            return total
+        targets = offsets[:, None] - ports[None, :]  # (k, P) head candidates
+        prev = targets[:-1]
+        cur = targets[1:]
+        # costs[t, q] / nexts[t, q]: cheapest port for access t+1 given the
+        # previous access used port q.  Built with one pass per port (P is
+        # tiny) instead of a (k, P, P) reduction; strict ``<`` keeps the
+        # lowest port on ties, matching the reference evaluator.
+        costs = np.abs(cur[:, 0, None] - prev)
+        nexts = np.zeros_like(costs)
+        for port_index in range(1, num_ports):
+            candidate = np.abs(cur[:, port_index, None] - prev)
+            better = candidate < costs
+            costs = np.where(better, candidate, costs)
+            nexts = np.where(better, port_index, nexts)
+        # Fold the chain by pairwise composition (pointer doubling); flat
+        # gathers keep per-round numpy overhead low.
+        while nexts.shape[0] > 1:
+            length = nexts.shape[0]
+            even = length // 2 * 2
+            half = even // 2
+            paired_next = np.ascontiguousarray(nexts[:even]).reshape(
+                half, 2, num_ports
+            )
+            paired_cost = np.ascontiguousarray(costs[:even]).reshape(
+                half, 2, num_ports
+            )
+            rows = np.arange(half)[:, None]
+            first_next = paired_next[:, 0, :]
+            folded_next = paired_next[:, 1, :][rows, first_next]
+            folded_cost = (
+                paired_cost[:, 0, :] + paired_cost[:, 1, :][rows, first_next]
+            )
+            if even < length:
+                folded_next = np.concatenate([folded_next, nexts[-1:]])
+                folded_cost = np.concatenate([folded_cost, costs[-1:]])
+            nexts, costs = folded_next, folded_cost
+        return total + int(costs[0, state])
+
+    def _two_port_vector_cost(self, offsets) -> int:
+        """Closed-form vectorised replay for the two-port automaton.
+
+        With two ports every step's transition on the (previous-port) state
+        is either a constant (both states pick the same port — the chain
+        converges and forgets its history) or a permutation (identity or
+        swap, i.e. an XOR by 0 or 1).  The state before step ``t`` is
+        therefore the last convergence value before ``t`` (or the initial
+        state) XOR-ed with the parity of swaps in between — all prefix
+        scans, no sequential walk and no log-rounds fold.  Strict ``<``
+        comparisons keep the lower port on ties, matching the reference.
+        """
+        np = self._np
+        port_a, port_b = self._ports
+        head_a = offsets if port_a == 0 else offsets - port_a
+        head_b = offsets - port_b
+        first_a = abs(int(head_a[0]))
+        first_b = abs(int(head_b[0]))
+        state = first_b < first_a  # tie → lower port
+        total = first_b if state else first_a
+        if offsets.size == 1:
+            return total
+        # Step t serves access t+1; cost_qp = |head_p[t+1] − head_q[t]|.
+        cost_aa = np.abs(head_a[1:] - head_a[:-1])
+        cost_ab = np.abs(head_b[1:] - head_a[:-1])
+        cost_ba = np.abs(head_a[1:] - head_b[:-1])
+        cost_bb = np.abs(head_b[1:] - head_b[:-1])
+        pick_b0 = cost_ab < cost_aa  # next state given previous state 0
+        pick_b1 = cost_bb < cost_ba  # next state given previous state 1
+        min0 = np.where(pick_b0, cost_ab, cost_aa)
+        min1 = np.where(pick_b1, cost_bb, cost_ba)
+        const = pick_b0 == pick_b1
+        swap_flag = pick_b0 & ~const
+        inclusive = np.bitwise_xor.accumulate(swap_flag)
+        prefix = np.empty_like(inclusive)
+        prefix[0] = False
+        prefix[1:] = inclusive[:-1]
+        # vals[j] carries a const step's output back to prefix-XOR space so
+        # that state_before[t] = vals[j] ^ prefix[t] for the last const j < t.
+        vals = pick_b0 ^ inclusive
+        steps = offsets.size - 1
+        anchors = np.where(const, np.arange(steps), -1)
+        np.maximum.accumulate(anchors, out=anchors)
+        last_const = np.empty_like(anchors)
+        last_const[0] = -1
+        last_const[1:] = anchors[:-1]
+        base = np.where(
+            last_const >= 0, vals[np.maximum(last_const, 0)], state
+        )
+        states = base ^ prefix
+        return total + int(np.where(states, min1, min0).sum())
+
+    def _positions_of_dbc(self, dbc: int):
+        cached = self._dbc_positions.get(dbc)
+        if cached is None:
+            cached = self._merged_positions(self._members.get(dbc, ()))
+            self._dbc_positions[dbc] = cached
+        return cached
+
+    # ------------------------------------------------------------------
+    # Delta computation
+    # ------------------------------------------------------------------
+    def _compute(self, changes: Mapping[int, tuple[int, int]]):
+        """(delta, commit-info) for moving each item index to a new slot."""
+        self.delta_evaluations += 1
+        if self._eager:
+            delta = 0
+            new_item_costs: dict[int, int] = {}
+            for i, (_dbc, offset) in changes.items():
+                cost = self._freq[i] * self._eager_dist[offset]
+                new_item_costs[i] = cost
+                delta += cost - self._item_cost[i]
+            return delta, new_item_costs
+        affected: set[int] = set()
+        for i, (dbc, _offset) in changes.items():
+            affected.add(self._dbc[i])
+            affected.add(dbc)
+        # Temporarily poke the hypothetical offsets into the gather array.
+        saved = [(i, int(self._offset_np[i])) for i in changes]
+        for i, (_dbc, offset) in changes.items():
+            self._offset_np[i] = offset
+        new_costs: dict[int, tuple[int, object]] = {}
+        delta = 0
+        try:
+            for dbc in affected:
+                base = self._members.get(dbc, set())
+                outgoing = {
+                    i for i in changes
+                    if self._dbc[i] == dbc and changes[i][0] != dbc
+                }
+                incoming = {
+                    i for i in changes
+                    if changes[i][0] == dbc and self._dbc[i] != dbc
+                }
+                if outgoing or incoming:
+                    positions = self._merged_positions(
+                        (base - outgoing) | incoming
+                    )
+                else:
+                    positions = self._positions_of_dbc(dbc)
+                cost = self._lazy_dbc_cost(positions)
+                new_costs[dbc] = (
+                    cost,
+                    positions if (outgoing or incoming) else None,
+                )
+                delta += cost - self._dbc_cost.get(dbc, 0)
+        finally:
+            for i, offset in saved:
+                self._offset_np[i] = offset
+        return delta, new_costs
+
+    def _probe_delta(self, changes: dict[int, tuple[int, int]]) -> int:
+        key = tuple(sorted(changes.items()))
+        delta, info = self._compute(changes)
+        self._probe = (key, delta, info)
+        return delta
+
+    def _changes_for_swap(self, item_a: str, item_b: str):
+        try:
+            a = self._index[item_a]
+            b = self._index[item_b]
+        except KeyError as exc:
+            raise PlacementError(
+                f"item {exc.args[0]!r} is not part of the problem trace"
+            ) from None
+        return {
+            a: (self._dbc[b], self._offset[b]),
+            b: (self._dbc[a], self._offset[a]),
+        }
+
+    def _changes_for_move(self, item: str, slot: Slot | tuple[int, int]):
+        slot = slot if isinstance(slot, Slot) else Slot(*slot)
+        try:
+            i = self._index[item]
+        except KeyError:
+            raise PlacementError(
+                f"item {item!r} is not part of the problem trace"
+            ) from None
+        target = (slot.dbc, slot.offset)
+        if target != (self._dbc[i], self._offset[i]) and target in self._occupied:
+            raise PlacementError(
+                f"slot {slot} is occupied; moves require a free slot"
+            )
+        return {i: target}
+
+    def _changes_for_reversal(self, dbc: int, offsets: Sequence[int]):
+        contents = self.dbc_contents(dbc)
+        changes: dict[int, tuple[int, int]] = {}
+        for source, target in zip(offsets, reversed(list(offsets))):
+            if source not in contents:
+                raise PlacementError(
+                    f"offset {source} on DBC {dbc} holds no item"
+                )
+            item = contents[source]
+            if item in self._extra:
+                raise PlacementError(
+                    f"cannot reverse over untraced item {item!r}"
+                )
+            changes[self._index[item]] = (dbc, target)
+        return changes
+
+    # ------------------------------------------------------------------
+    # Public deltas (no state change)
+    # ------------------------------------------------------------------
+    def swap_delta(self, item_a: str, item_b: str) -> int:
+        """Cost change if the two items' slots were exchanged."""
+        return self._probe_delta(self._changes_for_swap(item_a, item_b))
+
+    def move_delta(self, item: str, slot: Slot | tuple[int, int]) -> int:
+        """Cost change if ``item`` moved to the (free) ``slot``."""
+        return self._probe_delta(self._changes_for_move(item, slot))
+
+    def reversal_delta(self, dbc: int, offsets: Sequence[int]) -> int:
+        """Cost change if the occupied ``offsets`` of ``dbc`` were reversed.
+
+        ``offsets`` lists occupied offsets in ascending order; the items at
+        those offsets are re-laid in reverse (the 2-opt move).
+        """
+        return self._probe_delta(self._changes_for_reversal(dbc, offsets))
+
+    # ------------------------------------------------------------------
+    # Apply / undo
+    # ------------------------------------------------------------------
+    def _apply(self, changes: dict[int, tuple[int, int]]) -> int:
+        key = tuple(sorted(changes.items()))
+        if self._probe is not None and self._probe[0] == key:
+            _key, delta, info = self._probe
+        else:
+            delta, info = self._compute(changes)
+        self._probe = None
+        record_slots = [
+            (i, self._dbc[i], self._offset[i]) for i in changes
+        ]
+        if self._eager:
+            record_costs = [(i, self._item_cost[i]) for i in changes]
+            for i, cost in info.items():
+                self._item_cost[i] = cost
+            record = ("eager", record_slots, record_costs, delta)
+        else:
+            affected = list(info)
+            record_costs = [
+                (dbc, self._dbc_cost.get(dbc, 0), self._dbc_positions.get(dbc))
+                for dbc in affected
+            ]
+            for dbc, (cost, positions) in info.items():
+                self._dbc_cost[dbc] = cost
+                if positions is not None:
+                    self._dbc_positions[dbc] = positions
+            record = ("lazy", record_slots, record_costs, delta)
+        self._reassign(changes.items())
+        self._total += delta
+        self._undo.append(record)
+        self.applied_moves += 1
+        return self._total
+
+    def _reassign(self, assignments) -> None:
+        """Commit new (dbc, offset) slots, keeping occupancy/members in sync."""
+        assignments = list(assignments)
+        for i, _slot in assignments:
+            self._occupied.discard((self._dbc[i], self._offset[i]))
+        for i, (dbc, offset) in assignments:
+            old_dbc = self._dbc[i]
+            if old_dbc != dbc:
+                self._members[old_dbc].discard(i)
+                self._members.setdefault(dbc, set()).add(i)
+            self._dbc[i] = dbc
+            self._offset[i] = offset
+            self._offset_np[i] = offset
+            self._occupied.add((dbc, offset))
+
+    def apply_swap(self, item_a: str, item_b: str) -> int:
+        """Exchange the two items' slots; returns the new total."""
+        return self._apply(self._changes_for_swap(item_a, item_b))
+
+    def apply_move(self, item: str, slot: Slot | tuple[int, int]) -> int:
+        """Move ``item`` to the free ``slot``; returns the new total."""
+        return self._apply(self._changes_for_move(item, slot))
+
+    def apply_reversal(self, dbc: int, offsets: Sequence[int]) -> int:
+        """Reverse the items at ``offsets`` on ``dbc``; returns the total."""
+        return self._apply(self._changes_for_reversal(dbc, offsets))
+
+    def undo(self) -> int:
+        """Revert the most recent applied move; returns the restored total."""
+        if not self._undo:
+            raise PlacementError("nothing to undo")
+        kind, record_slots, record_costs, delta = self._undo.pop()
+        self._reassign((i, (dbc, offset)) for i, dbc, offset in record_slots)
+        if kind == "eager":
+            for i, cost in record_costs:
+                self._item_cost[i] = cost
+        else:
+            for dbc, cost, positions in record_costs:
+                self._dbc_cost[dbc] = cost
+                if positions is None:
+                    self._dbc_positions.pop(dbc, None)
+                else:
+                    self._dbc_positions[dbc] = positions
+        self._total -= delta
+        self._probe = None
+        return self._total

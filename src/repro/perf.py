@@ -1,0 +1,112 @@
+"""Lightweight timing utilities for the perf benchmarks.
+
+pytest-benchmark measures single callables well, but the perf-trajectory
+artifacts (E9 runtime, E18 incremental throughput) need plain numbers they
+can render into tables and persist as JSON — independent of the benchmark
+plugin.  This module provides the minimal machinery:
+
+* :func:`measure_throughput` — run an operation repeatedly for a minimum
+  wall-clock window and report operations/second;
+* :func:`speedup` — ratio of two throughputs;
+* :class:`Stopwatch` — a context-manager ``perf_counter`` wrapper.
+
+All of it is deliberately dependency-free so benchmark scripts and CI smoke
+runs can import it anywhere.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.errors import OptimizationError
+
+
+@dataclass(frozen=True)
+class ThroughputResult:
+    """Outcome of a throughput measurement."""
+
+    operations: int
+    seconds: float
+
+    @property
+    def ops_per_second(self) -> float:
+        if self.seconds <= 0.0:
+            return float("inf")
+        return self.operations / self.seconds
+
+    @property
+    def seconds_per_op(self) -> float:
+        if not self.operations:
+            return float("nan")
+        return self.seconds / self.operations
+
+    def __str__(self) -> str:
+        return (
+            f"{self.operations} ops in {self.seconds:.3f}s "
+            f"({self.ops_per_second:,.0f} ops/s)"
+        )
+
+
+class Stopwatch:
+    """``perf_counter`` context manager: ``with Stopwatch() as sw: ...``."""
+
+    def __init__(self) -> None:
+        self.seconds = 0.0
+        self._start: float | None = None
+
+    def __enter__(self) -> "Stopwatch":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        assert self._start is not None
+        self.seconds = time.perf_counter() - self._start
+        self._start = None
+
+
+def measure_throughput(
+    operation: Callable[[], object],
+    min_seconds: float = 0.2,
+    min_operations: int = 3,
+    max_operations: int | None = None,
+) -> ThroughputResult:
+    """Operations/second of ``operation`` (one call = one operation).
+
+    Calls the operation until both ``min_seconds`` of wall clock and
+    ``min_operations`` calls have elapsed (or ``max_operations`` calls,
+    whichever comes first), then reports the aggregate rate.  No warmup
+    discard — callers measuring steady-state hot paths should invoke the
+    operation once beforehand if first-call setup matters.
+    """
+    if min_seconds < 0:
+        raise OptimizationError(
+            f"min_seconds must be >= 0, got {min_seconds}"
+        )
+    if min_operations < 1:
+        raise OptimizationError(
+            f"min_operations must be >= 1, got {min_operations}"
+        )
+    if max_operations is not None and max_operations < min_operations:
+        raise OptimizationError(
+            "max_operations must be >= min_operations"
+        )
+    operations = 0
+    start = time.perf_counter()
+    while True:
+        operation()
+        operations += 1
+        elapsed = time.perf_counter() - start
+        if max_operations is not None and operations >= max_operations:
+            break
+        if elapsed >= min_seconds and operations >= min_operations:
+            break
+    return ThroughputResult(operations=operations, seconds=elapsed)
+
+
+def speedup(fast: ThroughputResult, slow: ThroughputResult) -> float:
+    """How many times faster ``fast`` runs than ``slow`` (ops/s ratio)."""
+    if slow.ops_per_second == 0.0:
+        return float("inf")
+    return fast.ops_per_second / slow.ops_per_second

@@ -1,0 +1,53 @@
+"""Unit tests for the repro.perf timing utilities."""
+
+import pytest
+
+from repro.errors import OptimizationError
+from repro.perf import Stopwatch, ThroughputResult, measure_throughput, speedup
+
+
+class TestMeasureThroughput:
+    def test_counts_operations(self):
+        calls = []
+        result = measure_throughput(
+            lambda: calls.append(1), min_seconds=0.0, min_operations=5
+        )
+        assert result.operations == len(calls) >= 5
+        assert result.seconds >= 0.0
+        assert result.ops_per_second > 0
+
+    def test_max_operations_cap(self):
+        result = measure_throughput(
+            lambda: None, min_seconds=10.0, min_operations=1, max_operations=4
+        )
+        assert result.operations == 4
+
+    def test_invalid_arguments(self):
+        with pytest.raises(OptimizationError):
+            measure_throughput(lambda: None, min_seconds=-1.0)
+        with pytest.raises(OptimizationError):
+            measure_throughput(lambda: None, min_operations=0)
+        with pytest.raises(OptimizationError):
+            measure_throughput(
+                lambda: None, min_operations=5, max_operations=2
+            )
+
+    def test_rendering(self):
+        result = ThroughputResult(operations=100, seconds=0.5)
+        assert "100 ops" in str(result)
+        assert result.ops_per_second == pytest.approx(200.0)
+        assert result.seconds_per_op == pytest.approx(0.005)
+
+
+class TestSpeedup:
+    def test_ratio(self):
+        fast = ThroughputResult(operations=1000, seconds=1.0)
+        slow = ThroughputResult(operations=100, seconds=1.0)
+        assert speedup(fast, slow) == pytest.approx(10.0)
+
+
+class TestStopwatch:
+    def test_measures_elapsed(self):
+        with Stopwatch() as watch:
+            sum(range(1000))
+        assert watch.seconds >= 0.0
