@@ -1,5 +1,11 @@
 """Analysis: metrics, report rendering, parameter sweeps, experiments."""
 
+from repro.analysis.cache import (
+    ResultCache,
+    cache_scope,
+    placement_cache_disabled,
+    placement_key,
+)
 from repro.analysis.dse import (
     DesignPoint,
     explore,
@@ -11,7 +17,9 @@ from repro.analysis.experiments import (
     EXPERIMENTS,
     ExperimentOutput,
     run_experiment,
+    run_experiments,
 )
+from repro.analysis.parallel import parallel_map, resolve_jobs
 from repro.analysis.metrics import (
     geometric_mean,
     normalize,
@@ -41,10 +49,17 @@ from repro.analysis.wear import (
 __all__ = [
     "DesignPoint",
     "EXPERIMENTS",
+    "ResultCache",
+    "cache_scope",
     "explore",
     "knee_point",
+    "parallel_map",
     "pareto_front",
+    "placement_cache_disabled",
+    "placement_key",
     "render_front",
+    "resolve_jobs",
+    "run_experiments",
     "ExperimentOutput",
     "SweepRecord",
     "WearReport",

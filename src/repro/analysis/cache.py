@@ -1,0 +1,336 @@
+"""Persistent result cache for placement optimization runs.
+
+Rerunning an experiment recomputes every placement from scratch even though
+the optimizers are deterministic functions of (trace, config, method,
+kwargs).  This module provides a content-addressed on-disk store so warm
+reruns of ``run_eN()``, sweeps and DSE grids skip the optimizer entirely.
+
+**Key scheme** (:func:`placement_key`): sha256 over a canonical JSON
+document of
+
+* a schema version and the package version (code-version salt — any release
+  invalidates the cache wholesale, keeping stale results from surviving
+  algorithm changes),
+* the trace *fingerprint* (:meth:`AccessTrace.fingerprint` — content hash
+  of the access sequence; renaming a trace does not miss),
+* the full config geometry (words per DBC, DBC count, word width, port
+  offsets, port policy),
+* the method name and its keyword arguments (``seed`` etc.), canonicalised
+  with sorted keys.
+
+Entries are JSON files sharded as ``<root>/<key[:2]>/<key>.json`` and
+written atomically (temp file + ``os.replace``), so concurrent workers can
+share one cache directory.  Corrupt or unreadable entries count as misses.
+
+The cache plugs into :func:`repro.core.api.optimize_placement` through the
+``set_placement_cache`` hook — the core layer stays free of analysis-layer
+imports.  Activation is explicit (:func:`cache_scope`, used by the CLI) or
+environment-driven (``REPRO_CACHE=1``, honoured by pool workers via
+:func:`ensure_configured_from_env`); ``REPRO_CACHE_DIR`` overrides the
+default location ``~/.cache/repro-dwm``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from contextlib import contextmanager
+from pathlib import Path
+
+from repro import __version__
+from repro.core.api import get_placement_cache, set_placement_cache
+from repro.core.placement import Placement
+from repro.core.problem import PlacementResult
+from repro.dwm.config import DWMConfig
+from repro.trace.model import AccessTrace
+
+#: Bump when the stored payload layout changes.
+SCHEMA_VERSION = 1
+
+#: ``"1"``/``"true"``/… turns the cache on for CLI runs and pool workers.
+CACHE_ENV = "REPRO_CACHE"
+
+#: Overrides the on-disk location of the cache.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+_TRUTHY = frozenset(("1", "true", "yes", "on"))
+_FALSY = frozenset(("0", "false", "no", "off"))
+
+
+def default_cache_root() -> Path:
+    """Cache directory: ``REPRO_CACHE_DIR`` or ``~/.cache/repro-dwm``."""
+    override = os.environ.get(CACHE_DIR_ENV, "").strip()
+    if override:
+        return Path(override).expanduser()
+    return Path.home() / ".cache" / "repro-dwm"
+
+
+def cache_enabled_from_env() -> bool | None:
+    """Tri-state read of ``REPRO_CACHE``: True, False, or None when unset."""
+    raw = os.environ.get(CACHE_ENV, "").strip().lower()
+    if raw in _TRUTHY:
+        return True
+    if raw in _FALSY:
+        return False
+    return None
+
+
+def _canonical(value):
+    """Reduce a kwargs value to a deterministic JSON-encodable form."""
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_canonical(entry) for entry in value]
+    if isinstance(value, dict):
+        return {str(key): _canonical(entry) for key, entry in sorted(value.items())}
+    return repr(value)
+
+
+def placement_key(
+    trace: AccessTrace,
+    config: DWMConfig,
+    method: str,
+    kwargs: dict,
+) -> str:
+    """Content hash identifying one optimization run (hex sha256)."""
+    document = {
+        "schema": SCHEMA_VERSION,
+        "version": __version__,
+        "trace": trace.fingerprint(),
+        "config": {
+            "words_per_dbc": config.words_per_dbc,
+            "num_dbcs": config.num_dbcs,
+            "bits_per_word": config.bits_per_word,
+            "port_offsets": list(config.port_offsets),
+            "port_policy": config.port_policy.value,
+        },
+        "method": method,
+        "kwargs": {key: _canonical(kwargs[key]) for key in sorted(kwargs)},
+    }
+    payload = json.dumps(document, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+class ResultCache:
+    """Content-addressed JSON store with the placement-cache protocol.
+
+    The generic :meth:`get`/:meth:`put` layer stores arbitrary JSON
+    payloads by hex key; :meth:`lookup_placement`/:meth:`store_placement`
+    implement the protocol :func:`repro.core.api.optimize_placement`
+    expects from its injected cache.  ``hits``/``misses`` count placement
+    lookups, making warm-vs-cold behaviour observable in benchmarks.
+    """
+
+    def __init__(self, root: str | os.PathLike | None = None) -> None:
+        self.root = Path(root) if root is not None else default_cache_root()
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+    # Generic keyed JSON storage
+    # ------------------------------------------------------------------
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str):
+        """Stored payload for ``key``, or ``None`` (corrupt file = miss)."""
+        path = self._path(key)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                return json.load(handle)
+        except (OSError, ValueError):
+            return None
+
+    def put(self, key: str, payload) -> None:
+        """Atomically persist ``payload`` under ``key``.
+
+        Failures to write (read-only filesystem, disk full) are swallowed:
+        a cache that cannot persist degrades to a cache that never hits.
+        """
+        path = self._path(key)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            handle = tempfile.NamedTemporaryFile(
+                "w",
+                encoding="utf-8",
+                dir=path.parent,
+                prefix=f".{key[:8]}.",
+                suffix=".tmp",
+                delete=False,
+            )
+            with handle:
+                json.dump(payload, handle, sort_keys=True)
+            os.replace(handle.name, path)
+        except OSError:
+            return
+
+    def invalidate(self, key: str) -> bool:
+        """Drop one entry; True if it existed."""
+        try:
+            os.remove(self._path(key))
+            return True
+        except OSError:
+            return False
+
+    def clear(self) -> int:
+        """Remove every entry; returns the number of entries removed."""
+        removed = 0
+        for path in self.root.glob("??/*.json"):
+            try:
+                os.remove(path)
+                removed += 1
+            except OSError:
+                continue
+        return removed
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("??/*.json"))
+
+    def size_bytes(self) -> int:
+        """Total on-disk size of all entries."""
+        total = 0
+        for path in self.root.glob("??/*.json"):
+            try:
+                total += path.stat().st_size
+            except OSError:
+                continue
+        return total
+
+    # ------------------------------------------------------------------
+    # Placement-cache protocol (consumed by repro.core.api)
+    # ------------------------------------------------------------------
+    def lookup_placement(
+        self,
+        trace: AccessTrace,
+        config: DWMConfig,
+        method: str,
+        kwargs: dict,
+    ) -> PlacementResult | None:
+        """Rebuild a cached :class:`PlacementResult`, or ``None`` on miss.
+
+        A hit reports ``runtime_seconds=0.0`` (the optimizer did not run;
+        the original compute time is kept in ``details``) and marks
+        ``details["cache"] = "hit"``.
+        """
+        key = placement_key(trace, config, method, kwargs)
+        payload = self.get(key)
+        if payload is not None:
+            try:
+                placement = Placement(
+                    {
+                        item: (int(slot[0]), int(slot[1]))
+                        for item, slot in payload["placement"].items()
+                    }
+                )
+                total_shifts = int(payload["total_shifts"])
+                computed_runtime = float(payload.get("runtime_seconds", 0.0))
+            except (KeyError, TypeError, ValueError, IndexError):
+                payload = None
+            else:
+                self.hits += 1
+                return PlacementResult(
+                    method=method,
+                    placement=placement,
+                    total_shifts=total_shifts,
+                    runtime_seconds=0.0,
+                    details={
+                        "num_accesses": len(trace),
+                        "num_items": trace.num_items,
+                        "config": config.describe(),
+                        "trace": trace.name,
+                        "cache": "hit",
+                        "computed_runtime_seconds": computed_runtime,
+                    },
+                )
+        self.misses += 1
+        return None
+
+    def store_placement(
+        self,
+        trace: AccessTrace,
+        config: DWMConfig,
+        method: str,
+        kwargs: dict,
+        result: PlacementResult,
+    ) -> None:
+        """Persist one freshly computed optimization result."""
+        key = placement_key(trace, config, method, kwargs)
+        self.put(
+            key,
+            {
+                "schema": SCHEMA_VERSION,
+                "method": method,
+                "total_shifts": result.total_shifts,
+                "runtime_seconds": result.runtime_seconds,
+                "placement": {
+                    item: list(slot)
+                    for item, slot in result.placement.as_dict().items()
+                },
+            },
+        )
+
+
+def ensure_configured_from_env():
+    """Install a cache if ``REPRO_CACHE`` asks for one and none is active.
+
+    Called by pool workers on startup: with the ``spawn`` start method the
+    parent's process-global hook is gone, but the environment survives.
+    Returns the active cache (possibly ``None``).
+    """
+    active = get_placement_cache()
+    if active is None and cache_enabled_from_env():
+        active = ResultCache()
+        set_placement_cache(active)
+    return active
+
+
+@contextmanager
+def cache_scope(enabled: bool = True, root: str | os.PathLike | None = None):
+    """Activate (or force off) the placement cache for a ``with`` block.
+
+    Sets the hook *and* the environment variables so pool workers spawned
+    inside the block agree with the parent; both are restored on exit.
+    Yields the :class:`ResultCache` (or ``None`` when disabling).
+    """
+    saved_env = {
+        name: os.environ.get(name) for name in (CACHE_ENV, CACHE_DIR_ENV)
+    }
+    cache = None
+    if enabled:
+        cache = ResultCache(root)
+        os.environ[CACHE_ENV] = "1"
+        os.environ[CACHE_DIR_ENV] = str(cache.root)
+    else:
+        os.environ[CACHE_ENV] = "0"
+    previous = set_placement_cache(cache)
+    try:
+        yield cache
+    finally:
+        set_placement_cache(previous)
+        for name, value in saved_env.items():
+            if value is None:
+                os.environ.pop(name, None)
+            else:
+                os.environ[name] = value
+
+
+@contextmanager
+def placement_cache_disabled():
+    """Temporarily disable the placement cache (hook and env).
+
+    Used by runtime-measuring code (E9) so a warm cache cannot turn an
+    optimizer-runtime experiment into a disk-read benchmark.
+    """
+    saved_env = os.environ.get(CACHE_ENV)
+    os.environ[CACHE_ENV] = "0"
+    previous = set_placement_cache(None)
+    try:
+        yield
+    finally:
+        set_placement_cache(previous)
+        if saved_env is None:
+            os.environ.pop(CACHE_ENV, None)
+        else:
+            os.environ[CACHE_ENV] = saved_env

@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, Sequence
 
+from repro.analysis.parallel import parallel_map
 from repro.core.api import optimize_placement
 from repro.dwm.config import DWMConfig, PortPolicy
 from repro.dwm.energy import DWMEnergyModel
@@ -58,6 +59,30 @@ def area_per_bit(words_per_dbc: int, num_ports: int) -> float:
     return 1.0 + PORT_AREA_FACTOR * num_ports / words_per_dbc
 
 
+def _explore_point(task: tuple) -> DesignPoint:
+    """Evaluate one geometry (top-level so pool workers can unpickle it)."""
+    trace, length, port_count, policy, method, energy_model = task
+    config = DWMConfig.for_items(
+        trace.num_items,
+        words_per_dbc=length,
+        num_ports=port_count,
+        port_policy=policy,
+    )
+    result = optimize_placement(trace, config, method=method)
+    sim = ScratchpadMemory(config, result.placement).simulate(trace)
+    breakdown = sim.energy(energy_model)
+    return DesignPoint(
+        words_per_dbc=length,
+        num_ports=port_count,
+        policy=PortPolicy.parse(policy).value,
+        num_dbcs=config.num_dbcs,
+        total_shifts=sim.shifts,
+        latency_ns=breakdown.latency_ns,
+        energy_pj=breakdown.total_energy_pj,
+        area_per_bit=area_per_bit(length, port_count),
+    )
+
+
 def explore(
     trace: AccessTrace,
     lengths: Sequence[int] = (16, 32, 64),
@@ -65,37 +90,22 @@ def explore(
     policies: Sequence[str] = ("lazy",),
     method: str = "heuristic",
     energy_model: DWMEnergyModel | None = None,
+    jobs: int | None = None,
 ) -> list[DesignPoint]:
-    """Evaluate every geometry in the grid with the given placement method."""
+    """Evaluate every geometry in the grid with the given placement method.
+
+    ``jobs`` fans design points out over a process pool (``None`` defers to
+    ``REPRO_JOBS``); point order is identical for any job count.
+    """
     energy_model = energy_model or DWMEnergyModel()
-    points: list[DesignPoint] = []
-    for length in lengths:
-        for port_count in ports:
-            if port_count > length:
-                continue
-            for policy in policies:
-                config = DWMConfig.for_items(
-                    trace.num_items,
-                    words_per_dbc=length,
-                    num_ports=port_count,
-                    port_policy=policy,
-                )
-                result = optimize_placement(trace, config, method=method)
-                sim = ScratchpadMemory(config, result.placement).simulate(trace)
-                breakdown = sim.energy(energy_model)
-                points.append(
-                    DesignPoint(
-                        words_per_dbc=length,
-                        num_ports=port_count,
-                        policy=PortPolicy.parse(policy).value,
-                        num_dbcs=config.num_dbcs,
-                        total_shifts=sim.shifts,
-                        latency_ns=breakdown.latency_ns,
-                        energy_pj=breakdown.total_energy_pj,
-                        area_per_bit=area_per_bit(length, port_count),
-                    )
-                )
-    return points
+    tasks = [
+        (trace, length, port_count, policy, method, energy_model)
+        for length in lengths
+        for port_count in ports
+        if port_count <= length
+        for policy in policies
+    ]
+    return parallel_map(_explore_point, tasks, jobs=jobs)
 
 
 def dominates(a: Sequence[float], b: Sequence[float]) -> bool:

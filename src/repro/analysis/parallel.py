@@ -1,0 +1,117 @@
+"""Process-pool orchestration for sweeps, DSE grids and experiments.
+
+The experiment harness is embarrassingly parallel: every sweep cell, DSE
+design point and experiment is an independent pure function of its inputs.
+This module provides the one primitive they all share —
+:func:`parallel_map`, an order-preserving process-pool map with a serial
+fast path — plus the job-count policy (``--jobs`` flag > ``REPRO_JOBS`` env
+var > serial).
+
+Design constraints:
+
+* **Deterministic ordering** — results come back in task order regardless
+  of worker scheduling (``Executor.map`` semantics), so parallel runs are
+  byte-identical to serial ones.
+* **Spawn-safe** — workers and tasks are top-level picklables; the start
+  method defaults to ``fork`` where available (cheap on Linux) and falls
+  back to ``spawn``; override with ``REPRO_MP_START``.
+* **Serial fallback** — when ``jobs <= 1``, when there is at most one task,
+  or when the pool cannot be created/used at all (sandboxed interpreters,
+  unpicklable payloads, broken workers), the map silently degrades to a
+  plain loop.  Exceptions raised by the *task function itself* still
+  surface: the serial rerun hits the same error.
+* **No nested pools** — workers run with ``REPRO_JOBS=1`` so a parallel
+  experiment that internally calls a sweep does not fork a pool per worker.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Iterable, Sequence, TypeVar
+
+#: Environment variable consulted when no explicit ``jobs`` is given.
+JOBS_ENV = "REPRO_JOBS"
+
+#: Environment variable overriding the multiprocessing start method.
+MP_START_ENV = "REPRO_MP_START"
+
+_Task = TypeVar("_Task")
+_Result = TypeVar("_Result")
+
+
+def resolve_jobs(jobs: int | None = None) -> int:
+    """Effective worker count: explicit argument > ``REPRO_JOBS`` > 1.
+
+    Non-numeric or non-positive values resolve to 1 (serial) rather than
+    erroring — the environment variable is a tuning knob, not an API.
+    """
+    if jobs is not None:
+        return max(1, int(jobs))
+    raw = os.environ.get(JOBS_ENV, "").strip()
+    if raw:
+        try:
+            return max(1, int(raw))
+        except ValueError:
+            return 1
+    return 1
+
+
+def _pool_context():
+    """Multiprocessing context: ``REPRO_MP_START`` > fork > spawn."""
+    import multiprocessing
+
+    method = os.environ.get(MP_START_ENV, "").strip()
+    if method:
+        return multiprocessing.get_context(method)
+    if "fork" in multiprocessing.get_all_start_methods():
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context("spawn")
+
+
+def _worker_init() -> None:
+    """Per-worker setup: no nested pools; rebuild env-configured state.
+
+    With the ``spawn`` start method workers begin from a fresh interpreter,
+    so process-global state (like the placement cache installed by the CLI)
+    must be reconstructed from the environment.
+    """
+    os.environ[JOBS_ENV] = "1"
+    from repro.analysis.cache import ensure_configured_from_env
+
+    ensure_configured_from_env()
+
+
+def parallel_map(
+    fn: Callable[[_Task], _Result],
+    tasks: Iterable[_Task] | Sequence[_Task],
+    jobs: int | None = None,
+    chunksize: int = 1,
+) -> list[_Result]:
+    """Map ``fn`` over ``tasks``, preserving task order in the result list.
+
+    Runs serially when the effective job count is 1 or there is at most one
+    task; otherwise fans out over a process pool.  Pool-infrastructure
+    failures (no forking allowed, unpicklable task, broken worker) degrade
+    to a serial rerun — by construction ``fn`` is deterministic and
+    side-effect-free here, so rerunning is safe.
+    """
+    tasks = list(tasks)
+    jobs = resolve_jobs(jobs)
+    if jobs <= 1 or len(tasks) <= 1:
+        return [fn(task) for task in tasks]
+    import concurrent.futures
+    import pickle
+
+    try:
+        with concurrent.futures.ProcessPoolExecutor(
+            max_workers=min(jobs, len(tasks)),
+            mp_context=_pool_context(),
+            initializer=_worker_init,
+        ) as pool:
+            return list(pool.map(fn, tasks, chunksize=chunksize))
+    except (
+        OSError,
+        pickle.PicklingError,
+        concurrent.futures.process.BrokenProcessPool,
+    ):
+        return [fn(task) for task in tasks]

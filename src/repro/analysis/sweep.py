@@ -10,6 +10,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, Sequence
 
+from repro.analysis.parallel import parallel_map
 from repro.core.api import optimize_placement
 from repro.dwm.config import DWMConfig
 from repro.trace.model import AccessTrace
@@ -35,40 +36,54 @@ class SweepRecord:
         return self.total_shifts / self.num_accesses
 
 
+def _sweep_cell(task: tuple) -> SweepRecord:
+    """Evaluate one (trace, geometry, method) grid cell.
+
+    Top-level (picklable) so :func:`repro.analysis.parallel.parallel_map`
+    can ship cells to pool workers under any start method.
+    """
+    trace, words_per_dbc, num_ports, method, kwargs = task
+    config = DWMConfig.for_items(
+        trace.num_items,
+        words_per_dbc=words_per_dbc,
+        num_ports=num_ports,
+    )
+    result = optimize_placement(trace, config, method=method, **kwargs)
+    return SweepRecord(
+        trace=trace.name,
+        method=method,
+        words_per_dbc=words_per_dbc,
+        num_ports=num_ports,
+        num_dbcs=config.num_dbcs,
+        total_shifts=result.total_shifts,
+        num_accesses=len(trace),
+        runtime_seconds=result.runtime_seconds,
+    )
+
+
 def sweep(
     traces: Iterable[AccessTrace],
     methods: Sequence[str] = ("declaration", "heuristic"),
     words_per_dbc_values: Sequence[int] = (64,),
     num_ports_values: Sequence[int] = (1,),
+    jobs: int | None = None,
     **kwargs,
 ) -> list[SweepRecord]:
-    """Run every (trace × geometry × method) combination."""
-    records: list[SweepRecord] = []
-    for trace in traces:
-        for words_per_dbc in words_per_dbc_values:
-            for num_ports in num_ports_values:
-                config = DWMConfig.for_items(
-                    trace.num_items,
-                    words_per_dbc=words_per_dbc,
-                    num_ports=num_ports,
-                )
-                for method in methods:
-                    result = optimize_placement(
-                        trace, config, method=method, **kwargs
-                    )
-                    records.append(
-                        SweepRecord(
-                            trace=trace.name,
-                            method=method,
-                            words_per_dbc=words_per_dbc,
-                            num_ports=num_ports,
-                            num_dbcs=config.num_dbcs,
-                            total_shifts=result.total_shifts,
-                            num_accesses=len(trace),
-                            runtime_seconds=result.runtime_seconds,
-                        )
-                    )
-    return records
+    """Run every (trace × geometry × method) combination.
+
+    ``jobs`` fans the grid out over a process pool (``None`` defers to the
+    ``REPRO_JOBS`` environment variable; 1 runs serially).  Cells are
+    independent, and results always come back in the serial nested-loop
+    order, so the record list is identical for any job count.
+    """
+    tasks = [
+        (trace, words_per_dbc, num_ports, method, kwargs)
+        for trace in traces
+        for words_per_dbc in words_per_dbc_values
+        for num_ports in num_ports_values
+        for method in methods
+    ]
+    return parallel_map(_sweep_cell, tasks, jobs=jobs)
 
 
 def pivot(

@@ -11,9 +11,14 @@ Subcommands mirror the library workflow:
 * ``repro simulate`` — run a trace against a placement on the device model
   and print the shift/latency/energy report.
 * ``repro experiments`` — regenerate evaluation artifacts (E1–E14).
+* ``repro cache`` — inspect or clear the persistent placement-result cache.
 
 All geometry flags default to the library defaults (64-word DBCs, one
-centred port, lazy shifting).
+centred port, lazy shifting).  The heavy subcommands (``experiments``,
+``dse``) accept ``--jobs N`` to fan work out over a process pool (also via
+the ``REPRO_JOBS`` env var) and use the persistent result cache by default
+(``--no-cache`` to disable, ``--cache-dir`` / ``REPRO_CACHE_DIR`` to
+relocate it).
 """
 
 from __future__ import annotations
@@ -23,7 +28,8 @@ import json
 import sys
 from pathlib import Path
 
-from repro.analysis.experiments import EXPERIMENTS, run_experiment
+from repro.analysis.cache import ResultCache, cache_scope
+from repro.analysis.experiments import EXPERIMENTS, run_experiments
 from repro.analysis.report import format_table
 from repro.core.api import ALGORITHMS, optimize_placement
 from repro.core.placement import Placement, Slot
@@ -52,6 +58,22 @@ def _config_from_args(args, num_items: int) -> DWMConfig:
         words_per_dbc=args.words_per_dbc,
         num_ports=args.ports,
         port_policy=args.policy,
+    )
+
+
+def _add_perf_flags(parser: argparse.ArgumentParser) -> None:
+    """Flags shared by the heavy subcommands (experiments, dse)."""
+    parser.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="worker processes (default: REPRO_JOBS env var, else serial)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the persistent placement-result cache",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="cache location (default: REPRO_CACHE_DIR or ~/.cache/repro-dwm)",
     )
 
 
@@ -228,8 +250,9 @@ def cmd_experiments(args) -> int:
     if targets == ["all"]:
         targets = list(EXPERIMENTS)
     sections: list[str] = []
-    for target in targets:
-        output = run_experiment(target)
+    with cache_scope(enabled=not args.no_cache, root=args.cache_dir):
+        outputs = run_experiments(targets, jobs=args.jobs)
+    for output in outputs:
         print(output.rendered)
         print()
         sections.append(
@@ -253,10 +276,31 @@ def cmd_dse(args) -> int:
     trace = trace_io.load(args.trace)
     lengths = [int(v) for v in args.lengths.split(",")]
     ports = [int(v) for v in args.port_counts.split(",")]
-    points = explore(trace, lengths=lengths, ports=ports, method=args.method)
+    with cache_scope(enabled=not args.no_cache, root=args.cache_dir):
+        points = explore(
+            trace, lengths=lengths, ports=ports, method=args.method,
+            jobs=args.jobs,
+        )
     front = pareto_front(points)
     print(render_front(points, front))
     print(f"\nbalanced (knee) design: {knee_point(front).label}")
+    return 0
+
+
+def cmd_cache(args) -> int:
+    """Inspect or clear the persistent placement-result cache."""
+    cache = ResultCache(args.cache_dir)
+    if args.cache_command == "clear":
+        removed = cache.clear()
+        print(f"removed {removed} cached results from {cache.root}")
+        return 0
+    entries = len(cache)
+    rows = [
+        ("location", str(cache.root)),
+        ("entries", entries),
+        ("size (KiB)", f"{cache.size_bytes() / 1024:.1f}"),
+    ]
+    print(format_table(("field", "value"), rows, title="placement-result cache"))
     return 0
 
 
@@ -351,6 +395,7 @@ def build_parser() -> argparse.ArgumentParser:
                              help="experiment ids (e1..e16) or 'all'")
     experiments.add_argument("-o", "--output", default=None, metavar="FILE",
                              help="also write a markdown report")
+    _add_perf_flags(experiments)
     experiments.set_defaults(func=cmd_experiments)
 
     dse = sub.add_parser(
@@ -363,7 +408,18 @@ def build_parser() -> argparse.ArgumentParser:
                      help="comma-separated port counts (default: 1,2,4)")
     dse.add_argument("--method", default="heuristic",
                      choices=sorted(ALGORITHMS))
+    _add_perf_flags(dse)
     dse.set_defaults(func=cmd_dse)
+
+    cache = sub.add_parser(
+        "cache", help="inspect or clear the placement-result cache"
+    )
+    cache.add_argument("cache_command", choices=("info", "clear"),
+                       help="'info' prints location/size; 'clear' empties it")
+    cache.add_argument("--cache-dir", default=None, metavar="DIR",
+                       help="cache location (default: REPRO_CACHE_DIR "
+                            "or ~/.cache/repro-dwm)")
+    cache.set_defaults(func=cmd_cache)
 
     system = sub.add_parser(
         "system", help="full-system study: all-DRAM vs SPM configurations"

@@ -116,6 +116,30 @@ ALGORITHMS: dict[str, Callable[..., Placement]] = {
 }
 
 
+# Optional process-global placement cache.  The core layer must not import
+# the analysis layer, so the cache object (repro.analysis.cache.ResultCache)
+# is injected through this hook; ``None`` means caching is off.  The hook
+# only requires ``lookup_placement``/``store_placement`` methods.
+_PLACEMENT_CACHE = None
+
+
+def set_placement_cache(cache):
+    """Install (or, with ``None``, remove) the global placement cache.
+
+    Returns the previously installed cache so callers can scope activation
+    with try/finally.
+    """
+    global _PLACEMENT_CACHE
+    previous = _PLACEMENT_CACHE
+    _PLACEMENT_CACHE = cache
+    return previous
+
+
+def get_placement_cache():
+    """The currently installed placement cache, or ``None``."""
+    return _PLACEMENT_CACHE
+
+
 def build_problem(
     trace: AccessTrace,
     config: DWMConfig | None = None,
@@ -162,12 +186,17 @@ def optimize_placement(
             f"unknown method {method!r}; available: {sorted(ALGORITHMS)}"
         )
     problem = build_problem(trace, config)
+    cache = _PLACEMENT_CACHE
+    if cache is not None:
+        cached = cache.lookup_placement(trace, problem.config, method, kwargs)
+        if cached is not None:
+            return cached
     start = time.perf_counter()
     placement = ALGORITHMS[method](problem, **kwargs)
     runtime = time.perf_counter() - start
     placement.validate(problem.config, problem.items)
     shifts = evaluate_placement_auto(problem, placement, validate=False)
-    return PlacementResult(
+    result = PlacementResult(
         method=method,
         placement=placement,
         total_shifts=shifts,
@@ -179,6 +208,9 @@ def optimize_placement(
             "trace": trace.name,
         },
     )
+    if cache is not None:
+        cache.store_placement(trace, problem.config, method, kwargs, result)
+    return result
 
 
 def compare_methods(

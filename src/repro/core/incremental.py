@@ -41,6 +41,125 @@ from repro.errors import PlacementError
 MULTI_PORT_VECTOR_MIN = 256
 
 
+def two_port_access_costs(offsets, ports):
+    """Per-access shift costs of a lazy two-port replay (closed form).
+
+    Vectorised over the whole offset sequence: with two ports every step's
+    transition on the (previous-port) state is either a constant (both
+    states pick the same port — the chain converges and forgets its history)
+    or a permutation (identity or swap, i.e. an XOR by 0 or 1).  The state
+    before step ``t`` is therefore the last convergence value before ``t``
+    (or the initial state) XOR-ed with the parity of swaps in between — all
+    prefix scans, no sequential walk.  Strict ``<`` comparisons keep the
+    lower port on ties, matching :func:`repro.dwm.dbc.port_access_cost`.
+
+    Returns an int64 array of the same length as ``offsets`` whose sum is
+    the total lazy cost of the sequence.  Shared by the incremental
+    evaluator (which only needs the sum) and the vectorized simulation
+    engine (which also needs per-access maxima and per-DBC attribution).
+    """
+    import numpy as np
+
+    port_a, port_b = ports
+    head_a = offsets if port_a == 0 else offsets - port_a
+    head_b = offsets - port_b
+    out = np.empty(offsets.size, dtype=np.int64)
+    first_a = abs(int(head_a[0]))
+    first_b = abs(int(head_b[0]))
+    state = first_b < first_a  # tie → lower port
+    out[0] = first_b if state else first_a
+    if offsets.size == 1:
+        return out
+    # Step t serves access t+1; cost_qp = |head_p[t+1] − head_q[t]|.
+    cost_aa = np.abs(head_a[1:] - head_a[:-1])
+    cost_ab = np.abs(head_b[1:] - head_a[:-1])
+    cost_ba = np.abs(head_a[1:] - head_b[:-1])
+    cost_bb = np.abs(head_b[1:] - head_b[:-1])
+    pick_b0 = cost_ab < cost_aa  # next state given previous state 0
+    pick_b1 = cost_bb < cost_ba  # next state given previous state 1
+    min0 = np.where(pick_b0, cost_ab, cost_aa)
+    min1 = np.where(pick_b1, cost_bb, cost_ba)
+    const = pick_b0 == pick_b1
+    swap_flag = pick_b0 & ~const
+    inclusive = np.bitwise_xor.accumulate(swap_flag)
+    prefix = np.empty_like(inclusive)
+    prefix[0] = False
+    prefix[1:] = inclusive[:-1]
+    # vals[j] carries a const step's output back to prefix-XOR space so
+    # that state_before[t] = vals[j] ^ prefix[t] for the last const j < t.
+    vals = pick_b0 ^ inclusive
+    steps = offsets.size - 1
+    anchors = np.where(const, np.arange(steps), -1)
+    np.maximum.accumulate(anchors, out=anchors)
+    last_const = np.empty_like(anchors)
+    last_const[0] = -1
+    last_const[1:] = anchors[:-1]
+    base = np.where(last_const >= 0, vals[np.maximum(last_const, 0)], state)
+    states = base ^ prefix
+    out[1:] = np.where(states, min1, min0)
+    return out
+
+
+def multi_port_access_costs(offsets, ports):
+    """Per-access shift costs of a lazy multi-port replay (``P ≥ 2``).
+
+    After any access the head equals ``offset − p`` for exactly one port
+    ``p``, so the walk is a deterministic automaton over ``P`` states.  The
+    per-step (cost, next-state) tables over all P previous states are built
+    vectorised, then the *prefix* state sequence is recovered with a
+    Hillis–Steele scan of transition-function composition — O(k·P·log k)
+    numpy work instead of an O(k·P) interpreted walk.  Greedy tie-breaks
+    resolve to the lowest port (argmin-first), matching the reference
+    evaluator exactly.
+
+    Unlike :meth:`CostEvaluator._multi_port_vector_cost` (a pointer-doubling
+    fold that only yields the total), this returns the full per-access cost
+    vector, which the vectorized simulation engine needs for
+    ``max_access_shifts`` and per-DBC attribution.
+    """
+    import numpy as np
+
+    ports_arr = np.asarray(ports, dtype=np.int64)
+    num_ports = ports_arr.size
+    out = np.empty(offsets.size, dtype=np.int64)
+    first_costs = np.abs(int(offsets[0]) - ports_arr)
+    state = int(first_costs.argmin())
+    out[0] = int(first_costs[state])
+    if offsets.size == 1:
+        return out
+    targets = offsets[:, None] - ports_arr[None, :]  # (k, P) head candidates
+    prev = targets[:-1]
+    cur = targets[1:]
+    # costs[t, q] / nexts[t, q]: cheapest port for access t+1 given the
+    # previous access used port q; strict ``<`` keeps the lowest port on
+    # ties, matching the reference evaluator.
+    costs = np.abs(cur[:, 0, None] - prev)
+    nexts = np.zeros_like(costs)
+    for port_index in range(1, num_ports):
+        candidate = np.abs(cur[:, port_index, None] - prev)
+        better = candidate < costs
+        costs = np.where(better, candidate, costs)
+        nexts = np.where(better, port_index, nexts)
+    # Hillis–Steele prefix composition: after the scan, comp[t][q] is the
+    # state after steps 0..t given initial state q.
+    comp = nexts
+    steps = comp.shape[0]
+    distance = 1
+    while distance < steps:
+        comp = np.concatenate(
+            [
+                comp[:distance],
+                np.take_along_axis(comp[distance:], comp[:-distance], axis=1),
+            ]
+        )
+        distance *= 2
+    states = np.empty(steps, dtype=np.int64)
+    states[0] = state
+    states[1:] = comp[:-1, state]
+    out[1:] = costs[np.arange(steps), states]
+    return out
+
+
 class CostEvaluator:
     """Exact incremental cost evaluation of moves on one placement.
 

@@ -1,5 +1,11 @@
 """Memory subsystem: DWM scratchpad simulator and SRAM comparator."""
 
+from repro.memory.batch_sim import (
+    BatchSimulator,
+    ResolvedTrace,
+    batch_simulate,
+    simulate_vectorized,
+)
 from repro.memory.cache import (
     CacheGeometry,
     CacheResult,
@@ -23,9 +29,11 @@ from repro.memory.timing import (
 )
 
 __all__ = [
+    "BatchSimulator",
     "CacheGeometry",
     "CacheResult",
     "DWMCache",
+    "ResolvedTrace",
     "SRAMScratchpad",
     "ScratchpadMemory",
     "SimulationResult",
@@ -37,6 +45,8 @@ __all__ = [
     "system_comparison",
     "TimingResult",
     "TimingSimulator",
+    "batch_simulate",
     "overlap_benefit",
     "simulate_placement",
+    "simulate_vectorized",
 ]

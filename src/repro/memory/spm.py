@@ -4,12 +4,18 @@
 to a DWM array and runs access traces against it.  Two engines share the
 same cost semantics:
 
-* :meth:`simulate` — fast engine over
-  :class:`~repro.dwm.array.DWMArrayModel` (head states + counters only).
+* :meth:`simulate` — counters-only engine; picks between the scalar
+  per-access replay over :class:`~repro.dwm.array.DWMArrayModel` and the
+  vectorized engine (:mod:`repro.memory.batch_sim`) via its ``engine``
+  argument (``"auto"``/``"scalar"``/``"vectorized"``).
 * :meth:`simulate_functional` — full engine over
   :class:`~repro.dwm.array.DWMArray`, additionally storing and checking word
   values (writes store a value, reads return the last value written).  Used
   by differential tests; identical shift counts by construction.
+
+Per-trace work (placement validation, slot resolution, vectorized trace
+resolution) is cached on the instance keyed by trace identity, so reusing
+one SPM to replay the same trace many times pays those costs once.
 """
 
 from __future__ import annotations
@@ -21,6 +27,10 @@ from repro.errors import SimulationError
 from repro.memory.result import SimulationResult
 from repro.trace.model import AccessTrace
 
+#: ``engine="auto"`` switches to the vectorized engine at this many accesses;
+#: below it the numpy setup costs more than the scalar loop saves.
+VECTORIZED_MIN_ACCESSES = 2048
+
 
 class ScratchpadMemory:
     """A DWM scratchpad with a fixed data placement."""
@@ -28,17 +38,65 @@ class ScratchpadMemory:
     def __init__(self, config: DWMConfig, placement: Placement) -> None:
         self.config = config
         self.placement = placement
+        self._validated_trace: AccessTrace | None = None
+        self._slots_trace: AccessTrace | None = None
+        self._slots: dict[str, tuple[int, int]] | None = None
+        self._batch_trace: AccessTrace | None = None
+        self._batch = None
+
+    def _ensure_validated(self, trace: AccessTrace) -> None:
+        """Validate placement coverage once per trace (identity-cached)."""
+        if self._validated_trace is not trace:
+            self.placement.validate(self.config, trace.items)
+            self._validated_trace = trace
 
     def _slots_for(self, trace: AccessTrace) -> dict[str, tuple[int, int]]:
         """Resolve every trace item to (dbc, offset), validating coverage."""
-        self.placement.validate(self.config, trace.items)
-        return {
+        if self._slots_trace is trace and self._slots is not None:
+            return self._slots
+        self._ensure_validated(trace)
+        slots = {
             item: (slot.dbc, slot.offset)
             for item, slot in self.placement.items()
         }
+        self._slots_trace = trace
+        self._slots = slots
+        return slots
 
-    def simulate(self, trace: AccessTrace) -> SimulationResult:
-        """Run ``trace`` on the counters-only engine."""
+    def _batch_for(self, trace: AccessTrace):
+        """Vectorized simulator with the trace resolved (identity-cached)."""
+        if self._batch_trace is not trace:
+            from repro.memory.batch_sim import BatchSimulator
+
+            self._batch = BatchSimulator(trace)
+            self._batch_trace = trace
+        return self._batch
+
+    def simulate(self, trace: AccessTrace, engine: str = "auto") -> SimulationResult:
+        """Run ``trace`` on the counters-only engine.
+
+        ``engine`` selects the implementation: ``"scalar"`` replays access
+        by access through :class:`DWMArrayModel`, ``"vectorized"`` uses the
+        numpy engine of :mod:`repro.memory.batch_sim` (bit-identical
+        counts), and ``"auto"`` picks vectorized for traces of at least
+        :data:`VECTORIZED_MIN_ACCESSES` accesses.
+        """
+        if engine not in ("auto", "scalar", "vectorized"):
+            raise SimulationError(
+                f"unknown simulation engine {engine!r}; "
+                "expected 'auto', 'scalar' or 'vectorized'"
+            )
+        if engine == "auto":
+            engine = (
+                "vectorized"
+                if len(trace) >= VECTORIZED_MIN_ACCESSES
+                else "scalar"
+            )
+        if engine == "vectorized":
+            self._ensure_validated(trace)
+            return self._batch_for(trace).simulate(
+                self.config, self.placement, validate=False
+            )
         slots = self._slots_for(trace)
         array = DWMArrayModel(self.config)
         max_access_shifts = 0
@@ -56,6 +114,7 @@ class ScratchpadMemory:
             writes=stats.writes,
             per_dbc_shifts=tuple(stats.per_dbc_shifts),
             max_access_shifts=max_access_shifts,
+            details={"engine": "scalar"},
         )
 
     def simulate_functional(self, trace: AccessTrace) -> SimulationResult:
@@ -108,9 +167,10 @@ def simulate_placement(
     config: DWMConfig,
     placement: Placement,
     functional: bool = False,
+    engine: str = "auto",
 ) -> SimulationResult:
     """Convenience wrapper: build the SPM and run one trace."""
     spm = ScratchpadMemory(config, placement)
     if functional:
         return spm.simulate_functional(trace)
-    return spm.simulate(trace)
+    return spm.simulate(trace, engine=engine)

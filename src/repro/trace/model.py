@@ -85,6 +85,7 @@ class AccessTrace:
         self.name = name
         self.metadata = dict(metadata or {})
         self._items: tuple[str, ...] | None = None
+        self._fingerprint: str | None = None
 
     # ------------------------------------------------------------------
     # Sequence protocol
@@ -140,6 +141,25 @@ class AccessTrace:
     def item_sequence(self) -> tuple[str, ...]:
         """Just the item names, in access order."""
         return tuple(access.item for access in self._accesses)
+
+    def fingerprint(self) -> str:
+        """Stable content hash of the access sequence (hex sha256).
+
+        Covers only the accesses themselves — two traces with the same
+        reads/writes hash identically even if ``name`` or ``metadata``
+        differ, so renaming a trace does not invalidate cached results
+        keyed on it.  Cached after the first call (traces are immutable).
+        """
+        if self._fingerprint is None:
+            import hashlib
+
+            digest = hashlib.sha256()
+            for access in self._accesses:
+                digest.update(access.kind.value.encode("ascii"))
+                digest.update(access.item.encode("utf-8"))
+                digest.update(b"\x00")
+            self._fingerprint = digest.hexdigest()
+        return self._fingerprint
 
     def frequencies(self) -> Counter:
         """Access count per item."""

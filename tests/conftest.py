@@ -10,6 +10,19 @@ from repro.trace.model import AccessTrace
 from repro.trace.synthetic import markov_trace, pingpong_trace
 
 
+@pytest.fixture(autouse=True)
+def _hermetic_perf_env(tmp_path, monkeypatch):
+    """Keep tests independent of the user's cache/parallelism environment.
+
+    CLI subcommands enable the persistent placement cache by default; point
+    it at a per-test directory so runs never touch (or depend on)
+    ``~/.cache/repro-dwm``, and neutralise ambient REPRO_* tuning knobs.
+    """
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "repro-cache"))
+    monkeypatch.delenv("REPRO_CACHE", raising=False)
+    monkeypatch.delenv("REPRO_JOBS", raising=False)
+
+
 @pytest.fixture
 def single_dbc_config() -> DWMConfig:
     """One DBC of 8 words, single port at offset 4 (uniform default)."""

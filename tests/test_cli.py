@@ -136,6 +136,20 @@ class TestExperimentsCommand:
         assert code == 0
         assert "Benchmark characteristics" in out
 
+    def test_jobs_flag(self, capsys):
+        code, out, _err = run_cli(capsys, "experiments", "e1", "--jobs", "2")
+        assert code == 0
+        assert "Benchmark characteristics" in out
+
+    def test_no_cache_flag(self, tmp_path, capsys):
+        cache_dir = tmp_path / "cache"
+        code, _out, _err = run_cli(
+            capsys, "experiments", "e9", "--no-cache",
+            "--cache-dir", str(cache_dir),
+        )
+        assert code == 0
+        assert not cache_dir.exists()
+
     def test_markdown_report(self, tmp_path, capsys):
         report = tmp_path / "report.md"
         code, _out, err = run_cli(
@@ -177,6 +191,59 @@ class TestDseCommand:
         assert code == 0
         assert "Pareto-efficient" in out
         assert "knee" in out
+
+    def test_dse_populates_cache(self, tmp_path, capsys):
+        path = tmp_path / "t.jsonl"
+        run_cli(capsys, "trace", "generate", "markov",
+                "--items", "12", "--accesses", "200", "-o", str(path))
+        capsys.readouterr()
+        cache_dir = tmp_path / "cache"
+        code, _out, _err = run_cli(
+            capsys, "dse", str(path), "--lengths", "8,16",
+            "--port-counts", "1", "--cache-dir", str(cache_dir),
+        )
+        assert code == 0
+        assert any(cache_dir.glob("??/*.json"))
+
+    def test_dse_jobs_output_byte_identical(self, tmp_path, capsys):
+        """--jobs 4 must print exactly what a serial run prints."""
+        path = tmp_path / "t.jsonl"
+        run_cli(capsys, "trace", "generate", "markov",
+                "--items", "16", "--accesses", "300", "-o", str(path))
+        capsys.readouterr()
+        runs = {}
+        for jobs in ("1", "4"):
+            code, out, _err = run_cli(
+                capsys, "dse", str(path), "--lengths", "8,16",
+                "--port-counts", "1,2", "--no-cache", "--jobs", jobs,
+            )
+            assert code == 0
+            runs[jobs] = out.encode("utf-8")
+        assert runs["1"] == runs["4"]
+
+
+class TestCacheCommand:
+    def test_info_and_clear(self, tmp_path, capsys):
+        cache_dir = tmp_path / "cache"
+        trace_path = tmp_path / "t.jsonl"
+        run_cli(capsys, "trace", "generate", "markov",
+                "--items", "10", "--accesses", "150", "-o", str(trace_path))
+        capsys.readouterr()
+        run_cli(capsys, "dse", str(trace_path), "--lengths", "8",
+                "--port-counts", "1", "--cache-dir", str(cache_dir))
+        capsys.readouterr()
+        code, out, _err = run_cli(
+            capsys, "cache", "info", "--cache-dir", str(cache_dir)
+        )
+        assert code == 0
+        assert str(cache_dir) in out
+        assert "entries" in out
+        code, out, _err = run_cli(
+            capsys, "cache", "clear", "--cache-dir", str(cache_dir)
+        )
+        assert code == 0
+        assert "removed 1" in out
+        assert not any(cache_dir.glob("??/*.json"))
 
 
 class TestSystemCommand:

@@ -1,0 +1,182 @@
+"""Tests for the persistent placement-result cache."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.analysis.cache import (
+    CACHE_DIR_ENV,
+    CACHE_ENV,
+    ResultCache,
+    cache_scope,
+    ensure_configured_from_env,
+    placement_cache_disabled,
+    placement_key,
+)
+from repro.analysis.experiments import run_e9
+from repro.core.api import get_placement_cache, optimize_placement
+from repro.dwm.config import DWMConfig
+from repro.trace.synthetic import markov_trace
+
+
+@pytest.fixture
+def trace():
+    return markov_trace(16, 500, seed=13)
+
+
+@pytest.fixture
+def config(trace):
+    return DWMConfig.for_items(trace.num_items, words_per_dbc=8)
+
+
+class TestPlacementKey:
+    def test_stable_across_rename(self, trace, config):
+        renamed = trace.renamed("something-else")
+        assert placement_key(trace, config, "heuristic", {}) == placement_key(
+            renamed, config, "heuristic", {}
+        )
+
+    def test_sensitive_to_trace_content(self, trace, config):
+        other = markov_trace(16, 500, seed=14)
+        assert placement_key(trace, config, "heuristic", {}) != placement_key(
+            other, config, "heuristic", {}
+        )
+
+    def test_sensitive_to_config(self, trace, config):
+        import dataclasses
+
+        eager = dataclasses.replace(config, port_policy="eager")
+        assert placement_key(trace, config, "heuristic", {}) != placement_key(
+            trace, eager, "heuristic", {}
+        )
+
+    def test_sensitive_to_method_and_kwargs(self, trace, config):
+        base = placement_key(trace, config, "heuristic", {})
+        assert base != placement_key(trace, config, "declaration", {})
+        assert base != placement_key(trace, config, "heuristic", {"seed": 1})
+
+    def test_kwargs_order_irrelevant(self, trace, config):
+        assert placement_key(
+            trace, config, "annealing", {"seed": 1, "max_evaluations": 10}
+        ) == placement_key(
+            trace, config, "annealing", {"max_evaluations": 10, "seed": 1}
+        )
+
+
+class TestResultCacheStore:
+    def test_put_get_roundtrip(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = "ab" + "0" * 62
+        cache.put(key, {"hello": [1, 2]})
+        assert cache.get(key) == {"hello": [1, 2]}
+        assert len(cache) == 1
+
+    def test_missing_key_is_none(self, tmp_path):
+        assert ResultCache(tmp_path).get("ff" + "0" * 62) is None
+
+    def test_corrupt_entry_is_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = "cd" + "0" * 62
+        cache.put(key, {"fine": True})
+        cache._path(key).write_text("{not json", encoding="utf-8")
+        assert cache.get(key) is None
+
+    def test_invalidate_and_clear(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        keys = [prefix + "0" * 62 for prefix in ("aa", "bb", "cc")]
+        for key in keys:
+            cache.put(key, {"k": key})
+        assert cache.invalidate(keys[0]) is True
+        assert cache.invalidate(keys[0]) is False
+        assert len(cache) == 2
+        assert cache.clear() == 2
+        assert len(cache) == 0
+        assert cache.size_bytes() == 0
+
+
+class TestOptimizeWithCache:
+    def test_warm_rerun_hits(self, tmp_path, trace, config):
+        with cache_scope(enabled=True, root=tmp_path) as cache:
+            cold = optimize_placement(trace, config, method="heuristic")
+            assert cache.hits == 0 and cache.misses == 1
+            warm = optimize_placement(trace, config, method="heuristic")
+            assert cache.hits == 1 and cache.misses == 1
+        assert warm.placement.as_dict() == cold.placement.as_dict()
+        assert warm.total_shifts == cold.total_shifts
+        assert warm.details["cache"] == "hit"
+        assert warm.runtime_seconds == 0.0
+        assert "cache" not in cold.details
+
+    def test_cache_survives_process_scopes(self, tmp_path, trace, config):
+        """A fresh cache object over the same directory still hits."""
+        with cache_scope(enabled=True, root=tmp_path):
+            cold = optimize_placement(trace, config, method="heuristic")
+        with cache_scope(enabled=True, root=tmp_path) as cache:
+            warm = optimize_placement(trace, config, method="heuristic")
+            assert cache.hits == 1
+        assert warm.total_shifts == cold.total_shifts
+
+    def test_different_kwargs_do_not_collide(self, tmp_path, trace, config):
+        with cache_scope(enabled=True, root=tmp_path) as cache:
+            a = optimize_placement(trace, config, method="random", seed=0)
+            b = optimize_placement(trace, config, method="random", seed=1)
+            assert cache.hits == 0 and cache.misses == 2
+        assert a.placement.as_dict() != b.placement.as_dict()
+
+    def test_corrupt_payload_recomputes(self, tmp_path, trace, config):
+        with cache_scope(enabled=True, root=tmp_path) as cache:
+            cold = optimize_placement(trace, config, method="heuristic")
+            key = placement_key(trace, config, "heuristic", {})
+            cache.put(key, {"schema": 1, "nonsense": True})
+            recomputed = optimize_placement(trace, config, method="heuristic")
+            assert recomputed.total_shifts == cold.total_shifts
+            assert "cache" not in recomputed.details
+
+    def test_disabled_scope_never_touches_disk(self, tmp_path, trace, config):
+        with cache_scope(enabled=False, root=tmp_path) as cache:
+            assert cache is None
+            optimize_placement(trace, config, method="heuristic")
+        assert len(ResultCache(tmp_path)) == 0
+
+
+class TestActivationPlumbing:
+    def test_scope_restores_hook_and_env(self, tmp_path, monkeypatch):
+        monkeypatch.delenv(CACHE_ENV, raising=False)
+        assert get_placement_cache() is None
+        with cache_scope(enabled=True, root=tmp_path):
+            assert get_placement_cache() is not None
+            assert os.environ[CACHE_ENV] == "1"
+            assert os.environ[CACHE_DIR_ENV] == str(tmp_path)
+        assert get_placement_cache() is None
+        assert CACHE_ENV not in os.environ
+
+    def test_placement_cache_disabled_nests(self, tmp_path, trace, config):
+        with cache_scope(enabled=True, root=tmp_path) as cache:
+            with placement_cache_disabled():
+                assert get_placement_cache() is None
+                optimize_placement(trace, config, method="frequency")
+            assert get_placement_cache() is cache
+            assert cache.hits == 0 and cache.misses == 0
+
+    def test_ensure_configured_from_env(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(CACHE_ENV, "1")
+        monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path))
+        from repro.core.api import set_placement_cache
+
+        previous = set_placement_cache(None)
+        try:
+            cache = ensure_configured_from_env()
+            assert isinstance(cache, ResultCache)
+            assert cache.root == tmp_path
+        finally:
+            set_placement_cache(previous)
+
+    def test_e9_bypasses_cache(self, tmp_path):
+        """E9 times the optimizer; a warm cache must not short-circuit it."""
+        with cache_scope(enabled=True, root=tmp_path) as cache:
+            run_e9(sizes=(8,), methods=("frequency",))
+            assert cache.hits == 0 and cache.misses == 0
+        assert len(ResultCache(tmp_path)) == 0
