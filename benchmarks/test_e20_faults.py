@@ -1,0 +1,39 @@
+"""E20 — Monte-Carlo fault injection across placement methods.
+
+Runs :func:`repro.analysis.experiments.run_e20` — seeded shift-fault
+injection over every sweep kernel for the random / declaration / heuristic
+placements — and asserts the reproduction targets:
+
+* the pooled Monte-Carlo fault count lands within 3 sigma of the analytic
+  ``shifts x p`` expectation for every method (MC/analytic cross-check);
+* the shift-minimizing heuristic placement (OURS) exposes no more corrupted
+  accesses and pays no more realignment shifts than the random and
+  declaration baselines — the secondary reliability benefit of shift
+  reduction.
+
+The rendered table goes to ``results/e20.txt`` and the structured numbers
+to ``results/BENCH_e20.json``.
+"""
+
+import json
+
+from repro.analysis.experiments import run_e20
+
+
+def test_e20_faults(benchmark, record_artifact, results_dir):
+    output = benchmark.pedantic(run_e20, rounds=1, iterations=1)
+    record_artifact(output)
+    (results_dir / "BENCH_e20.json").write_text(
+        json.dumps(output.data, indent=2) + "\n", encoding="utf-8"
+    )
+    for method, cell in output.data.items():
+        # MC fault counts must agree with the analytic model within 3 sigma.
+        assert cell["within_3_sigma"], (method, cell)
+    ours = output.data["heuristic"]
+    for baseline in ("random", "declaration"):
+        other = output.data[baseline]
+        # Fewer shifts => smaller fault budget => less exposure/overhead.
+        assert ours["total_shifts"] < other["total_shifts"]
+        assert ours["corrupted_accesses"] <= other["corrupted_accesses"]
+        assert ours["realignment_shifts"] <= other["realignment_shifts"]
+    assert ours["fault_reduction_percent"] > 0.0

@@ -6,6 +6,12 @@ from repro.analysis.cache import (
     placement_cache_disabled,
     placement_key,
 )
+from repro.analysis.checkpoint import (
+    CheckpointJournal,
+    flush_active_journals,
+    run_checkpointed,
+    task_key,
+)
 from repro.analysis.dse import (
     DesignPoint,
     explore,
@@ -19,7 +25,12 @@ from repro.analysis.experiments import (
     run_experiment,
     run_experiments,
 )
-from repro.analysis.parallel import parallel_map, resolve_jobs
+from repro.analysis.parallel import (
+    TaskFailure,
+    parallel_map,
+    resilient_map,
+    resolve_jobs,
+)
 from repro.analysis.metrics import (
     geometric_mean,
     normalize,
@@ -47,10 +58,16 @@ from repro.analysis.wear import (
 )
 
 __all__ = [
+    "CheckpointJournal",
     "DesignPoint",
     "EXPERIMENTS",
     "ResultCache",
+    "TaskFailure",
     "cache_scope",
+    "flush_active_journals",
+    "resilient_map",
+    "run_checkpointed",
+    "task_key",
     "explore",
     "knee_point",
     "parallel_map",

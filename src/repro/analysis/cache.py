@@ -20,7 +20,10 @@ document of
 
 Entries are JSON files sharded as ``<root>/<key[:2]>/<key>.json`` and
 written atomically (temp file + ``os.replace``), so concurrent workers can
-share one cache directory.  Corrupt or unreadable entries count as misses.
+share one cache directory.  Unreadable entries count as misses; entries
+that exist but fail to parse are quarantined (renamed ``*.corrupt``) so a
+torn write cannot be re-read — and re-fail — on every subsequent lookup
+(``repro cache info`` reports the quarantine count).
 
 The cache plugs into :func:`repro.core.api.optimize_placement` through the
 ``set_placement_cache`` hook — the core layer stays free of analysis-layer
@@ -127,6 +130,7 @@ class ResultCache:
         self.root = Path(root) if root is not None else default_cache_root()
         self.hits = 0
         self.misses = 0
+        self.quarantined = 0
 
     # ------------------------------------------------------------------
     # Generic keyed JSON storage
@@ -134,13 +138,35 @@ class ResultCache:
     def _path(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.json"
 
+    def _quarantine(self, path: Path) -> None:
+        """Sideline an unparseable entry as ``<name>.corrupt``.
+
+        A corrupt file (torn write from a crashed worker, disk error) would
+        otherwise be re-read — and re-fail — on every lookup.  Renaming it
+        keeps the evidence for inspection while clearing the key; failures
+        to rename (another process won the race, read-only FS) are ignored.
+        """
+        try:
+            os.replace(path, path.with_suffix(".corrupt"))
+            self.quarantined += 1
+        except OSError:
+            return
+
     def get(self, key: str):
-        """Stored payload for ``key``, or ``None`` (corrupt file = miss)."""
+        """Stored payload for ``key``, or ``None``.
+
+        A file that exists but does not parse is quarantined (renamed to
+        ``*.corrupt``) rather than silently re-read forever; it counts as a
+        miss.
+        """
         path = self._path(key)
         try:
             with open(path, "r", encoding="utf-8") as handle:
                 return json.load(handle)
-        except (OSError, ValueError):
+        except ValueError:
+            self._quarantine(path)
+            return None
+        except OSError:
             return None
 
     def put(self, key: str, payload) -> None:
@@ -175,7 +201,7 @@ class ResultCache:
             return False
 
     def clear(self) -> int:
-        """Remove every entry; returns the number of entries removed."""
+        """Remove every entry (and quarantined files); returns entries removed."""
         removed = 0
         for path in self.root.glob("??/*.json"):
             try:
@@ -183,10 +209,19 @@ class ResultCache:
                 removed += 1
             except OSError:
                 continue
+        for path in self.root.glob("??/*.corrupt"):
+            try:
+                os.remove(path)
+            except OSError:
+                continue
         return removed
 
     def __len__(self) -> int:
         return sum(1 for _ in self.root.glob("??/*.json"))
+
+    def corrupt_count(self) -> int:
+        """Number of quarantined (``*.corrupt``) files currently on disk."""
+        return sum(1 for _ in self.root.glob("??/*.corrupt"))
 
     def size_bytes(self) -> int:
         """Total on-disk size of all entries."""

@@ -1,0 +1,253 @@
+"""Checkpoint/resume journal for long-running orchestration.
+
+A sweep, DSE grid or experiment batch killed mid-run (SIGINT, OOM-killed
+worker, machine crash) used to lose every completed cell.  This module
+provides :class:`CheckpointJournal` — an append-only JSONL file of
+completed results keyed by the same content-hash scheme as
+:mod:`repro.analysis.cache` — plus :func:`run_checkpointed`, the driver
+that restores completed cells, runs the remainder through
+:func:`repro.analysis.parallel.resilient_map`, and records each success
+the moment it lands.
+
+Journal properties:
+
+* **Atomic appends** — each record is one ``write()`` of a single
+  newline-terminated JSON object, flushed immediately; a kill mid-write
+  can only truncate the *last* line, which :meth:`CheckpointJournal.load`
+  skips (and counts) on resume.
+* **Content-keyed** — keys are sha256 hashes over canonical JSON documents
+  of the task inputs (trace fingerprint, geometry, method, kwargs, code
+  version), so a resumed run only reuses a cell if its inputs are
+  byte-for-byte the same experiment.
+* **Deterministic resume** — restored results are placed at their original
+  task indices, so an interrupted-then-resumed run renders byte-identically
+  to an uninterrupted one.
+
+The CLI flushes every registered journal from its ``KeyboardInterrupt``
+handler (:func:`flush_active_journals`) before exiting with code 130.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import replace
+from pathlib import Path
+
+from repro import __version__
+from repro.analysis.cache import _canonical
+
+#: Bump when the journal line layout changes.
+SCHEMA_VERSION = 1
+
+#: Journals currently open (flushed on CLI interrupt).
+_ACTIVE: list["CheckpointJournal"] = []
+
+
+def task_key(kind: str, document: dict) -> str:
+    """Content hash identifying one orchestrated task (hex sha256).
+
+    Same scheme as :func:`repro.analysis.cache.placement_key`: a canonical
+    JSON document salted with the schema and package version, so stale
+    journals cannot leak results across code changes.
+    """
+    payload = json.dumps(
+        {
+            "schema": SCHEMA_VERSION,
+            "version": __version__,
+            "kind": kind,
+            "doc": _canonical(document),
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+class CheckpointJournal:
+    """Append-only JSONL store of completed task payloads.
+
+    ``resume=True`` loads any existing journal at ``path`` before opening
+    it for append; ``resume=False`` truncates it (a fresh run must not mix
+    with stale state).  ``restored`` counts entries recovered on open and
+    ``corrupt_lines`` the unparseable lines skipped (typically the one
+    truncated by a kill mid-write).
+    """
+
+    def __init__(self, path: str | os.PathLike, resume: bool = False) -> None:
+        self.path = Path(path)
+        self._entries: dict[str, object] = {}
+        self.corrupt_lines = 0
+        self.recorded = 0
+        if resume:
+            self.load()
+        self.restored = len(self._entries)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._handle = open(
+            self.path, "a" if resume else "w", encoding="utf-8"
+        )
+        _ACTIVE.append(self)
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def load(self) -> int:
+        """Read the journal from disk; returns the number of entries."""
+        try:
+            with open(self.path, "r", encoding="utf-8") as handle:
+                for line in handle:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        record = json.loads(line)
+                        key = record["key"]
+                        payload = record["payload"]
+                    except (ValueError, TypeError, KeyError):
+                        self.corrupt_lines += 1
+                        continue
+                    self._entries[key] = payload
+        except FileNotFoundError:
+            pass
+        return len(self._entries)
+
+    def record(self, key: str, payload) -> None:
+        """Append one completed result; flushed before returning."""
+        line = json.dumps(
+            {"key": key, "payload": payload},
+            separators=(",", ":"),
+            default=str,
+        )
+        self._handle.write(line + "\n")
+        self._handle.flush()
+        self._entries[key] = payload
+        self.recorded += 1
+
+    def flush(self) -> None:
+        """Force buffered records to the OS (and disk, best effort)."""
+        if self._handle.closed:
+            return
+        self._handle.flush()
+        try:
+            os.fsync(self._handle.fileno())
+        except OSError:
+            pass
+
+    def close(self) -> None:
+        """Flush and close the journal; safe to call twice."""
+        if self in _ACTIVE:
+            _ACTIVE.remove(self)
+        if not self._handle.closed:
+            self.flush()
+            self._handle.close()
+
+    def __enter__(self) -> "CheckpointJournal":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def get(self, key: str):
+        """Stored payload for ``key``, or ``None``."""
+        return self._entries.get(key)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+def flush_active_journals() -> int:
+    """Flush every open journal (CLI interrupt path); returns the count."""
+    for journal in list(_ACTIVE):
+        journal.flush()
+    return len(_ACTIVE)
+
+
+def run_checkpointed(
+    fn,
+    tasks,
+    keys,
+    *,
+    checkpoint: CheckpointJournal | None = None,
+    encode=None,
+    decode=None,
+    jobs: int | None = None,
+    timeout: float | None = None,
+    retries: int = 0,
+    backoff_seconds: float | None = None,
+):
+    """Orchestrate ``tasks`` with optional journaling and fault tolerance.
+
+    When neither a checkpoint nor a timeout nor retries are requested this
+    is exactly :func:`repro.analysis.parallel.parallel_map` (the fast
+    pool path).  Otherwise tasks whose key already has a journal entry are
+    restored via ``decode`` without recomputing; the remainder run through
+    :func:`repro.analysis.parallel.resilient_map`, and every success is
+    journaled via ``encode`` the moment it completes — so an interrupt
+    loses at most the cells still in flight.
+
+    Results (restored or fresh) come back in task order; slots whose task
+    exhausted its retry budget hold a
+    :class:`repro.analysis.parallel.TaskFailure` re-indexed to the task's
+    position in ``tasks``.
+    """
+    from repro.analysis.parallel import (
+        DEFAULT_BACKOFF_SECONDS,
+        TaskFailure,
+        parallel_map,
+        resilient_map,
+    )
+
+    tasks = list(tasks)
+    if checkpoint is None and timeout is None and retries == 0:
+        return parallel_map(fn, tasks, jobs=jobs)
+    if backoff_seconds is None:
+        backoff_seconds = DEFAULT_BACKOFF_SECONDS
+    if keys is None:
+        keys = [None] * len(tasks)
+    keys = list(keys)
+    if len(keys) != len(tasks):
+        raise ValueError(
+            f"keys/tasks disagree: {len(keys)} keys for {len(tasks)} tasks"
+        )
+    encode = encode if encode is not None else (lambda value: value)
+    decode = decode if decode is not None else (lambda payload: payload)
+    results: list = [None] * len(tasks)
+    remaining: list[int] = []
+    for index, key in enumerate(keys):
+        payload = (
+            checkpoint.get(key)
+            if checkpoint is not None and key is not None
+            else None
+        )
+        if payload is not None:
+            results[index] = decode(payload)
+        else:
+            remaining.append(index)
+
+    def on_result(sub_index: int, value) -> None:
+        index = remaining[sub_index]
+        if checkpoint is not None and keys[index] is not None:
+            checkpoint.record(keys[index], encode(value))
+
+    fresh = resilient_map(
+        fn,
+        [tasks[index] for index in remaining],
+        jobs,
+        timeout=timeout,
+        retries=retries,
+        backoff_seconds=backoff_seconds,
+        on_result=on_result,
+    )
+    for sub_index, index in enumerate(remaining):
+        value = fresh[sub_index]
+        if isinstance(value, TaskFailure):
+            value = replace(value, index=index)
+        results[index] = value
+    return results

@@ -15,10 +15,10 @@ ratio.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 from typing import Iterable, Sequence
 
-from repro.analysis.parallel import parallel_map
+from repro.analysis.checkpoint import CheckpointJournal, run_checkpointed, task_key
 from repro.core.api import optimize_placement
 from repro.dwm.config import DWMConfig, PortPolicy
 from repro.dwm.energy import DWMEnergyModel
@@ -83,6 +83,22 @@ def _explore_point(task: tuple) -> DesignPoint:
     )
 
 
+def _point_key(task: tuple) -> str:
+    """Checkpoint-journal content key of one design point."""
+    trace, length, port_count, policy, method, energy_model = task
+    return task_key(
+        "dse-point",
+        {
+            "trace": trace.fingerprint(),
+            "length": length,
+            "ports": port_count,
+            "policy": str(policy),
+            "method": method,
+            "energy": repr(energy_model.params),
+        },
+    )
+
+
 def explore(
     trace: AccessTrace,
     lengths: Sequence[int] = (16, 32, 64),
@@ -91,11 +107,18 @@ def explore(
     method: str = "heuristic",
     energy_model: DWMEnergyModel | None = None,
     jobs: int | None = None,
+    timeout: float | None = None,
+    retries: int = 0,
+    checkpoint: CheckpointJournal | None = None,
 ) -> list[DesignPoint]:
     """Evaluate every geometry in the grid with the given placement method.
 
     ``jobs`` fans design points out over a process pool (``None`` defers to
     ``REPRO_JOBS``); point order is identical for any job count.
+    ``timeout``/``retries``/``checkpoint`` behave as in
+    :func:`repro.analysis.sweep.sweep`: poisoned points degrade to
+    :class:`~repro.analysis.parallel.TaskFailure` slots, and journaled
+    points are restored on resume instead of recomputed.
     """
     energy_model = energy_model or DWMEnergyModel()
     tasks = [
@@ -105,7 +128,18 @@ def explore(
         if port_count <= length
         for policy in policies
     ]
-    return parallel_map(_explore_point, tasks, jobs=jobs)
+    keys = [_point_key(task) for task in tasks] if checkpoint is not None else None
+    return run_checkpointed(
+        _explore_point,
+        tasks,
+        keys,
+        checkpoint=checkpoint,
+        encode=asdict,
+        decode=lambda payload: DesignPoint(**payload),
+        jobs=jobs,
+        timeout=timeout,
+        retries=retries,
+    )
 
 
 def dominates(a: Sequence[float], b: Sequence[float]) -> bool:

@@ -9,6 +9,7 @@ experiment; ``all`` prints every one.
 
 from __future__ import annotations
 
+import math
 import statistics
 import time
 from dataclasses import dataclass, field
@@ -923,6 +924,107 @@ def run_e17() -> ExperimentOutput:
     return ExperimentOutput("e17", "Speculative pre-shifting", data, rendered)
 
 
+# ---------------------------------------------------------------------------
+# E20 — fault exposure under shift-minimizing placement (extension)
+# ---------------------------------------------------------------------------
+
+def run_e20(seeds=(0, 1, 2)) -> ExperimentOutput:
+    """Monte-Carlo fault injection across placement methods.
+
+    Extension experiment: since shift faults are sampled per *shift*, a
+    placement that minimizes shifts also shrinks the fault budget.  Injects
+    seeded fault schedules (:mod:`repro.dwm.faults`) over every sweep kernel
+    for the random / declaration / heuristic placements and reports, per
+    method, the injected fault count against the analytic expectation
+    (``shifts x p``), the exposure (accesses served misaligned) and the
+    realignment shift overhead.  The pooled fault count must land within
+    3 sigma of the analytic model — the Monte-Carlo/analytic cross-check.
+    """
+    from repro.dwm.faults import FaultModel
+
+    suite = benchmark_suite(SWEEP_KERNELS)
+    methods = ("random", "declaration", "heuristic")
+    totals = {
+        method: {
+            "total_shifts": 0,
+            "injected_faults": 0,
+            "expected_faults": 0.0,
+            "fault_variance": 0.0,
+            "corrupted_accesses": 0,
+            "total_accesses": 0,
+            "realignment_shifts": 0,
+        }
+        for method in methods
+    }
+    for name, trace in suite.items():
+        config = _default_config(trace, words_per_dbc=16)
+        for method in methods:
+            placement = optimize_placement(trace, config, method=method).placement
+            spm = ScratchpadMemory(config, placement)
+            bucket = totals[method]
+            for seed in seeds:
+                model = FaultModel(
+                    shift_error_rate=1e-3, check_interval=32, seed=seed
+                )
+                sim = spm.simulate(trace, fault_model=model)
+                faults = sim.details["faults"]
+                bucket["total_shifts"] += sim.shifts
+                bucket["injected_faults"] += faults["injected"]
+                bucket["expected_faults"] += faults["expected_faults"]
+                bucket["fault_variance"] += faults["fault_count_sigma"] ** 2
+                bucket["corrupted_accesses"] += faults["corrupted_accesses"]
+                bucket["total_accesses"] += sim.accesses
+                bucket["realignment_shifts"] += faults["realignment_shifts"]
+
+    data: dict[str, dict] = {}
+    rows = []
+    baseline = totals["random"]
+    for method in methods:
+        bucket = totals[method]
+        sigma = math.sqrt(bucket["fault_variance"])
+        deviation = abs(bucket["injected_faults"] - bucket["expected_faults"])
+        within = deviation <= 3.0 * sigma if sigma else deviation == 0.0
+        exposure = (
+            bucket["corrupted_accesses"] / bucket["total_accesses"]
+            if bucket["total_accesses"]
+            else 0.0
+        )
+        data[method] = {
+            "total_shifts": bucket["total_shifts"],
+            "injected_faults": bucket["injected_faults"],
+            "expected_faults": bucket["expected_faults"],
+            "fault_count_sigma": sigma,
+            "within_3_sigma": within,
+            "corrupted_accesses": bucket["corrupted_accesses"],
+            "exposure_fraction": exposure,
+            "realignment_shifts": bucket["realignment_shifts"],
+            "fault_reduction_percent": reduction_percent(
+                baseline["injected_faults"], bucket["injected_faults"]
+            ),
+        }
+        rows.append(
+            (
+                method.upper() if method == "heuristic" else method,
+                bucket["total_shifts"],
+                bucket["injected_faults"],
+                f"{bucket['expected_faults']:.1f}",
+                f"{exposure:.4%}",
+                bucket["realignment_shifts"],
+                "yes" if within else "NO",
+            )
+        )
+    rendered = format_table(
+        ("placement", "shifts", "faults (MC)", "faults (analytic)",
+         "exposure", "realign shifts", "within 3 sigma"),
+        rows,
+        title=(
+            "E20 (extension) — Shift-fault exposure by placement method "
+            f"({len(suite)} kernels x {len(seeds)} fault seeds, p=1e-3)"
+        ),
+    )
+    return ExperimentOutput("e20", "Fault injection by placement", data, rendered)
+
+
 EXPERIMENTS = {
     "e1": run_e1,
     "e2": run_e2,
@@ -941,6 +1043,7 @@ EXPERIMENTS = {
     "e15": run_e15,
     "e16": run_e16,
     "e17": run_e17,
+    "e20": run_e20,
 }
 
 
@@ -957,22 +1060,58 @@ def run_experiment(experiment_id: str) -> ExperimentOutput:
 def run_experiments(
     experiment_ids: list[str] | tuple[str, ...],
     jobs: int | None = None,
+    timeout: float | None = None,
+    retries: int = 0,
+    checkpoint=None,
 ) -> list[ExperimentOutput]:
     """Run several experiments, optionally fanning out over processes.
 
     Unknown ids are rejected up front (before any work starts).  Outputs
     come back in the requested order for any job count; each worker runs
     its experiment's internal sweeps serially (no nested pools).
-    """
-    from repro.analysis.parallel import parallel_map
 
-    keys = [experiment_id.lower() for experiment_id in experiment_ids]
-    for key in keys:
+    ``timeout``/``retries`` enable the fault-tolerant runner: an
+    experiment that keeps failing yields a
+    :class:`~repro.analysis.parallel.TaskFailure` in its slot instead of
+    aborting the batch.  ``checkpoint`` (a
+    :class:`~repro.analysis.checkpoint.CheckpointJournal`) journals each
+    completed experiment so an interrupted batch resumes without
+    recomputing.
+    """
+    from repro.analysis.checkpoint import run_checkpointed, task_key
+
+    ids = [experiment_id.lower() for experiment_id in experiment_ids]
+    for key in ids:
         if key not in EXPERIMENTS:
             raise KeyError(
                 f"unknown experiment {key!r}; available: {sorted(EXPERIMENTS)}"
             )
-    return parallel_map(run_experiment, keys, jobs=jobs)
+    keys = (
+        [task_key("experiment", {"id": experiment_id}) for experiment_id in ids]
+        if checkpoint is not None
+        else None
+    )
+    return run_checkpointed(
+        run_experiment,
+        ids,
+        keys,
+        checkpoint=checkpoint,
+        encode=lambda output: {
+            "experiment_id": output.experiment_id,
+            "title": output.title,
+            "data": output.data,
+            "rendered": output.rendered,
+        },
+        decode=lambda payload: ExperimentOutput(
+            experiment_id=payload["experiment_id"],
+            title=payload["title"],
+            data=payload["data"],
+            rendered=payload["rendered"],
+        ),
+        jobs=jobs,
+        timeout=timeout,
+        retries=retries,
+    )
 
 
 def main(argv: list[str] | None = None) -> int:

@@ -2,31 +2,38 @@
 
 The experiment harness is embarrassingly parallel: every sweep cell, DSE
 design point and experiment is an independent pure function of its inputs.
-This module provides the one primitive they all share —
-:func:`parallel_map`, an order-preserving process-pool map with a serial
-fast path — plus the job-count policy (``--jobs`` flag > ``REPRO_JOBS`` env
-var > serial).
+This module provides the two primitives they share:
 
-Design constraints:
+* :func:`parallel_map` — an order-preserving process-pool map with a serial
+  fast path.  Pool-infrastructure failures degrade to a serial rerun with a
+  *loud* one-time :class:`RuntimeWarning` naming the cause (a degraded run
+  must be visible, not silent).
+* :func:`resilient_map` — the fault-tolerant variant: each task runs in its
+  own worker process with a per-task **timeout**, bounded **retries** with
+  exponential backoff, and **failure isolation** — a task that keeps
+  crashing, hanging or raising yields a :class:`TaskFailure` record in its
+  result slot instead of killing the whole map.  Sibling tasks always run
+  to completion.
 
-* **Deterministic ordering** — results come back in task order regardless
-  of worker scheduling (``Executor.map`` semantics), so parallel runs are
-  byte-identical to serial ones.
-* **Spawn-safe** — workers and tasks are top-level picklables; the start
-  method defaults to ``fork`` where available (cheap on Linux) and falls
-  back to ``spawn``; override with ``REPRO_MP_START``.
-* **Serial fallback** — when ``jobs <= 1``, when there is at most one task,
-  or when the pool cannot be created/used at all (sandboxed interpreters,
-  unpicklable payloads, broken workers), the map silently degrades to a
-  plain loop.  Exceptions raised by the *task function itself* still
-  surface: the serial rerun hits the same error.
-* **No nested pools** — workers run with ``REPRO_JOBS=1`` so a parallel
-  experiment that internally calls a sweep does not fork a pool per worker.
+Shared policy: the job count resolves as ``--jobs`` flag > ``REPRO_JOBS``
+env var > serial, and the start method as ``REPRO_MP_START`` > fork >
+spawn.  Workers run with ``REPRO_JOBS=1`` so a parallel experiment that
+internally calls a sweep does not fork a pool per worker, and rebuild
+env-configured state (the placement cache) on startup so the ``spawn``
+start method behaves like ``fork``.
+
+Determinism contract (both primitives): results come back in task order
+regardless of worker scheduling, so parallel runs are byte-identical to
+serial ones.
 """
 
 from __future__ import annotations
 
 import os
+import time
+import warnings
+from collections import deque
+from dataclasses import dataclass
 from typing import Callable, Iterable, Sequence, TypeVar
 
 #: Environment variable consulted when no explicit ``jobs`` is given.
@@ -35,15 +42,57 @@ JOBS_ENV = "REPRO_JOBS"
 #: Environment variable overriding the multiprocessing start method.
 MP_START_ENV = "REPRO_MP_START"
 
+#: Default exponential-backoff base between retry attempts (seconds).
+DEFAULT_BACKOFF_SECONDS = 0.05
+
 _Task = TypeVar("_Task")
 _Result = TypeVar("_Result")
+
+#: One-time warning keys already emitted (see :func:`_warn_once`).
+_WARNED: set[str] = set()
+
+
+def _warn_once(key: str, message: str) -> None:
+    """Emit ``message`` as a RuntimeWarning once per process per ``key``."""
+    if key in _WARNED:
+        return
+    _WARNED.add(key)
+    warnings.warn(message, RuntimeWarning, stacklevel=3)
+
+
+def _reset_warnings() -> None:
+    """Forget emitted one-time warnings (test hook)."""
+    _WARNED.clear()
+
+
+@dataclass(frozen=True)
+class TaskFailure:
+    """Recorded outcome of a task that exhausted its retry budget.
+
+    Appears in the result list at the failed task's index so sibling
+    results keep their positions.  ``kind`` is ``"error"`` (the task
+    raised), ``"timeout"`` (exceeded the per-task timeout) or ``"crash"``
+    (the worker process died without reporting a result).
+    """
+
+    index: int
+    error: str
+    attempts: int
+    kind: str = "error"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"task #{self.index} failed after {self.attempts} attempt(s) "
+            f"[{self.kind}]: {self.error}"
+        )
 
 
 def resolve_jobs(jobs: int | None = None) -> int:
     """Effective worker count: explicit argument > ``REPRO_JOBS`` > 1.
 
     Non-numeric or non-positive values resolve to 1 (serial) rather than
-    erroring — the environment variable is a tuning knob, not an API.
+    erroring — the environment variable is a tuning knob, not an API — but
+    a garbage value is reported once so a silently serial run is traceable.
     """
     if jobs is not None:
         return max(1, int(jobs))
@@ -52,6 +101,10 @@ def resolve_jobs(jobs: int | None = None) -> int:
         try:
             return max(1, int(raw))
         except ValueError:
+            _warn_once(
+                "resolve-jobs",
+                f"ignoring non-numeric {JOBS_ENV}={raw!r}; running serially",
+            )
             return 1
     return 1
 
@@ -93,7 +146,9 @@ def parallel_map(
     task; otherwise fans out over a process pool.  Pool-infrastructure
     failures (no forking allowed, unpicklable task, broken worker) degrade
     to a serial rerun — by construction ``fn`` is deterministic and
-    side-effect-free here, so rerunning is safe.
+    side-effect-free here, so rerunning is safe — and emit a one-time
+    :class:`RuntimeWarning` naming the cause, so a degraded run never
+    passes for a parallel one silently.
     """
     tasks = list(tasks)
     jobs = resolve_jobs(jobs)
@@ -112,6 +167,213 @@ def parallel_map(
     except (
         OSError,
         pickle.PicklingError,
+        # pickle reports unpicklable callables/tasks as AttributeError or
+        # TypeError (not PicklingError) depending on the object.
+        AttributeError,
+        TypeError,
         concurrent.futures.process.BrokenProcessPool,
-    ):
+    ) as exc:
+        _warn_once(
+            "parallel-map-fallback",
+            "parallel_map: process pool unavailable "
+            f"({type(exc).__name__}: {exc}); falling back to serial execution",
+        )
         return [fn(task) for task in tasks]
+
+
+# ---------------------------------------------------------------------------
+# Resilient (timeout + retry + failure isolation) map
+# ---------------------------------------------------------------------------
+
+def _child_entry(fn, task, conn) -> None:
+    """Worker body for :func:`resilient_map`: run one task, report once."""
+    _worker_init()
+    try:
+        payload = (True, fn(task))
+    except BaseException as exc:  # noqa: BLE001 - reported to the parent
+        payload = (False, f"{type(exc).__name__}: {exc}")
+    try:
+        conn.send(payload)
+    except Exception:
+        # Unpicklable result / broken pipe: the parent sees EOF and treats
+        # this attempt as a crash.
+        pass
+    finally:
+        conn.close()
+
+
+class _Running:
+    """Bookkeeping for one in-flight task attempt."""
+
+    __slots__ = ("proc", "conn", "deadline")
+
+    def __init__(self, proc, conn, deadline) -> None:
+        self.proc = proc
+        self.conn = conn
+        self.deadline = deadline
+
+
+def _run_serial_with_retries(fn, tasks, retries, backoff_seconds, on_result):
+    """Inline serial path (no timeout enforcement, retries still honoured)."""
+    results: list = [None] * len(tasks)
+    for index, task in enumerate(tasks):
+        error = ""
+        for attempt in range(retries + 1):
+            try:
+                results[index] = fn(task)
+                break
+            except Exception as exc:  # noqa: BLE001 - isolated per task
+                error = f"{type(exc).__name__}: {exc}"
+                if attempt < retries:
+                    time.sleep(backoff_seconds * (2 ** attempt))
+        else:
+            results[index] = TaskFailure(
+                index=index, error=error, attempts=retries + 1, kind="error"
+            )
+        if on_result is not None and not isinstance(results[index], TaskFailure):
+            on_result(index, results[index])
+    return results
+
+
+def resilient_map(
+    fn: Callable[[_Task], _Result],
+    tasks: Iterable[_Task] | Sequence[_Task],
+    jobs: int | None = None,
+    *,
+    timeout: float | None = None,
+    retries: int = 0,
+    backoff_seconds: float = DEFAULT_BACKOFF_SECONDS,
+    on_result: Callable[[int, object], None] | None = None,
+) -> list:
+    """Fault-tolerant order-preserving map.
+
+    Unlike :func:`parallel_map`, every task attempt runs in its *own*
+    worker process, which is what makes a hung task killable: on timeout
+    the worker is terminated and the task retried (with exponential
+    backoff) up to ``retries`` times.  A task that exhausts its budget —
+    by raising, hanging, or crashing its worker — contributes a
+    :class:`TaskFailure` at its index; sibling tasks are unaffected.
+
+    ``on_result(index, result)`` fires in the parent as each task
+    *succeeds* (in completion order, not task order) — the checkpoint
+    journal hook, so completed cells survive a later interrupt.
+
+    With ``timeout=None`` and an effective job count of 1 the map runs
+    inline (retries still honoured); any timeout forces worker processes
+    even for serial runs, since an in-process hang cannot be interrupted.
+    """
+    tasks = list(tasks)
+    jobs = resolve_jobs(jobs)
+    if retries < 0:
+        raise ValueError(f"retries must be >= 0, got {retries}")
+    if timeout is not None and timeout <= 0:
+        raise ValueError(f"timeout must be positive, got {timeout}")
+    if not tasks:
+        return []
+    if timeout is None and jobs <= 1:
+        return _run_serial_with_retries(
+            fn, tasks, retries, backoff_seconds, on_result
+        )
+
+    from multiprocessing.connection import wait as _wait
+
+    ctx = _pool_context()
+    results: list = [None] * len(tasks)
+    pending: deque[int] = deque(range(len(tasks)))
+    running: dict[int, _Running] = {}
+    failures: dict[int, int] = {}
+    ready_at: dict[int, float] = {}
+
+    def handle_failure(index: int, kind: str, message: str) -> None:
+        failures[index] = failures.get(index, 0) + 1
+        if failures[index] > retries:
+            results[index] = TaskFailure(
+                index=index, error=message, attempts=failures[index], kind=kind
+            )
+        else:
+            ready_at[index] = time.monotonic() + backoff_seconds * (
+                2 ** (failures[index] - 1)
+            )
+            pending.append(index)
+
+    def reap(index: int) -> None:
+        entry = running.pop(index)
+        entry.conn.close()
+        entry.proc.join()
+
+    try:
+        while pending or running:
+            now = time.monotonic()
+            # Launch up to ``jobs`` attempts whose backoff has elapsed.
+            for _ in range(len(pending)):
+                if len(running) >= jobs:
+                    break
+                index = pending.popleft()
+                if ready_at.get(index, 0.0) > now:
+                    pending.append(index)
+                    continue
+                receiver, sender = ctx.Pipe(duplex=False)
+                proc = ctx.Process(
+                    target=_child_entry,
+                    args=(fn, tasks[index], sender),
+                    daemon=True,
+                )
+                proc.start()
+                sender.close()
+                deadline = now + timeout if timeout is not None else None
+                running[index] = _Running(proc, receiver, deadline)
+            if not running:
+                # Everything left is backing off; sleep until the earliest.
+                soonest = min(ready_at[index] for index in pending)
+                time.sleep(max(0.0, soonest - time.monotonic()))
+                continue
+            # Wait for results, bounded by the nearest deadline.
+            wait_timeout = 0.1
+            if timeout is not None:
+                nearest = min(
+                    entry.deadline
+                    for entry in running.values()
+                    if entry.deadline is not None
+                )
+                wait_timeout = max(0.0, min(wait_timeout, nearest - now))
+            conn_index = {entry.conn: i for i, entry in running.items()}
+            for conn in _wait(list(conn_index), timeout=wait_timeout):
+                index = conn_index[conn]
+                try:
+                    ok, payload = conn.recv()
+                except (EOFError, OSError):
+                    reap(index)
+                    handle_failure(
+                        index, "crash", "worker exited without a result"
+                    )
+                    continue
+                reap(index)
+                if ok:
+                    results[index] = payload
+                    if on_result is not None:
+                        on_result(index, payload)
+                else:
+                    handle_failure(index, "error", payload)
+            # Enforce deadlines and collect workers that died silently.
+            now = time.monotonic()
+            for index in list(running):
+                entry = running[index]
+                if entry.deadline is not None and now >= entry.deadline:
+                    entry.proc.terminate()
+                    reap(index)
+                    handle_failure(
+                        index,
+                        "timeout",
+                        f"exceeded task timeout of {timeout:g}s",
+                    )
+                elif not entry.proc.is_alive() and not entry.conn.poll():
+                    reap(index)
+                    handle_failure(
+                        index, "crash", "worker exited without a result"
+                    )
+    finally:
+        for entry in running.values():
+            entry.proc.terminate()
+            entry.conn.close()
+            entry.proc.join()
+    return results

@@ -7,10 +7,10 @@ harness aggregates into the paper's sensitivity figures.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 from typing import Iterable, Sequence
 
-from repro.analysis.parallel import parallel_map
+from repro.analysis.checkpoint import CheckpointJournal, run_checkpointed, task_key
 from repro.core.api import optimize_placement
 from repro.dwm.config import DWMConfig
 from repro.trace.model import AccessTrace
@@ -61,12 +61,30 @@ def _sweep_cell(task: tuple) -> SweepRecord:
     )
 
 
+def _cell_key(task: tuple) -> str:
+    """Checkpoint-journal content key of one sweep cell."""
+    trace, words_per_dbc, num_ports, method, kwargs = task
+    return task_key(
+        "sweep-cell",
+        {
+            "trace": trace.fingerprint(),
+            "words_per_dbc": words_per_dbc,
+            "num_ports": num_ports,
+            "method": method,
+            "kwargs": kwargs,
+        },
+    )
+
+
 def sweep(
     traces: Iterable[AccessTrace],
     methods: Sequence[str] = ("declaration", "heuristic"),
     words_per_dbc_values: Sequence[int] = (64,),
     num_ports_values: Sequence[int] = (1,),
     jobs: int | None = None,
+    timeout: float | None = None,
+    retries: int = 0,
+    checkpoint: CheckpointJournal | None = None,
     **kwargs,
 ) -> list[SweepRecord]:
     """Run every (trace × geometry × method) combination.
@@ -75,6 +93,13 @@ def sweep(
     ``REPRO_JOBS`` environment variable; 1 runs serially).  Cells are
     independent, and results always come back in the serial nested-loop
     order, so the record list is identical for any job count.
+
+    ``timeout``/``retries`` switch to the fault-tolerant runner: a cell
+    that keeps hanging or crashing yields a
+    :class:`~repro.analysis.parallel.TaskFailure` in its slot instead of
+    killing the sweep.  ``checkpoint`` journals each completed cell (keyed
+    by trace fingerprint + geometry + method) so an interrupted sweep
+    resumes without recomputing.
     """
     tasks = [
         (trace, words_per_dbc, num_ports, method, kwargs)
@@ -83,7 +108,18 @@ def sweep(
         for num_ports in num_ports_values
         for method in methods
     ]
-    return parallel_map(_sweep_cell, tasks, jobs=jobs)
+    keys = [_cell_key(task) for task in tasks] if checkpoint is not None else None
+    return run_checkpointed(
+        _sweep_cell,
+        tasks,
+        keys,
+        checkpoint=checkpoint,
+        encode=asdict,
+        decode=lambda payload: SweepRecord(**payload),
+        jobs=jobs,
+        timeout=timeout,
+        retries=retries,
+    )
 
 
 def pivot(

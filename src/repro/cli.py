@@ -75,6 +75,57 @@ def _add_perf_flags(parser: argparse.ArgumentParser) -> None:
         "--cache-dir", default=None, metavar="DIR",
         help="cache location (default: REPRO_CACHE_DIR or ~/.cache/repro-dwm)",
     )
+    parser.add_argument(
+        "--task-timeout", type=float, default=None, metavar="SECONDS",
+        help="kill and retry any single task exceeding this wall-clock budget",
+    )
+    parser.add_argument(
+        "--retries", type=int, default=0, metavar="N",
+        help="retry attempts per failed/timed-out task (default: 0)",
+    )
+    parser.add_argument(
+        "--checkpoint", default=None, metavar="FILE",
+        help="journal completed tasks to FILE (JSONL) as they finish",
+    )
+    parser.add_argument(
+        "--resume", action="store_true",
+        help="restore completed tasks from --checkpoint instead of rerunning",
+    )
+
+
+def _journal_from_args(args):
+    """Open the checkpoint journal requested by --checkpoint/--resume."""
+    from repro.analysis.checkpoint import CheckpointJournal
+
+    if args.resume and not args.checkpoint:
+        raise ReproError("--resume requires --checkpoint FILE")
+    if not args.checkpoint:
+        return None
+    journal = CheckpointJournal(args.checkpoint, resume=args.resume)
+    if args.resume and journal.restored:
+        print(
+            f"resuming from {args.checkpoint}: "
+            f"{journal.restored} completed task(s) restored"
+            + (f", {journal.corrupt_lines} corrupt line(s) skipped"
+               if journal.corrupt_lines else ""),
+            file=sys.stderr,
+        )
+    return journal
+
+
+def _report_failures(outputs, label: str) -> int:
+    """Print any TaskFailure slots; returns how many there were."""
+    from repro.analysis.parallel import TaskFailure
+
+    failures = [o for o in outputs if isinstance(o, TaskFailure)]
+    for failure in failures:
+        print(
+            f"error: {label} task #{failure.index} failed "
+            f"({failure.kind} after {failure.attempts} attempt(s)): "
+            f"{failure.error}",
+            file=sys.stderr,
+        )
+    return len(failures)
 
 
 def _add_geometry_flags(parser: argparse.ArgumentParser) -> None:
@@ -250,8 +301,23 @@ def cmd_experiments(args) -> int:
     if targets == ["all"]:
         targets = list(EXPERIMENTS)
     sections: list[str] = []
-    with cache_scope(enabled=not args.no_cache, root=args.cache_dir):
-        outputs = run_experiments(targets, jobs=args.jobs)
+    journal = _journal_from_args(args)
+    try:
+        with cache_scope(enabled=not args.no_cache, root=args.cache_dir):
+            outputs = run_experiments(
+                targets,
+                jobs=args.jobs,
+                timeout=args.task_timeout,
+                retries=args.retries,
+                checkpoint=journal,
+            )
+    finally:
+        if journal is not None:
+            journal.close()
+    failed = _report_failures(outputs, "experiment")
+    from repro.analysis.parallel import TaskFailure
+
+    outputs = [o for o in outputs if not isinstance(o, TaskFailure)]
     for output in outputs:
         print(output.rendered)
         print()
@@ -266,7 +332,7 @@ def cmd_experiments(args) -> int:
         )
         Path(args.output).write_text(report, encoding="utf-8")
         print(f"wrote report to {args.output}", file=sys.stderr)
-    return 0
+    return 1 if failed else 0
 
 
 def cmd_dse(args) -> int:
@@ -276,15 +342,30 @@ def cmd_dse(args) -> int:
     trace = trace_io.load(args.trace)
     lengths = [int(v) for v in args.lengths.split(",")]
     ports = [int(v) for v in args.port_counts.split(",")]
-    with cache_scope(enabled=not args.no_cache, root=args.cache_dir):
-        points = explore(
-            trace, lengths=lengths, ports=ports, method=args.method,
-            jobs=args.jobs,
-        )
+    journal = _journal_from_args(args)
+    try:
+        with cache_scope(enabled=not args.no_cache, root=args.cache_dir):
+            points = explore(
+                trace, lengths=lengths, ports=ports, method=args.method,
+                jobs=args.jobs,
+                timeout=args.task_timeout,
+                retries=args.retries,
+                checkpoint=journal,
+            )
+    finally:
+        if journal is not None:
+            journal.close()
+    failed = _report_failures(points, "design point")
+    from repro.analysis.parallel import TaskFailure
+
+    points = [p for p in points if not isinstance(p, TaskFailure)]
+    if not points:
+        print("error: every design point failed", file=sys.stderr)
+        return 1
     front = pareto_front(points)
     print(render_front(points, front))
     print(f"\nbalanced (knee) design: {knee_point(front).label}")
-    return 0
+    return 1 if failed else 0
 
 
 def cmd_cache(args) -> int:
@@ -298,6 +379,7 @@ def cmd_cache(args) -> int:
     rows = [
         ("location", str(cache.root)),
         ("entries", entries),
+        ("corrupt (quarantined)", cache.corrupt_count()),
         ("size (KiB)", f"{cache.size_bytes() / 1024:.1f}"),
     ]
     print(format_table(("field", "value"), rows, title="placement-result cache"))
@@ -392,7 +474,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     experiments = sub.add_parser("experiments", help="regenerate evaluation artifacts")
     experiments.add_argument("ids", nargs="*",
-                             help="experiment ids (e1..e16) or 'all'")
+                             help="experiment ids (e1..e20) or 'all'")
     experiments.add_argument("-o", "--output", default=None, metavar="FILE",
                              help="also write a markdown report")
     _add_perf_flags(experiments)
@@ -440,6 +522,20 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     try:
         return args.func(args)
+    except KeyboardInterrupt:
+        # Flush any open checkpoint journals so an interrupted sweep can be
+        # resumed with --resume, then exit with the conventional SIGINT code.
+        from repro.analysis.checkpoint import flush_active_journals
+
+        flushed = flush_active_journals()
+        if flushed:
+            print(
+                f"interrupted: flushed {flushed} checkpoint journal(s)",
+                file=sys.stderr,
+            )
+        else:
+            print("interrupted", file=sys.stderr)
+        return 130
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1

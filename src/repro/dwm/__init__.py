@@ -16,6 +16,13 @@ Public surface:
 from repro.dwm.array import ArrayStats, DWMArray, DWMArrayModel
 from repro.dwm.config import DWMConfig, PortPolicy, uniform_port_offsets
 from repro.dwm.dbc import DBC, AccessResult, HeadModel, port_access_cost
+from repro.dwm.faults import (
+    FaultEvent,
+    FaultInjectionReport,
+    FaultModel,
+    injection_seed,
+    run_injection,
+)
 from repro.dwm.energy import (
     DWMEnergyModel,
     DWMEnergyParams,
@@ -50,6 +57,9 @@ __all__ = [
     "DWMEnergyModel",
     "DWMEnergyParams",
     "EnergyBreakdown",
+    "FaultEvent",
+    "FaultInjectionReport",
+    "FaultModel",
     "HeadModel",
     "PortPolicy",
     "SRAMEnergyModel",
@@ -63,7 +73,9 @@ __all__ = [
     "TapeStats",
     "access_histogram",
     "co_design_ports",
+    "injection_seed",
     "port_access_cost",
+    "run_injection",
     "reliability_report",
     "uniform_port_offsets",
     "weighted_k_medians",

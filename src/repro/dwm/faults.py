@@ -1,0 +1,345 @@
+"""Monte-Carlo shift-fault injection for DWM simulations.
+
+The analytic model in :mod:`repro.dwm.reliability` treats every shift as an
+independent error-exposure event and reports *expected* counts.  This module
+samples an actual fault realisation: a seeded, deterministic schedule of
+shift faults is drawn over the simulator's shift stream, replayed against
+the per-access (DBC, cost) sequence, and accounted for through a detection
+and correction model:
+
+* **Misalignment faults** — a shift over- or under-moves the domain train by
+  one word, leaving the DBC's head off by ±1 until realigned.
+* **Pinning faults** (stuck domains) — the train sticks for the remainder of
+  one access's shift burst, leaving a multi-word misalignment.
+* **Exposure** — every access served by a misaligned DBC reads/writes the
+  wrong word; the injector counts these corrupted accesses.
+* **Detection** — the controller verifies head position every
+  ``check_interval`` accesses per DBC (e.g. via ECC/position sentinels).
+* **Correction** — a detected misalignment is repaired by shifting the train
+  back (``|misalignment|`` shifts) plus a fixed
+  ``realignment_overhead_shifts`` calibration cost.
+
+Determinism contract: the fault schedule is a pure function of
+``(model.seed, trace fingerprint, config geometry)`` and the per-access
+shift-cost stream.  The scalar and vectorized engines produce bit-identical
+cost streams, so injection over either engine yields the *identical*
+schedule, exposure, and correction costs (tested in
+``tests/test_faults.py``).
+
+Because faults are sampled per *shift*, shift-minimizing placement directly
+shrinks the fault budget — the secondary reliability benefit experiment E20
+quantifies against the analytic expectation.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+import random
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.dwm.config import DWMConfig
+from repro.dwm.reliability import ReliabilityReport
+from repro.errors import ConfigError
+from repro.trace.model import AccessTrace
+
+#: Fault kinds drawn by the injector.
+OVERSHIFT = "overshift"
+UNDERSHIFT = "undershift"
+PINNING = "pinning"
+
+
+@dataclass(frozen=True)
+class FaultModel:
+    """Parameters of the Monte-Carlo shift-fault process.
+
+    ``shift_error_rate`` is the per-shift fault probability; a drawn fault
+    is an over-shift, under-shift or pinning event according to the three
+    fractions (which must sum to 1).  ``check_interval`` is the number of
+    accesses a DBC serves between controller position checks, and
+    ``realignment_overhead_shifts`` the fixed calibration cost charged on
+    top of the corrective shifts for every detected misalignment.
+    """
+
+    shift_error_rate: float = 1e-4
+    overshift_fraction: float = 0.45
+    undershift_fraction: float = 0.45
+    pinning_fraction: float = 0.10
+    check_interval: int = 64
+    realignment_overhead_shifts: int = 2
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.shift_error_rate < 1.0:
+            raise ConfigError(
+                f"shift_error_rate must be in [0, 1), got {self.shift_error_rate}"
+            )
+        fractions = (
+            self.overshift_fraction,
+            self.undershift_fraction,
+            self.pinning_fraction,
+        )
+        if any(fraction < 0.0 for fraction in fractions):
+            raise ConfigError(f"fault fractions must be >= 0, got {fractions}")
+        if not math.isclose(sum(fractions), 1.0, rel_tol=0.0, abs_tol=1e-9):
+            raise ConfigError(
+                f"fault fractions must sum to 1, got {sum(fractions)}"
+            )
+        if self.check_interval < 1:
+            raise ConfigError(
+                f"check_interval must be >= 1, got {self.check_interval}"
+            )
+        if self.realignment_overhead_shifts < 0:
+            raise ConfigError(
+                "realignment_overhead_shifts must be >= 0, got "
+                f"{self.realignment_overhead_shifts}"
+            )
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One injected fault.
+
+    ``shift_index`` is the global index of the faulty shift in trace order;
+    ``magnitude`` is the signed misalignment delta in words (+1 over-shift,
+    -1 under-shift, -k for a pinning event that froze k shift steps).
+    """
+
+    shift_index: int
+    access_index: int
+    dbc: int
+    kind: str
+    magnitude: int
+
+
+@dataclass(frozen=True)
+class FaultInjectionReport:
+    """Outcome of one Monte-Carlo fault-injection run."""
+
+    model: FaultModel
+    total_shifts: int
+    total_accesses: int
+    events: tuple[FaultEvent, ...]
+    corrupted_accesses: int
+    position_checks: int
+    realignments: int
+    realignment_shifts: int
+    max_abs_misalignment: int
+    residual_misaligned_dbcs: int
+    per_dbc_faults: tuple[int, ...]
+
+    # ------------------------------------------------------------------
+    # Counters
+    # ------------------------------------------------------------------
+    @property
+    def injected_faults(self) -> int:
+        return len(self.events)
+
+    def count(self, kind: str) -> int:
+        """Number of injected faults of one kind."""
+        return sum(1 for event in self.events if event.kind == kind)
+
+    @property
+    def exposure_fraction(self) -> float:
+        """Fraction of accesses served while the DBC was misaligned."""
+        if not self.total_accesses:
+            return 0.0
+        return self.corrupted_accesses / self.total_accesses
+
+    # ------------------------------------------------------------------
+    # Analytic comparison
+    # ------------------------------------------------------------------
+    @property
+    def expected_faults(self) -> float:
+        """Analytic expectation: ``total_shifts * shift_error_rate``."""
+        return self.total_shifts * self.model.shift_error_rate
+
+    @property
+    def fault_count_sigma(self) -> float:
+        """Binomial standard deviation of the fault count."""
+        p = self.model.shift_error_rate
+        return math.sqrt(self.total_shifts * p * (1.0 - p))
+
+    def within_sigma(self, k: float = 3.0) -> bool:
+        """True when the sampled fault count is within ``k`` sigma of the
+        analytic expectation (always true for a zero-variance process)."""
+        sigma = self.fault_count_sigma
+        deviation = abs(self.injected_faults - self.expected_faults)
+        if sigma == 0.0:
+            return deviation == 0.0
+        return deviation <= k * sigma
+
+    def analytic(self, per_dbc_shifts: Sequence[int] = ()) -> ReliabilityReport:
+        """The analytic report for the same shift stream and error rate."""
+        return ReliabilityReport(
+            total_shifts=self.total_shifts,
+            shift_error_rate=self.model.shift_error_rate,
+            per_dbc_shifts=tuple(per_dbc_shifts),
+        )
+
+    def as_details(self) -> dict:
+        """Counter dict merged into ``SimulationResult.details['faults']``."""
+        return {
+            "seed": self.model.seed,
+            "shift_error_rate": self.model.shift_error_rate,
+            "check_interval": self.model.check_interval,
+            "injected": self.injected_faults,
+            "overshift": self.count(OVERSHIFT),
+            "undershift": self.count(UNDERSHIFT),
+            "pinning": self.count(PINNING),
+            "corrupted_accesses": self.corrupted_accesses,
+            "exposure_fraction": self.exposure_fraction,
+            "position_checks": self.position_checks,
+            "realignments": self.realignments,
+            "realignment_shifts": self.realignment_shifts,
+            "max_abs_misalignment": self.max_abs_misalignment,
+            "residual_misaligned_dbcs": self.residual_misaligned_dbcs,
+            "expected_faults": self.expected_faults,
+            "fault_count_sigma": self.fault_count_sigma,
+        }
+
+
+def injection_seed(model: FaultModel, trace: AccessTrace, config: DWMConfig) -> int:
+    """Derive the RNG seed from (model seed, trace content, geometry).
+
+    Hashing the trace *fingerprint* (not its name) and the config geometry
+    means the same logical experiment always draws the same schedule, while
+    any change to the access stream, the geometry, or the model parameters
+    decorrelates the draw.
+    """
+    digest = hashlib.sha256()
+    digest.update(trace.fingerprint().encode("utf-8"))
+    digest.update(config.describe().encode("utf-8"))
+    digest.update(
+        repr(
+            (
+                model.seed,
+                model.shift_error_rate,
+                model.overshift_fraction,
+                model.undershift_fraction,
+                model.pinning_fraction,
+            )
+        ).encode("utf-8")
+    )
+    return int.from_bytes(digest.digest()[:8], "big")
+
+
+def _fault_positions(rng: random.Random, total_shifts: int, rate: float) -> list[int]:
+    """Global shift indices of fault events, via geometric gap sampling.
+
+    Equivalent to an independent Bernoulli(rate) draw per shift, but costs
+    O(faults) instead of O(shifts).
+    """
+    if rate <= 0.0 or total_shifts <= 0:
+        return []
+    log_survive = math.log1p(-rate)
+    positions: list[int] = []
+    index = -1
+    while True:
+        gap = int(math.log1p(-rng.random()) / log_survive) + 1
+        index += gap
+        if index >= total_shifts:
+            return positions
+        positions.append(index)
+
+
+def _fault_kind(rng: random.Random, model: FaultModel) -> str:
+    draw = rng.random()
+    if draw < model.overshift_fraction:
+        return OVERSHIFT
+    if draw < model.overshift_fraction + model.undershift_fraction:
+        return UNDERSHIFT
+    return PINNING
+
+
+def run_injection(
+    dbc_seq: Sequence[int],
+    cost_seq: Sequence[int],
+    num_dbcs: int,
+    model: FaultModel,
+    seed: int,
+) -> FaultInjectionReport:
+    """Inject faults into a per-access (DBC, shift-cost) stream.
+
+    Pure function of its arguments: any simulation engine that produces the
+    same cost stream (they are bit-identical by construction) yields the
+    same report.  ``seed`` should come from :func:`injection_seed`.
+    """
+    if len(dbc_seq) != len(cost_seq):
+        raise ConfigError(
+            f"dbc/cost streams disagree: {len(dbc_seq)} vs {len(cost_seq)}"
+        )
+    rng = random.Random(seed)
+    total_shifts = int(sum(int(cost) for cost in cost_seq))
+    positions = _fault_positions(rng, total_shifts, model.shift_error_rate)
+    kinds = [_fault_kind(rng, model) for _ in positions]
+
+    misalignment = [0] * num_dbcs
+    accesses_since_check = [0] * num_dbcs
+    per_dbc_faults = [0] * num_dbcs
+    events: list[FaultEvent] = []
+    corrupted = 0
+    checks = 0
+    realignments = 0
+    realignment_shifts = 0
+    max_abs = 0
+    fault_ptr = 0
+    num_faults = len(positions)
+    shift_base = 0
+    for access_index in range(len(dbc_seq)):
+        dbc = int(dbc_seq[access_index])
+        cost = int(cost_seq[access_index])
+        shift_end = shift_base + cost
+        while fault_ptr < num_faults and positions[fault_ptr] < shift_end:
+            position = positions[fault_ptr]
+            kind = kinds[fault_ptr]
+            fault_ptr += 1
+            if kind == PINNING:
+                # The train sticks for the rest of this access's burst.
+                magnitude = -(shift_end - position)
+            elif kind == OVERSHIFT:
+                magnitude = 1
+            else:
+                magnitude = -1
+            misalignment[dbc] += magnitude
+            per_dbc_faults[dbc] += 1
+            if abs(misalignment[dbc]) > max_abs:
+                max_abs = abs(misalignment[dbc])
+            events.append(
+                FaultEvent(
+                    shift_index=position,
+                    access_index=access_index,
+                    dbc=dbc,
+                    kind=kind,
+                    magnitude=magnitude,
+                )
+            )
+        shift_base = shift_end
+        # The word transfer happens after this access's shifts: any standing
+        # misalignment (including one introduced just now) corrupts it.
+        if misalignment[dbc] != 0:
+            corrupted += 1
+        accesses_since_check[dbc] += 1
+        if accesses_since_check[dbc] >= model.check_interval:
+            accesses_since_check[dbc] = 0
+            checks += 1
+            if misalignment[dbc] != 0:
+                realignments += 1
+                realignment_shifts += (
+                    abs(misalignment[dbc]) + model.realignment_overhead_shifts
+                )
+                misalignment[dbc] = 0
+    return FaultInjectionReport(
+        model=model,
+        total_shifts=total_shifts,
+        total_accesses=len(dbc_seq),
+        events=tuple(events),
+        corrupted_accesses=corrupted,
+        position_checks=checks,
+        realignments=realignments,
+        realignment_shifts=realignment_shifts,
+        max_abs_misalignment=max_abs,
+        residual_misaligned_dbcs=sum(1 for m in misalignment if m != 0),
+        per_dbc_faults=tuple(per_dbc_faults),
+    )

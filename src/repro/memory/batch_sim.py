@@ -157,6 +157,69 @@ def _scan(
     return per_dbc, sum(per_dbc), max_access
 
 
+def per_access_costs(
+    trace: AccessTrace,
+    config: DWMConfig,
+    placement: Placement,
+    *,
+    resolved: ResolvedTrace | None = None,
+    validate: bool = True,
+):
+    """Per-access ``(dbc, shift-cost)`` streams in trace order.
+
+    Returns two equal-length ``int64`` arrays: the DBC index and the shift
+    cost of every access.  Costs are the same bit-identical quantities the
+    engines sum (``costs.sum() == SimulationResult.shifts``), but kept
+    per-access so downstream consumers — the fault injector in
+    :mod:`repro.dwm.faults` foremost — can attribute events to individual
+    accesses regardless of which engine produced the totals.
+    """
+    import numpy as np
+
+    if resolved is None or resolved.trace is not trace:
+        resolved = ResolvedTrace(trace)
+    if validate:
+        placement.validate(config, resolved.items)
+    dbc_of, offset_of = _slot_arrays(resolved, placement)
+    if resolved.item_at.size == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty.copy()
+    dbc_seq = dbc_of[resolved.item_at]
+    offset_seq = offset_of[resolved.item_at]
+    ports = config.port_offsets
+    costs = np.empty(dbc_seq.size, dtype=np.int64)
+    if config.port_policy is PortPolicy.EAGER:
+        rest = np.asarray(
+            [
+                2 * min(abs(offset - port) for port in ports)
+                for offset in range(config.words_per_dbc)
+            ],
+            dtype=np.int64,
+        )
+        costs[:] = rest[offset_seq]
+        return dbc_seq, costs
+    order = np.argsort(dbc_seq, kind="stable")
+    sorted_dbc = dbc_seq[order]
+    sorted_offsets = offset_seq[order]
+    boundaries = np.searchsorted(sorted_dbc, np.arange(config.num_dbcs + 1))
+    num_ports = len(ports)
+    for dbc in range(config.num_dbcs):
+        low = int(boundaries[dbc])
+        high = int(boundaries[dbc + 1])
+        if high == low:
+            continue
+        group = sorted_offsets[low:high]
+        if num_ports == 1:
+            group_costs = _single_port_costs(group, ports[0])
+        elif num_ports == 2:
+            group_costs = two_port_access_costs(group, ports)
+        else:
+            group_costs = multi_port_access_costs(group, ports)
+        # Scatter the group's costs back to trace order.
+        costs[order[low:high]] = group_costs
+    return dbc_seq, costs
+
+
 def simulate_vectorized(
     trace: AccessTrace,
     config: DWMConfig,
@@ -216,6 +279,22 @@ class BatchSimulator:
         self.trace = trace
         self.resolved = ResolvedTrace(trace)
         self._resolve_reported = False
+
+    def access_costs(
+        self,
+        config: DWMConfig,
+        placement: Placement,
+        *,
+        validate: bool = True,
+    ):
+        """Per-access (dbc, cost) streams, reusing the cached resolution."""
+        return per_access_costs(
+            self.trace,
+            config,
+            placement,
+            resolved=self.resolved,
+            validate=validate,
+        )
 
     def simulate(
         self,

@@ -43,6 +43,15 @@ class ScratchpadMemory:
         self._slots: dict[str, tuple[int, int]] | None = None
         self._batch_trace: AccessTrace | None = None
         self._batch = None
+        #: Full report of the most recent fault-injected simulate() call
+        #: (the details dict carries only the counters).
+        self._last_fault_report = None
+
+    @property
+    def last_fault_report(self):
+        """:class:`repro.dwm.faults.FaultInjectionReport` of the last
+        fault-injected run, or ``None``."""
+        return self._last_fault_report
 
     def _ensure_validated(self, trace: AccessTrace) -> None:
         """Validate placement coverage once per trace (identity-cached)."""
@@ -72,7 +81,12 @@ class ScratchpadMemory:
             self._batch_trace = trace
         return self._batch
 
-    def simulate(self, trace: AccessTrace, engine: str = "auto") -> SimulationResult:
+    def simulate(
+        self,
+        trace: AccessTrace,
+        engine: str = "auto",
+        fault_model=None,
+    ) -> SimulationResult:
         """Run ``trace`` on the counters-only engine.
 
         ``engine`` selects the implementation: ``"scalar"`` replays access
@@ -80,6 +94,14 @@ class ScratchpadMemory:
         numpy engine of :mod:`repro.memory.batch_sim` (bit-identical
         counts), and ``"auto"`` picks vectorized for traces of at least
         :data:`VECTORIZED_MIN_ACCESSES` accesses.
+
+        ``fault_model`` (a :class:`repro.dwm.faults.FaultModel`) switches on
+        Monte-Carlo shift-fault injection: a seeded fault schedule is drawn
+        over the run's shift stream and replayed through the detection/
+        correction model, and the resulting counters land in
+        ``details["faults"]``.  The schedule is a pure function of (seed,
+        trace, config) and the bit-identical cost stream, so both engines
+        report the same faults.
         """
         if engine not in ("auto", "scalar", "vectorized"):
             raise SimulationError(
@@ -94,18 +116,35 @@ class ScratchpadMemory:
             )
         if engine == "vectorized":
             self._ensure_validated(trace)
-            return self._batch_for(trace).simulate(
-                self.config, self.placement, validate=False
-            )
+            batch = self._batch_for(trace)
+            result = batch.simulate(self.config, self.placement, validate=False)
+            if fault_model is not None:
+                dbc_seq, cost_seq = batch.access_costs(
+                    self.config, self.placement, validate=False
+                )
+                result.details["faults"] = self._inject_faults(
+                    trace, fault_model, dbc_seq, cost_seq
+                )
+            return result
         slots = self._slots_for(trace)
         array = DWMArrayModel(self.config)
         max_access_shifts = 0
+        dbc_seq: list[int] | None = [] if fault_model is not None else None
+        cost_seq: list[int] | None = [] if fault_model is not None else None
         for access in trace:
             dbc, offset = slots[access.item]
             result = array.access(dbc, offset, is_write=access.is_write)
             if result.shifts > max_access_shifts:
                 max_access_shifts = result.shifts
+            if dbc_seq is not None:
+                dbc_seq.append(dbc)
+                cost_seq.append(result.shifts)
         stats = array.stats()
+        details: dict = {"engine": "scalar"}
+        if fault_model is not None:
+            details["faults"] = self._inject_faults(
+                trace, fault_model, dbc_seq, cost_seq
+            )
         return SimulationResult(
             trace_name=trace.name,
             config_description=self.config.describe(),
@@ -114,8 +153,22 @@ class ScratchpadMemory:
             writes=stats.writes,
             per_dbc_shifts=tuple(stats.per_dbc_shifts),
             max_access_shifts=max_access_shifts,
-            details={"engine": "scalar"},
+            details=details,
         )
+
+    def _inject_faults(self, trace, fault_model, dbc_seq, cost_seq) -> dict:
+        """Run the Monte-Carlo injector over one engine's cost stream."""
+        from repro.dwm.faults import injection_seed, run_injection
+
+        report = run_injection(
+            dbc_seq,
+            cost_seq,
+            self.config.num_dbcs,
+            fault_model,
+            injection_seed(fault_model, trace, self.config),
+        )
+        self._last_fault_report = report
+        return report.as_details()
 
     def simulate_functional(self, trace: AccessTrace) -> SimulationResult:
         """Run ``trace`` on the full device model with data-integrity checks.

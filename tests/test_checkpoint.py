@@ -1,0 +1,231 @@
+"""Tests for the checkpoint/resume journal (repro.analysis.checkpoint)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis.checkpoint import (
+    CheckpointJournal,
+    flush_active_journals,
+    run_checkpointed,
+    task_key,
+)
+from repro.analysis.dse import explore
+from repro.analysis.parallel import TaskFailure
+from repro.analysis.sweep import sweep
+from repro.trace.synthetic import markov_trace
+
+
+def _triple(value: int) -> int:
+    return value * 3
+
+
+def _fail_on_two(value: int) -> int:
+    if value == 2:
+        raise ValueError("poisoned")
+    return value * 3
+
+
+class TestTaskKey:
+    def test_deterministic(self):
+        assert task_key("k", {"a": 1}) == task_key("k", {"a": 1})
+
+    def test_sensitive_to_kind_and_doc(self):
+        base = task_key("k", {"a": 1})
+        assert base != task_key("other", {"a": 1})
+        assert base != task_key("k", {"a": 2})
+
+    def test_key_order_irrelevant(self):
+        assert task_key("k", {"a": 1, "b": 2}) == task_key("k", {"b": 2, "a": 1})
+
+
+class TestCheckpointJournal:
+    def test_record_and_reload(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        with CheckpointJournal(path) as journal:
+            journal.record("k1", {"v": 1})
+            journal.record("k2", [1, 2, 3])
+            assert journal.recorded == 2
+            assert "k1" in journal
+            assert len(journal) == 2
+        resumed = CheckpointJournal(path, resume=True)
+        try:
+            assert resumed.restored == 2
+            assert resumed.get("k1") == {"v": 1}
+            assert resumed.get("k2") == [1, 2, 3]
+            assert resumed.corrupt_lines == 0
+        finally:
+            resumed.close()
+
+    def test_non_resume_truncates(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        with CheckpointJournal(path) as journal:
+            journal.record("k1", {"v": 1})
+        with CheckpointJournal(path, resume=False) as journal:
+            assert journal.restored == 0
+            assert len(journal) == 0
+        assert path.read_text(encoding="utf-8") == ""
+
+    def test_truncated_last_line_skipped(self, tmp_path):
+        """A kill mid-write can only tear the last line; resume survives it."""
+        path = tmp_path / "journal.jsonl"
+        with CheckpointJournal(path) as journal:
+            journal.record("k1", {"v": 1})
+            journal.record("k2", {"v": 2})
+        text = path.read_text(encoding="utf-8")
+        path.write_text(text[:-5], encoding="utf-8")  # tear the last line
+        resumed = CheckpointJournal(path, resume=True)
+        try:
+            assert resumed.get("k1") == {"v": 1}
+            assert resumed.get("k2") is None
+            assert resumed.corrupt_lines == 1
+        finally:
+            resumed.close()
+
+    def test_missing_file_resume_is_empty(self, tmp_path):
+        with CheckpointJournal(tmp_path / "fresh.jsonl", resume=True) as journal:
+            assert journal.restored == 0
+
+    def test_flush_active_journals(self, tmp_path):
+        with CheckpointJournal(tmp_path / "a.jsonl") as journal:
+            journal.record("k", 1)
+            assert flush_active_journals() >= 1
+        # Closed journals are deregistered.
+        assert flush_active_journals() == 0
+
+    def test_lines_are_valid_json(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        with CheckpointJournal(path) as journal:
+            journal.record("k", {"nested": {"x": [1.5, None, "s"]}})
+        (line,) = path.read_text(encoding="utf-8").splitlines()
+        record = json.loads(line)
+        assert record["key"] == "k"
+        assert record["payload"] == {"nested": {"x": [1.5, None, "s"]}}
+
+
+class TestRunCheckpointed:
+    def test_no_features_is_plain_map(self):
+        assert run_checkpointed(_triple, [1, 2, 3], None) == [3, 6, 9]
+
+    def test_journals_every_success(self, tmp_path):
+        keys = [task_key("t", {"v": value}) for value in (1, 2, 3)]
+        with CheckpointJournal(tmp_path / "j.jsonl") as journal:
+            results = run_checkpointed(
+                _triple, [1, 2, 3], keys, checkpoint=journal
+            )
+            assert results == [3, 6, 9]
+            assert journal.recorded == 3
+
+    def test_restores_instead_of_recomputing(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        keys = [task_key("t", {"v": value}) for value in (1, 2, 3)]
+        with CheckpointJournal(path) as journal:
+            run_checkpointed(_triple, [1, 2, 3], keys, checkpoint=journal)
+        calls = []
+
+        def counting(value):
+            calls.append(value)
+            return value * 3
+
+        with CheckpointJournal(path, resume=True) as journal:
+            results = run_checkpointed(
+                counting, [1, 2, 3, 4], keys + [task_key("t", {"v": 4})],
+                checkpoint=journal,
+            )
+        assert results == [3, 6, 9, 12]
+        assert calls == [4]  # only the un-journaled task ran
+
+    def test_failures_not_journaled_and_reindexed(self, tmp_path):
+        keys = [task_key("t", {"v": value}) for value in (1, 2, 3)]
+        with CheckpointJournal(tmp_path / "j.jsonl") as journal:
+            results = run_checkpointed(
+                _fail_on_two, [1, 2, 3], keys, checkpoint=journal, retries=1
+            )
+            assert results[0] == 3
+            assert results[2] == 9
+            failure = results[1]
+            assert isinstance(failure, TaskFailure)
+            assert failure.index == 1
+            assert journal.recorded == 2
+            assert keys[1] not in journal
+
+    def test_failed_task_retried_on_resume(self, tmp_path):
+        """A failed cell is absent from the journal, so resume re-runs it."""
+        path = tmp_path / "j.jsonl"
+        keys = [task_key("t", {"v": value}) for value in (1, 2, 3)]
+        with CheckpointJournal(path) as journal:
+            run_checkpointed(
+                _fail_on_two, [1, 2, 3], keys, checkpoint=journal
+            )
+        with CheckpointJournal(path, resume=True) as journal:
+            results = run_checkpointed(
+                _triple, [1, 2, 3], keys, checkpoint=journal
+            )
+        assert results == [3, 6, 9]
+
+    def test_key_count_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            run_checkpointed(_triple, [1, 2], ["only-one"], retries=1)
+
+
+class TestSweepResume:
+    """Interrupted-then-resumed sweeps render byte-identically."""
+
+    @pytest.fixture
+    def traces(self):
+        return [markov_trace(16, 400, seed=seed) for seed in (0, 1)]
+
+    def test_sweep_resume_byte_identical(self, tmp_path, traces):
+        grid = dict(
+            words_per_dbc_values=(8, 16),
+            num_ports_values=(1,),
+            methods=("declaration", "heuristic"),
+        )
+        # "Interrupt" after a partial journal: run the full sweep once
+        # (the uninterrupted reference), then drop the second half of the
+        # journal lines — the surviving prefix is exactly what a mid-run
+        # kill leaves behind.
+        path = tmp_path / "sweep.jsonl"
+        with CheckpointJournal(path) as journal:
+            reference = sweep(traces, checkpoint=journal, **grid)
+        lines = path.read_text(encoding="utf-8").splitlines(keepends=True)
+        assert len(lines) == len(reference)
+        half = len(lines) // 2
+        path.write_text("".join(lines[:half]), encoding="utf-8")
+
+        with CheckpointJournal(path, resume=True) as journal:
+            assert journal.restored == half
+            resumed = sweep(traces, checkpoint=journal, **grid)
+            # Only the lost half was recomputed (and re-journaled).
+            assert journal.recorded == len(lines) - half
+
+        # Restored records land at their original indices, byte-identical
+        # to the uninterrupted run (floats round-trip exactly through JSON).
+        assert resumed[:half] == reference[:half]
+        # The recomputed half matches on every deterministic field (the
+        # measured optimizer runtime is wall-clock and may differ).
+        assert [
+            (r.trace, r.method, r.words_per_dbc, r.num_ports, r.num_dbcs,
+             r.total_shifts, r.num_accesses)
+            for r in resumed
+        ] == [
+            (r.trace, r.method, r.words_per_dbc, r.num_ports, r.num_dbcs,
+             r.total_shifts, r.num_accesses)
+            for r in reference
+        ]
+
+    def test_dse_resume_restores_points(self, tmp_path):
+        trace = markov_trace(24, 600, seed=3)
+        grid = dict(lengths=(8, 16), ports=(1, 2), method="declaration")
+        baseline = explore(trace, **grid)
+
+        path = tmp_path / "dse.jsonl"
+        with CheckpointJournal(path) as journal:
+            explore(trace, checkpoint=journal, **grid)
+        with CheckpointJournal(path, resume=True) as journal:
+            resumed = explore(trace, checkpoint=journal, **grid)
+            # Everything was journaled: nothing recomputed.
+            assert journal.recorded == 0
+        assert resumed == baseline

@@ -222,6 +222,110 @@ class TestDseCommand:
         assert runs["1"] == runs["4"]
 
 
+class TestResilienceFlags:
+    """--task-timeout / --retries / --checkpoint / --resume and SIGINT."""
+
+    def test_resume_requires_checkpoint(self, capsys):
+        code, _out, err = run_cli(capsys, "experiments", "e1", "--resume")
+        assert code == 1
+        assert "--resume requires --checkpoint" in err
+
+    def test_experiments_checkpoint_then_resume(self, tmp_path, capsys):
+        journal = tmp_path / "exp.jsonl"
+        code, first, _err = run_cli(
+            capsys, "experiments", "e1", "--no-cache",
+            "--checkpoint", str(journal),
+        )
+        assert code == 0
+        assert journal.exists()
+        # The resumed run restores the journaled experiment and renders
+        # byte-identically without recomputing it.
+        code, second, err = run_cli(
+            capsys, "experiments", "e1", "--no-cache",
+            "--checkpoint", str(journal), "--resume",
+        )
+        assert code == 0
+        assert "1 completed task(s) restored" in err
+        assert second == first
+
+    def test_resume_skips_recompute(self, tmp_path, capsys, monkeypatch):
+        journal = tmp_path / "exp.jsonl"
+        code, first, _err = run_cli(
+            capsys, "experiments", "e1", "--no-cache",
+            "--checkpoint", str(journal),
+        )
+        assert code == 0
+
+        def explode(_key):
+            raise AssertionError("restored experiment must not recompute")
+
+        monkeypatch.setitem(
+            __import__("repro.analysis.experiments", fromlist=["EXPERIMENTS"])
+            .EXPERIMENTS, "e1", explode,
+        )
+        code, second, _err = run_cli(
+            capsys, "experiments", "e1", "--no-cache",
+            "--checkpoint", str(journal), "--resume",
+        )
+        assert code == 0
+        assert second == first
+
+    def test_failed_experiment_reported_not_fatal(self, capsys, monkeypatch):
+        from repro.analysis.experiments import EXPERIMENTS
+
+        def explode():
+            raise RuntimeError("poisoned experiment")
+
+        monkeypatch.setitem(EXPERIMENTS, "e1", explode)
+        code, out, err = run_cli(
+            capsys, "experiments", "e1", "e2", "--no-cache", "--retries", "1",
+        )
+        # The poisoned experiment is reported; the sibling still renders.
+        assert code == 1
+        assert "experiment task #0 failed" in err
+        assert "poisoned experiment" in err
+        assert "shift" in out.lower() or out  # e2 output still printed
+
+    def test_keyboard_interrupt_exits_130_and_flushes(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        journal = tmp_path / "exp.jsonl"
+
+        def interrupted(*_args, **kwargs):
+            checkpoint = kwargs.get("checkpoint")
+            checkpoint.record("partial-key", {"v": 1})
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr("repro.cli.run_experiments", interrupted)
+        code, _out, err = run_cli(
+            capsys, "experiments", "e1", "--no-cache",
+            "--checkpoint", str(journal),
+        )
+        assert code == 130
+        assert "interrupted" in err
+        # The record landed on disk before the interrupt surfaced.
+        assert "partial-key" in journal.read_text(encoding="utf-8")
+
+    def test_dse_checkpoint_resume_byte_identical(self, tmp_path, capsys):
+        path = tmp_path / "t.jsonl"
+        run_cli(capsys, "trace", "generate", "markov",
+                "--items", "12", "--accesses", "200", "-o", str(path))
+        capsys.readouterr()
+        journal = tmp_path / "dse.jsonl"
+        code, first, _err = run_cli(
+            capsys, "dse", str(path), "--lengths", "8,16", "--port-counts",
+            "1", "--no-cache", "--checkpoint", str(journal),
+        )
+        assert code == 0
+        code, second, err = run_cli(
+            capsys, "dse", str(path), "--lengths", "8,16", "--port-counts",
+            "1", "--no-cache", "--checkpoint", str(journal), "--resume",
+        )
+        assert code == 0
+        assert "2 completed task(s) restored" in err
+        assert second == first
+
+
 class TestCacheCommand:
     def test_info_and_clear(self, tmp_path, capsys):
         cache_dir = tmp_path / "cache"
@@ -244,6 +348,22 @@ class TestCacheCommand:
         assert code == 0
         assert "removed 1" in out
         assert not any(cache_dir.glob("??/*.json"))
+
+    def test_info_reports_quarantined_entries(self, tmp_path, capsys):
+        cache_dir = tmp_path / "cache"
+        shard = cache_dir / "ab"
+        shard.mkdir(parents=True)
+        (shard / ("ab" + "0" * 62 + ".corrupt")).write_text(
+            "{torn write", encoding="utf-8"
+        )
+        code, out, _err = run_cli(
+            capsys, "cache", "info", "--cache-dir", str(cache_dir)
+        )
+        assert code == 0
+        assert "corrupt (quarantined)" in out
+        # clear removes quarantined files too
+        run_cli(capsys, "cache", "clear", "--cache-dir", str(cache_dir))
+        assert not any(cache_dir.glob("??/*.corrupt"))
 
 
 class TestSystemCommand:

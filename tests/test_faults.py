@@ -1,0 +1,256 @@
+"""Tests for Monte-Carlo shift-fault injection (repro.dwm.faults)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.api import build_problem, optimize_placement
+from repro.core.baselines import random_placement
+from repro.dwm.config import DWMConfig
+from repro.dwm.faults import (
+    OVERSHIFT,
+    PINNING,
+    UNDERSHIFT,
+    FaultModel,
+    injection_seed,
+    run_injection,
+)
+from repro.errors import ConfigError
+from repro.memory.spm import ScratchpadMemory
+from repro.trace.synthetic import markov_trace
+
+
+@pytest.fixture
+def trace():
+    return markov_trace(48, 20_000, locality=0.8, seed=7, write_fraction=0.2)
+
+
+@pytest.fixture
+def config(trace):
+    return DWMConfig.for_items(trace.num_items, words_per_dbc=16)
+
+
+@pytest.fixture
+def spm(trace, config):
+    placement = random_placement(build_problem(trace, config), 0)
+    return ScratchpadMemory(config, placement)
+
+
+class TestFaultModelValidation:
+    def test_defaults_valid(self):
+        model = FaultModel()
+        assert model.shift_error_rate == pytest.approx(1e-4)
+
+    def test_rejects_bad_rate(self):
+        with pytest.raises(ConfigError):
+            FaultModel(shift_error_rate=-0.1)
+        with pytest.raises(ConfigError):
+            FaultModel(shift_error_rate=1.0)
+
+    def test_rejects_fractions_not_summing_to_one(self):
+        with pytest.raises(ConfigError):
+            FaultModel(
+                overshift_fraction=0.5,
+                undershift_fraction=0.5,
+                pinning_fraction=0.5,
+            )
+
+    def test_rejects_negative_fraction(self):
+        with pytest.raises(ConfigError):
+            FaultModel(
+                overshift_fraction=-0.1,
+                undershift_fraction=1.0,
+                pinning_fraction=0.1,
+            )
+
+    def test_rejects_bad_check_interval(self):
+        with pytest.raises(ConfigError):
+            FaultModel(check_interval=0)
+
+    def test_rejects_negative_overhead(self):
+        with pytest.raises(ConfigError):
+            FaultModel(realignment_overhead_shifts=-1)
+
+
+class TestInjectionSeed:
+    def test_deterministic(self, trace, config):
+        model = FaultModel(seed=3)
+        assert injection_seed(model, trace, config) == injection_seed(
+            model, trace, config
+        )
+
+    def test_sensitive_to_model_seed(self, trace, config):
+        assert injection_seed(FaultModel(seed=0), trace, config) != injection_seed(
+            FaultModel(seed=1), trace, config
+        )
+
+    def test_sensitive_to_trace_content(self, trace, config):
+        other = markov_trace(48, 20_000, locality=0.8, seed=8, write_fraction=0.2)
+        model = FaultModel()
+        assert injection_seed(model, trace, config) != injection_seed(
+            model, other, config
+        )
+
+    def test_insensitive_to_trace_name(self, trace, config):
+        model = FaultModel()
+        assert injection_seed(model, trace, config) == injection_seed(
+            model, trace.renamed("other-name"), config
+        )
+
+
+class TestRunInjection:
+    def test_zero_rate_injects_nothing(self):
+        model = FaultModel(shift_error_rate=0.0)
+        report = run_injection([0, 1, 0], [5, 3, 2], 2, model, seed=42)
+        assert report.injected_faults == 0
+        assert report.corrupted_accesses == 0
+        assert report.realignment_shifts == 0
+        assert report.within_sigma()
+
+    def test_stream_length_mismatch_rejected(self):
+        with pytest.raises(ConfigError):
+            run_injection([0, 1], [5], 2, FaultModel(), seed=0)
+
+    def test_pure_function_of_inputs(self):
+        model = FaultModel(shift_error_rate=0.05)
+        a = run_injection([0, 1, 0, 1], [9, 7, 5, 3], 2, model, seed=99)
+        b = run_injection([0, 1, 0, 1], [9, 7, 5, 3], 2, model, seed=99)
+        assert a.events == b.events
+        assert a.as_details() == b.as_details()
+
+    def test_fault_kinds_partition_events(self):
+        model = FaultModel(shift_error_rate=0.1, seed=5)
+        report = run_injection(
+            [i % 4 for i in range(500)], [7] * 500, 4, model, seed=123
+        )
+        assert report.injected_faults > 0
+        assert (
+            report.count(OVERSHIFT)
+            + report.count(UNDERSHIFT)
+            + report.count(PINNING)
+            == report.injected_faults
+        )
+        assert sum(report.per_dbc_faults) == report.injected_faults
+
+    def test_pinning_magnitude_bounded_by_burst(self):
+        model = FaultModel(
+            shift_error_rate=0.1,
+            overshift_fraction=0.0,
+            undershift_fraction=0.0,
+            pinning_fraction=1.0,
+        )
+        costs = [6] * 300
+        report = run_injection([0] * 300, costs, 1, model, seed=7)
+        assert report.injected_faults > 0
+        for event in report.events:
+            # A stuck train can freeze at most the rest of one burst.
+            assert -6 <= event.magnitude <= -1
+
+    def test_detection_and_correction_accounting(self):
+        model = FaultModel(shift_error_rate=0.02, check_interval=10, seed=1)
+        report = run_injection([0] * 200, [8] * 200, 1, model, seed=55)
+        # 200 accesses / interval 10 = 20 checks on DBC 0.
+        assert report.position_checks == 20
+        assert report.realignments <= report.position_checks
+        if report.realignments:
+            # Every realignment pays at least the fixed calibration cost
+            # plus one corrective shift.
+            assert report.realignment_shifts >= report.realignments * (
+                model.realignment_overhead_shifts + 1
+            )
+
+
+class TestEngineIndependence:
+    """Same seed + trace + config => identical schedule on either engine."""
+
+    @pytest.mark.parametrize("policy", ["lazy", "eager"])
+    def test_schedule_identical_across_engines(self, trace, policy):
+        config = DWMConfig.for_items(
+            trace.num_items, words_per_dbc=16, port_policy=policy
+        )
+        placement = random_placement(build_problem(trace, config), 0)
+        model = FaultModel(shift_error_rate=1e-3, check_interval=16, seed=2)
+
+        scalar_spm = ScratchpadMemory(config, placement)
+        scalar = scalar_spm.simulate(trace, engine="scalar", fault_model=model)
+        scalar_report = scalar_spm.last_fault_report
+
+        vector_spm = ScratchpadMemory(config, placement)
+        vector = vector_spm.simulate(trace, engine="vectorized", fault_model=model)
+        vector_report = vector_spm.last_fault_report
+
+        assert scalar.shifts == vector.shifts
+        assert scalar_report.events == vector_report.events
+        assert scalar_report.as_details() == vector_report.as_details()
+        assert scalar.details["faults"] == vector.details["faults"]
+
+    def test_repeated_runs_identical(self, spm, trace):
+        model = FaultModel(shift_error_rate=1e-3, seed=11)
+        first = spm.simulate(trace, fault_model=model)
+        second = spm.simulate(trace, fault_model=model)
+        assert first.details["faults"] == second.details["faults"]
+
+    def test_no_fault_model_no_details(self, spm, trace):
+        sim = spm.simulate(trace)
+        assert "faults" not in sim.details
+        assert spm.last_fault_report is None
+
+
+class TestAnalyticAgreement:
+    def test_mc_within_three_sigma_of_analytic(self, spm, trace):
+        """The MC draw agrees with shifts * p within binomial 3 sigma."""
+        model = FaultModel(shift_error_rate=1e-3, seed=0)
+        sim = spm.simulate(trace, fault_model=model)
+        report = spm.last_fault_report
+        assert report.total_shifts == sim.shifts
+        assert report.expected_faults == pytest.approx(sim.shifts * 1e-3)
+        assert report.within_sigma(3.0)
+
+    def test_mean_over_seeds_converges(self, spm, trace):
+        """Averaged over seeds, the MC count tightens around expectation."""
+        model = FaultModel(shift_error_rate=1e-3)
+        seeds = range(8)
+        counts = []
+        expected = None
+        for seed in seeds:
+            spm.simulate(
+                trace, fault_model=FaultModel(shift_error_rate=1e-3, seed=seed)
+            )
+            report = spm.last_fault_report
+            counts.append(report.injected_faults)
+            expected = report.expected_faults
+            sigma = report.fault_count_sigma
+        mean = sum(counts) / len(counts)
+        # Standard error of the seed-mean: sigma / sqrt(n).
+        assert abs(mean - expected) <= 3.0 * sigma / math.sqrt(len(counts))
+        del model
+
+    def test_analytic_report_matches_reliability_module(self, spm, trace):
+        model = FaultModel(shift_error_rate=1e-3, seed=0)
+        sim = spm.simulate(trace, fault_model=model)
+        analytic = spm.last_fault_report.analytic(sim.per_dbc_shifts)
+        assert analytic.total_shifts == sim.shifts
+        assert analytic.expected_position_errors == pytest.approx(
+            sim.shifts * 1e-3
+        )
+
+    def test_placement_reduces_fault_budget(self, trace, config):
+        """Shift-minimizing placement shrinks exposure and overhead."""
+        model = FaultModel(shift_error_rate=1e-3, check_interval=32, seed=0)
+        problem = build_problem(trace, config)
+        random_spm = ScratchpadMemory(config, random_placement(problem, 0))
+        random_spm.simulate(trace, fault_model=model)
+        random_report = random_spm.last_fault_report
+
+        placed = optimize_placement(trace, config, method="heuristic").placement
+        placed_spm = ScratchpadMemory(config, placed)
+        placed_spm.simulate(trace, fault_model=model)
+        placed_report = placed_spm.last_fault_report
+
+        assert placed_report.total_shifts < random_report.total_shifts
+        assert placed_report.injected_faults <= random_report.injected_faults
+        assert (
+            placed_report.realignment_shifts <= random_report.realignment_shifts
+        )

@@ -1,0 +1,231 @@
+"""Tests for the fault-tolerant runner (repro.analysis.parallel.resilient_map)."""
+
+from __future__ import annotations
+
+import os
+import time
+import warnings
+
+import pytest
+
+from repro.analysis.parallel import (
+    MP_START_ENV,
+    TaskFailure,
+    _reset_warnings,
+    parallel_map,
+    resilient_map,
+    resolve_jobs,
+)
+
+
+# ---------------------------------------------------------------------------
+# Worker bodies — top-level so every start method (fork/spawn) can pickle them.
+# ---------------------------------------------------------------------------
+
+def _double(value: int) -> int:
+    return value * 2
+
+
+def _raise_always(value):
+    raise ValueError(f"poisoned task {value}")
+
+
+def _hang(value):
+    time.sleep(60)
+    return value
+
+
+def _crash(value):
+    os._exit(3)
+
+
+def _flaky_once(task):
+    """Fails the first attempt, succeeds after; marker file carries state
+    across worker processes (a retried attempt runs in a fresh process)."""
+    marker, value = task
+    if not os.path.exists(marker):
+        with open(marker, "w", encoding="utf-8"):
+            pass
+        raise RuntimeError("first attempt fails")
+    return value * 10
+
+
+def _mixed(task):
+    """Dispatch on the task's tag: exercise every failure kind in one map."""
+    kind, value = task
+    if kind == "ok":
+        return value
+    if kind == "raise":
+        raise ValueError("bad cell")
+    if kind == "hang":
+        time.sleep(60)
+    if kind == "crash":
+        os._exit(7)
+    return None
+
+
+class TestSerialRetries:
+    """timeout=None, jobs=1 runs inline; retries still honoured."""
+
+    def test_plain_success(self):
+        assert resilient_map(_double, [1, 2, 3]) == [2, 4, 6]
+
+    def test_empty(self):
+        assert resilient_map(_double, []) == []
+
+    def test_failure_recorded_not_raised(self):
+        results = resilient_map(_double, [1], jobs=1)
+        assert results == [2]
+        results = resilient_map(_raise_always, [5], jobs=1, retries=1)
+        (failure,) = results
+        assert isinstance(failure, TaskFailure)
+        assert failure.index == 0
+        assert failure.attempts == 2
+        assert failure.kind == "error"
+        assert "poisoned task 5" in failure.error
+
+    def test_retry_succeeds_inline(self, tmp_path):
+        marker = str(tmp_path / "attempted")
+        results = resilient_map(
+            _flaky_once, [(marker, 4)], jobs=1, retries=1, backoff_seconds=0.0
+        )
+        assert results == [40]
+
+    def test_on_result_fires_only_on_success(self, tmp_path):
+        seen = []
+        results = resilient_map(
+            _mixed,
+            [("ok", 1), ("raise", 2), ("ok", 3)],
+            jobs=1,
+            on_result=lambda index, value: seen.append((index, value)),
+        )
+        assert results[0] == 1
+        assert isinstance(results[1], TaskFailure)
+        assert results[2] == 3
+        assert seen == [(0, 1), (2, 3)]
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            resilient_map(_double, [1], retries=-1)
+        with pytest.raises(ValueError):
+            resilient_map(_double, [1], timeout=0.0)
+
+
+class TestProcessIsolation:
+    """Any timeout forces per-task worker processes (killable hangs)."""
+
+    def test_timeout_kills_hung_task_without_harming_siblings(self):
+        start = time.monotonic()
+        # Generous timeout: it must cover worker *startup* too (a spawned
+        # interpreter imports the package), while staying far below the 60s
+        # hang it exists to kill.
+        results = resilient_map(
+            _mixed,
+            [("ok", 10), ("hang", 0), ("ok", 11)],
+            jobs=3,
+            timeout=3.0,
+            retries=0,
+        )
+        elapsed = time.monotonic() - start
+        assert results[0] == 10
+        assert results[2] == 11
+        failure = results[1]
+        assert isinstance(failure, TaskFailure)
+        assert failure.kind == "timeout"
+        assert failure.attempts == 1
+        assert elapsed < 30  # the 60s sleep was terminated, not awaited
+
+    def test_crashed_worker_is_a_recorded_failure(self):
+        results = resilient_map(
+            _mixed, [("crash", 0), ("ok", 1)], jobs=2, timeout=10.0
+        )
+        failure = results[0]
+        assert isinstance(failure, TaskFailure)
+        assert failure.kind == "crash"
+        assert results[1] == 1
+
+    def test_every_failure_kind_in_one_map(self):
+        results = resilient_map(
+            _mixed,
+            [("ok", 1), ("raise", 2), ("hang", 3), ("crash", 4), ("ok", 5)],
+            jobs=3,
+            timeout=3.0,
+            retries=1,
+            backoff_seconds=0.01,
+        )
+        assert results[0] == 1
+        assert results[4] == 5
+        kinds = {index: results[index].kind for index in (1, 2, 3)}
+        assert kinds == {1: "error", 2: "timeout", 3: "crash"}
+        for index in (1, 2, 3):
+            assert results[index].attempts == 2
+            assert results[index].index == index
+
+    def test_retry_after_timeout_succeeds(self, tmp_path):
+        """First attempt dies (no marker yet -> raise), retry completes."""
+        marker = str(tmp_path / "flaky-marker")
+        results = resilient_map(
+            _flaky_once,
+            [(marker, 6)],
+            jobs=1,
+            timeout=10.0,
+            retries=2,
+            backoff_seconds=0.01,
+        )
+        assert results == [60]
+
+    def test_results_in_task_order(self):
+        tasks = [("ok", value) for value in range(12)]
+        assert resilient_map(_mixed, tasks, jobs=4, timeout=30.0) == list(
+            range(12)
+        )
+
+
+class TestSpawnStartMethod:
+    """The retry path must survive the spawn start method (fresh workers)."""
+
+    def test_retry_under_spawn(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(MP_START_ENV, "spawn")
+        marker = str(tmp_path / "spawn-marker")
+        results = resilient_map(
+            _flaky_once,
+            [(marker, 3), (marker, 3)],
+            jobs=2,
+            timeout=60.0,
+            retries=2,
+            backoff_seconds=0.01,
+        )
+        assert results == [30, 30]
+
+    def test_failure_isolation_under_spawn(self, monkeypatch):
+        monkeypatch.setenv(MP_START_ENV, "spawn")
+        results = resilient_map(
+            _mixed, [("raise", 0), ("ok", 9)], jobs=2, timeout=60.0
+        )
+        assert isinstance(results[0], TaskFailure)
+        assert results[0].kind == "error"
+        assert results[1] == 9
+
+
+class TestLoudDegradation:
+    """Serial fallbacks and garbage env vars warn instead of hiding."""
+
+    def test_garbage_jobs_env_warns_once(self, monkeypatch):
+        _reset_warnings()
+        monkeypatch.setenv("REPRO_JOBS", "banana")
+        with pytest.warns(RuntimeWarning, match="non-numeric"):
+            assert resolve_jobs() == 1
+        # Second resolution is silent (one-time warning).
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert resolve_jobs() == 1
+        _reset_warnings()
+
+    def test_pool_fallback_warns_with_cause(self):
+        _reset_warnings()
+        # A lambda cannot be pickled into pool workers: the pool path fails
+        # and parallel_map must fall back serially -- loudly.
+        with pytest.warns(RuntimeWarning, match="falling back to serial"):
+            results = parallel_map(lambda v: v + 1, [1, 2, 3], jobs=2)
+        assert results == [2, 3, 4]
+        _reset_warnings()

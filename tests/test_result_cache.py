@@ -84,6 +84,41 @@ class TestResultCacheStore:
         cache._path(key).write_text("{not json", encoding="utf-8")
         assert cache.get(key) is None
 
+    def test_corrupt_entry_is_quarantined(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = "cd" + "0" * 62
+        cache.put(key, {"fine": True})
+        cache._path(key).write_text("{not json", encoding="utf-8")
+        assert cache.corrupt_count() == 0
+        assert cache.get(key) is None
+        # The torn file is renamed *.corrupt: the key is free again and the
+        # evidence is kept on disk.
+        assert cache.quarantined == 1
+        assert cache.corrupt_count() == 1
+        assert not cache._path(key).exists()
+        assert cache._path(key).with_suffix(".corrupt").exists()
+        assert len(cache) == 0
+        # A rewrite after quarantine hits normally again.
+        cache.put(key, {"fine": True})
+        assert cache.get(key) == {"fine": True}
+        assert cache.quarantined == 1
+
+    def test_clear_removes_quarantined_files(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = "ee" + "0" * 62
+        cache.put(key, {"fine": True})
+        cache._path(key).write_text("{not json", encoding="utf-8")
+        cache.get(key)
+        assert cache.corrupt_count() == 1
+        cache.clear()
+        assert cache.corrupt_count() == 0
+
+    def test_missing_entry_not_quarantined(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert cache.get("ff" + "0" * 62) is None
+        assert cache.quarantined == 0
+        assert cache.corrupt_count() == 0
+
     def test_invalidate_and_clear(self, tmp_path):
         cache = ResultCache(tmp_path)
         keys = [prefix + "0" * 62 for prefix in ("aa", "bb", "cc")]
