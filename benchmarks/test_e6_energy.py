@@ -6,7 +6,6 @@ and placement-optimized DWM undercuts SRAM on average.
 """
 
 from repro.analysis.experiments import run_e6
-from repro.analysis.metrics import geometric_mean
 
 
 def test_e6_energy(benchmark, record_artifact):

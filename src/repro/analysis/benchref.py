@@ -1,0 +1,416 @@
+"""Benchmark reference artifacts: normalize + regression comparison.
+
+``results/BENCH_e18.json``, ``BENCH_e19.json`` and ``BENCH_e20.json`` each
+grew their own shape.  This module makes them comparable:
+
+* :func:`normalize` lowers any raw benchmark payload into a
+  :class:`~repro.obs.manifest.RunManifest` — numeric and boolean leaves
+  become flat dotted ``metrics`` (``simulation.1p-lazy.speedup``), every
+  other leaf (lists, strings, nulls) is carried losslessly in ``extra``.
+* :func:`denormalize` inverts it exactly (golden-tested round trip over
+  the committed artifacts).
+* :func:`compare` diffs two manifests metric-by-metric with configurable
+  relative tolerances and direction inference, producing the
+  :class:`ComparisonReport` behind ``repro bench compare`` — the CI
+  bench-regression gate.
+
+Direction inference (:func:`classify_metric`) is name-based:
+
+* **exact** — boolean values and names matching ``*exact*``,
+  ``*identical*``, ``*within_3_sigma*``: any change is a regression
+  (these encode correctness, not speed).
+* **higher-better** — ``*_per_sec*``, ``*speedup*``, ``*reduction*``,
+  ``*hits`` ...: a drop beyond tolerance is a regression.
+* **lower-better** — ``*seconds*``, ``*misses*``, ``*faults*``,
+  ``*shifts*`` ...: a rise beyond tolerance is a regression.
+* **info** — anything else (``num_items``, ``cpu_count``): reported,
+  never gated.
+
+A metric present in the baseline but missing from the candidate is always
+a regression (coverage must not silently shrink); new candidate-only
+metrics are fine.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from fnmatch import fnmatchcase
+from pathlib import Path
+from typing import Any, Mapping
+
+from repro.errors import ReproError
+from repro.obs.manifest import RunManifest
+
+__all__ = [
+    "ComparisonReport",
+    "MetricDelta",
+    "classify_metric",
+    "compare",
+    "denormalize",
+    "flatten_payload",
+    "load_reference",
+    "normalize",
+    "unflatten_payload",
+]
+
+#: Separator joining nested payload keys into dotted metric names.
+SEPARATOR = "."
+
+#: Substring patterns classifying a metric as exactness-gated.
+EXACT_PATTERNS = ("exact", "identical", "within_3_sigma", "within_sigma")
+
+#: Substring patterns classifying a metric as higher-is-better.
+HIGHER_PATTERNS = (
+    "per_sec",
+    "per_second",
+    "speedup",
+    "throughput",
+    "reduction",
+    "hits",
+)
+
+#: Substring patterns classifying a metric as lower-is-better.
+LOWER_PATTERNS = (
+    "seconds",
+    "misses",
+    "faults",
+    "fault_count",
+    "shifts",
+    "corrupted",
+    "corrupt",
+    "exposure",
+    "misalignment",
+    "realignments",
+    "quarantined",
+)
+
+_BENCH_NAME = re.compile(r"BENCH_([A-Za-z0-9_-]+)\.json$")
+
+
+def flatten_payload(
+    payload: Mapping[str, Any],
+    prefix: str = "",
+) -> tuple[dict[str, Any], dict[str, Any]]:
+    """Split a nested payload into (numeric/bool metrics, other leaves).
+
+    Both outputs map dotted paths to leaves.  Raises
+    :class:`~repro.errors.ReproError` on keys that would make the mapping
+    ambiguous (non-string keys, keys containing the separator) and on
+    empty nested dicts (they would vanish in the round trip).
+    """
+    metrics: dict[str, Any] = {}
+    extra: dict[str, Any] = {}
+    for key, value in payload.items():
+        if not isinstance(key, str):
+            raise ReproError(f"benchmark payload key {key!r} is not a string")
+        if SEPARATOR in key:
+            raise ReproError(
+                f"benchmark payload key {key!r} contains {SEPARATOR!r}; "
+                "dotted keys cannot round-trip through metric names"
+            )
+        path = f"{prefix}{SEPARATOR}{key}" if prefix else key
+        if isinstance(value, dict):
+            if not value:
+                raise ReproError(
+                    f"benchmark payload has empty section at {path!r}; "
+                    "empty dicts cannot round-trip"
+                )
+            sub_metrics, sub_extra = flatten_payload(value, path)
+            metrics.update(sub_metrics)
+            extra.update(sub_extra)
+        elif isinstance(value, bool) or isinstance(value, (int, float)):
+            metrics[path] = value
+        else:
+            extra[path] = value
+    return metrics, extra
+
+
+def unflatten_payload(
+    metrics: Mapping[str, Any],
+    extra: Mapping[str, Any] | None = None,
+) -> dict[str, Any]:
+    """Rebuild the nested payload from dotted metric/extra leaves."""
+    merged: dict[str, Any] = dict(metrics)
+    if extra:
+        merged.update(extra)
+    root: dict[str, Any] = {}
+    for path in sorted(merged):
+        parts = path.split(SEPARATOR)
+        node = root
+        for part in parts[:-1]:
+            node = node.setdefault(part, {})
+            if not isinstance(node, dict):
+                raise ReproError(
+                    f"metric path {path!r} collides with a leaf value"
+                )
+        node[parts[-1]] = merged[path]
+    return root
+
+
+def source_from_path(path: str | Path) -> str:
+    """Infer the run id from a ``BENCH_<id>.json`` filename (else the stem)."""
+    name = Path(path).name
+    match = _BENCH_NAME.search(name)
+    if match:
+        return match.group(1)
+    return Path(path).stem
+
+
+def normalize(
+    payload: Mapping[str, Any],
+    source: str,
+    **manifest_fields: Any,
+) -> RunManifest:
+    """Lower one raw ``BENCH_e*.json`` payload into a manifest.
+
+    ``source`` becomes the run id (``e18``/``e19``/``e20``...).  Extra
+    keyword arguments pass through to :class:`RunManifest` (seed, engine,
+    geometry...).  The transform is lossless: :func:`denormalize` returns
+    the original payload exactly.
+    """
+    metrics, extra = flatten_payload(payload)
+    return RunManifest(
+        kind="bench",
+        run_id=source,
+        metrics=metrics,
+        extra=extra,
+        **manifest_fields,
+    )
+
+
+def denormalize(manifest: RunManifest) -> dict[str, Any]:
+    """Reconstruct the raw benchmark payload from a normalized manifest."""
+    return unflatten_payload(manifest.metrics, manifest.extra)
+
+
+def load_reference(path: str | Path) -> RunManifest:
+    """Load a manifest *or* raw benchmark JSON (auto-normalized).
+
+    Accepts both the committed raw ``results/BENCH_e*.json`` artifacts and
+    already-normalized manifest files, so the CLI never needs to be told
+    which one it was handed.
+    """
+    import json
+
+    text = Path(path).read_text(encoding="utf-8")
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ReproError(f"{path}: not valid JSON: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise ReproError(f"{path}: expected a JSON object")
+    if payload.get("manifest"):
+        return RunManifest.from_dict(payload)
+    return normalize(payload, source_from_path(path))
+
+
+# ---------------------------------------------------------------------------
+# Comparison
+# ---------------------------------------------------------------------------
+
+def classify_metric(name: str, value: Any = None) -> str:
+    """Direction of one metric: ``exact``/``higher``/``lower``/``info``."""
+    lowered = name.lower()
+    if isinstance(value, bool):
+        return "exact"
+    if any(pattern in lowered for pattern in EXACT_PATTERNS):
+        return "exact"
+    if any(pattern in lowered for pattern in HIGHER_PATTERNS):
+        return "higher"
+    if any(pattern in lowered for pattern in LOWER_PATTERNS):
+        return "lower"
+    return "info"
+
+
+@dataclass(frozen=True)
+class MetricDelta:
+    """Comparison outcome for one metric name."""
+
+    name: str
+    baseline: Any
+    candidate: Any
+    direction: str
+    tolerance: float
+    relative_change: float | None
+    status: str  # "ok" | "regression" | "improved" | "missing" | "new" | "info"
+
+    @property
+    def is_regression(self) -> bool:
+        return self.status in ("regression", "missing")
+
+
+@dataclass
+class ComparisonReport:
+    """Full metric-by-metric diff of two manifests."""
+
+    baseline_id: str
+    candidate_id: str
+    deltas: list[MetricDelta] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> list[MetricDelta]:
+        return [delta for delta in self.deltas if delta.is_regression]
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+    def render(self) -> str:
+        """Plain-text report table (regressions first)."""
+        from repro.analysis.report import format_table
+
+        def fmt(value: Any) -> str:
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                return str(value)
+            return f"{value:g}"
+
+        ordered = sorted(
+            self.deltas,
+            key=lambda delta: (not delta.is_regression, delta.name),
+        )
+        rows = [
+            (
+                delta.name,
+                fmt(delta.baseline),
+                fmt(delta.candidate),
+                (
+                    f"{delta.relative_change:+.1%}"
+                    if delta.relative_change is not None
+                    else "-"
+                ),
+                delta.direction,
+                delta.status.upper() if delta.is_regression else delta.status,
+            )
+            for delta in ordered
+        ]
+        verdict = "PASS" if self.ok else f"FAIL ({len(self.regressions)} regression(s))"
+        return format_table(
+            ("metric", "baseline", "candidate", "change", "direction", "status"),
+            rows,
+            title=(
+                f"bench compare: {self.baseline_id} -> {self.candidate_id} "
+                f"[{verdict}]"
+            ),
+        )
+
+
+def _tolerance_for(
+    name: str,
+    direction: str,
+    default_tolerance: float,
+    overrides: Mapping[str, float] | None,
+) -> float:
+    """Effective relative tolerance: glob overrides beat the default."""
+    if overrides:
+        for pattern, tolerance in overrides.items():
+            if fnmatchcase(name, pattern):
+                return tolerance
+    if direction == "exact":
+        return 0.0
+    return default_tolerance
+
+
+def _delta_status(
+    direction: str,
+    baseline: Any,
+    candidate: Any,
+    tolerance: float,
+) -> tuple[str, float | None]:
+    """Status + relative change of one shared metric."""
+    if direction == "exact":
+        if baseline == candidate:
+            return "ok", 0.0
+        return "regression", None
+    if not isinstance(baseline, (int, float)) or not isinstance(
+        candidate, (int, float)
+    ):
+        return ("ok" if baseline == candidate else "regression"), None
+    if baseline == 0:
+        change = None if candidate == 0 else float("inf")
+        if candidate == 0:
+            return "ok", 0.0
+        if direction == "info":
+            return "info", change
+        worse = candidate < 0 if direction == "higher" else candidate > 0
+        return ("regression" if worse else "improved"), change
+    change = (candidate - baseline) / abs(baseline)
+    if direction == "info":
+        return "info", change
+    if direction == "higher":
+        if change < -tolerance:
+            return "regression", change
+        return ("improved" if change > tolerance else "ok"), change
+    # lower-is-better
+    if change > tolerance:
+        return "regression", change
+    return ("improved" if change < -tolerance else "ok"), change
+
+
+def compare(
+    baseline: RunManifest,
+    candidate: RunManifest,
+    *,
+    default_tolerance: float = 0.10,
+    tolerances: Mapping[str, float] | None = None,
+) -> ComparisonReport:
+    """Diff ``candidate`` against ``baseline`` metric-by-metric.
+
+    ``default_tolerance`` is the relative slack applied to direction-gated
+    metrics (0.10 = 10%); ``tolerances`` maps glob patterns over metric
+    names to per-metric overrides.  Exactness metrics ignore both and are
+    gated at 0%.  See the module docstring for the regression rules.
+    """
+    if default_tolerance < 0:
+        raise ReproError(
+            f"default_tolerance must be >= 0, got {default_tolerance}"
+        )
+    report = ComparisonReport(
+        baseline_id=baseline.run_id,
+        candidate_id=candidate.run_id,
+    )
+    names = sorted(set(baseline.metrics) | set(candidate.metrics))
+    for name in names:
+        in_base = name in baseline.metrics
+        in_cand = name in candidate.metrics
+        base_value = baseline.metrics.get(name)
+        cand_value = candidate.metrics.get(name)
+        direction = classify_metric(name, base_value if in_base else cand_value)
+        tolerance = _tolerance_for(name, direction, default_tolerance, tolerances)
+        if not in_cand:
+            status: str = "missing"
+            change: float | None = None
+        elif not in_base:
+            status, change = "new", None
+        else:
+            status, change = _delta_status(
+                direction, base_value, cand_value, tolerance
+            )
+        report.deltas.append(
+            MetricDelta(
+                name=name,
+                baseline=base_value,
+                candidate=cand_value,
+                direction=direction,
+                tolerance=tolerance,
+                relative_change=change,
+                status=status,
+            )
+        )
+    return report
+
+
+def compare_files(
+    baseline_path: str | Path,
+    candidate_path: str | Path,
+    *,
+    default_tolerance: float = 0.10,
+    tolerances: Mapping[str, float] | None = None,
+) -> ComparisonReport:
+    """File-level :func:`compare`: loads manifests or raw BENCH payloads."""
+    return compare(
+        load_reference(baseline_path),
+        load_reference(candidate_path),
+        default_tolerance=default_tolerance,
+        tolerances=tolerances,
+    )

@@ -47,6 +47,7 @@ from repro.core.api import get_placement_cache, set_placement_cache
 from repro.core.placement import Placement
 from repro.core.problem import PlacementResult
 from repro.dwm.config import DWMConfig
+from repro.obs import get_registry, trace_span
 from repro.trace.model import AccessTrace
 
 #: Bump when the stored payload layout changes.
@@ -149,6 +150,7 @@ class ResultCache:
         try:
             os.replace(path, path.with_suffix(".corrupt"))
             self.quarantined += 1
+            get_registry().inc("cache.placement.quarantined")
         except OSError:
             return
 
@@ -249,8 +251,9 @@ class ResultCache:
         the original compute time is kept in ``details``) and marks
         ``details["cache"] = "hit"``.
         """
-        key = placement_key(trace, config, method, kwargs)
-        payload = self.get(key)
+        with trace_span("cache.lookup", method=method):
+            key = placement_key(trace, config, method, kwargs)
+            payload = self.get(key)
         if payload is not None:
             try:
                 placement = Placement(
@@ -265,6 +268,7 @@ class ResultCache:
                 payload = None
             else:
                 self.hits += 1
+                get_registry().inc("cache.placement.hits")
                 return PlacementResult(
                     method=method,
                     placement=placement,
@@ -280,6 +284,7 @@ class ResultCache:
                     },
                 )
         self.misses += 1
+        get_registry().inc("cache.placement.misses")
         return None
 
     def store_placement(
@@ -291,6 +296,7 @@ class ResultCache:
         result: PlacementResult,
     ) -> None:
         """Persist one freshly computed optimization result."""
+        get_registry().inc("cache.placement.stores")
         key = placement_key(trace, config, method, kwargs)
         self.put(
             key,

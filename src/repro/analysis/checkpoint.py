@@ -37,6 +37,7 @@ from pathlib import Path
 
 from repro import __version__
 from repro.analysis.cache import _canonical
+from repro.obs import get_registry
 
 #: Bump when the journal line layout changes.
 SCHEMA_VERSION = 1
@@ -83,6 +84,12 @@ class CheckpointJournal:
         if resume:
             self.load()
         self.restored = len(self._entries)
+        registry = get_registry()
+        registry.inc("checkpoint.journals")
+        if self.restored:
+            registry.inc("checkpoint.restored", self.restored)
+        if self.corrupt_lines:
+            registry.inc("checkpoint.corrupt_lines", self.corrupt_lines)
         self.path.parent.mkdir(parents=True, exist_ok=True)
         self._handle = open(
             self.path, "a" if resume else "w", encoding="utf-8"
@@ -123,6 +130,7 @@ class CheckpointJournal:
         self._handle.flush()
         self._entries[key] = payload
         self.recorded += 1
+        get_registry().inc("checkpoint.recorded")
 
     def flush(self) -> None:
         """Force buffered records to the OS (and disk, best effort)."""

@@ -1054,7 +1054,12 @@ def run_experiment(experiment_id: str) -> ExperimentOutput:
         raise KeyError(
             f"unknown experiment {experiment_id!r}; available: {sorted(EXPERIMENTS)}"
         )
-    return EXPERIMENTS[key]()
+    from repro.obs import get_registry, trace_span
+
+    with trace_span("experiment", id=key):
+        output = EXPERIMENTS[key]()
+    get_registry().inc("experiments.runs", id=key)
+    return output
 
 
 def run_experiments(

@@ -36,6 +36,8 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Callable, Iterable, Sequence, TypeVar
 
+from repro.obs import get_registry, trace_span
+
 #: Environment variable consulted when no explicit ``jobs`` is given.
 JOBS_ENV = "REPRO_JOBS"
 
@@ -152,18 +154,25 @@ def parallel_map(
     """
     tasks = list(tasks)
     jobs = resolve_jobs(jobs)
+    registry = get_registry()
     if jobs <= 1 or len(tasks) <= 1:
-        return [fn(task) for task in tasks]
+        registry.inc("parallel.tasks", len(tasks), mode="serial")
+        with trace_span("parallel_map", mode="serial", tasks=len(tasks)):
+            return [fn(task) for task in tasks]
     import concurrent.futures
     import pickle
 
+    registry.gauge("parallel.jobs", jobs)
     try:
-        with concurrent.futures.ProcessPoolExecutor(
-            max_workers=min(jobs, len(tasks)),
-            mp_context=_pool_context(),
-            initializer=_worker_init,
-        ) as pool:
-            return list(pool.map(fn, tasks, chunksize=chunksize))
+        with trace_span("parallel_map", mode="pool", tasks=len(tasks)):
+            with concurrent.futures.ProcessPoolExecutor(
+                max_workers=min(jobs, len(tasks)),
+                mp_context=_pool_context(),
+                initializer=_worker_init,
+            ) as pool:
+                results = list(pool.map(fn, tasks, chunksize=chunksize))
+        registry.inc("parallel.tasks", len(tasks), mode="pool")
+        return results
     except (
         OSError,
         pickle.PicklingError,
@@ -178,7 +187,10 @@ def parallel_map(
             "parallel_map: process pool unavailable "
             f"({type(exc).__name__}: {exc}); falling back to serial execution",
         )
-        return [fn(task) for task in tasks]
+        registry.inc("parallel.fallbacks")
+        registry.inc("parallel.tasks", len(tasks), mode="serial")
+        with trace_span("parallel_map", mode="serial-fallback", tasks=len(tasks)):
+            return [fn(task) for task in tasks]
 
 
 # ---------------------------------------------------------------------------
@@ -215,6 +227,7 @@ class _Running:
 
 def _run_serial_with_retries(fn, tasks, retries, backoff_seconds, on_result):
     """Inline serial path (no timeout enforcement, retries still honoured)."""
+    registry = get_registry()
     results: list = [None] * len(tasks)
     for index, task in enumerate(tasks):
         error = ""
@@ -225,13 +238,17 @@ def _run_serial_with_retries(fn, tasks, retries, backoff_seconds, on_result):
             except Exception as exc:  # noqa: BLE001 - isolated per task
                 error = f"{type(exc).__name__}: {exc}"
                 if attempt < retries:
+                    registry.inc("resilient.retries")
                     time.sleep(backoff_seconds * (2 ** attempt))
         else:
             results[index] = TaskFailure(
                 index=index, error=error, attempts=retries + 1, kind="error"
             )
-        if on_result is not None and not isinstance(results[index], TaskFailure):
-            on_result(index, results[index])
+            registry.inc("resilient.failures", kind="error")
+        if not isinstance(results[index], TaskFailure):
+            registry.inc("resilient.tasks", mode="serial")
+            if on_result is not None:
+                on_result(index, results[index])
     return results
 
 
@@ -271,10 +288,28 @@ def resilient_map(
     if not tasks:
         return []
     if timeout is None and jobs <= 1:
-        return _run_serial_with_retries(
-            fn, tasks, retries, backoff_seconds, on_result
+        with trace_span("resilient_map", mode="serial", tasks=len(tasks)):
+            return _run_serial_with_retries(
+                fn, tasks, retries, backoff_seconds, on_result
+            )
+    with trace_span(
+        "resilient_map", mode="workers", tasks=len(tasks), jobs=jobs
+    ):
+        return _resilient_worker_loop(
+            fn, tasks, jobs, timeout, retries, backoff_seconds, on_result
         )
 
+
+def _resilient_worker_loop(
+    fn,
+    tasks: list,
+    jobs: int,
+    timeout: float | None,
+    retries: int,
+    backoff_seconds: float,
+    on_result: Callable[[int, object], None] | None,
+) -> list:
+    """Per-task worker-process scheduler behind :func:`resilient_map`."""
     from multiprocessing.connection import wait as _wait
 
     ctx = _pool_context()
@@ -284,13 +319,17 @@ def resilient_map(
     failures: dict[int, int] = {}
     ready_at: dict[int, float] = {}
 
+    registry = get_registry()
+
     def handle_failure(index: int, kind: str, message: str) -> None:
         failures[index] = failures.get(index, 0) + 1
         if failures[index] > retries:
             results[index] = TaskFailure(
                 index=index, error=message, attempts=failures[index], kind=kind
             )
+            registry.inc("resilient.failures", kind=kind)
         else:
+            registry.inc("resilient.retries")
             ready_at[index] = time.monotonic() + backoff_seconds * (
                 2 ** (failures[index] - 1)
             )
@@ -350,6 +389,7 @@ def resilient_map(
                 reap(index)
                 if ok:
                     results[index] = payload
+                    registry.inc("resilient.tasks", mode="worker")
                     if on_result is not None:
                         on_result(index, payload)
                 else:

@@ -109,17 +109,20 @@ def sweep(
         for method in methods
     ]
     keys = [_cell_key(task) for task in tasks] if checkpoint is not None else None
-    return run_checkpointed(
-        _sweep_cell,
-        tasks,
-        keys,
-        checkpoint=checkpoint,
-        encode=asdict,
-        decode=lambda payload: SweepRecord(**payload),
-        jobs=jobs,
-        timeout=timeout,
-        retries=retries,
-    )
+    from repro.obs import trace_span
+
+    with trace_span("sweep", cells=len(tasks)):
+        return run_checkpointed(
+            _sweep_cell,
+            tasks,
+            keys,
+            checkpoint=checkpoint,
+            encode=asdict,
+            decode=lambda payload: SweepRecord(**payload),
+            jobs=jobs,
+            timeout=timeout,
+            retries=retries,
+        )
 
 
 def pivot(

@@ -28,7 +28,6 @@ from repro.core.heuristic import heuristic_placement
 from repro.core.placement import Placement, Slot
 from repro.core.problem import PlacementProblem
 from repro.errors import OptimizationError
-from repro.trace.model import AccessTrace
 
 
 @dataclass(frozen=True)

@@ -12,6 +12,10 @@ Subcommands mirror the library workflow:
   and print the shift/latency/energy report.
 * ``repro experiments`` — regenerate evaluation artifacts (E1–E14).
 * ``repro cache`` — inspect or clear the persistent placement-result cache.
+* ``repro bench`` — normalize benchmark artifacts into run manifests and
+  diff two of them with the regression gate (``repro bench compare``).
+* ``repro obs`` — dump the live observability state (metric snapshot,
+  span trees) or pretty-print a saved run manifest.
 
 All geometry flags default to the library defaults (64-word DBCs, one
 centred port, lazy shifting).  The heavy subcommands (``experiments``,
@@ -39,7 +43,6 @@ from repro.errors import ReproError
 from repro.memory.spm import ScratchpadMemory
 from repro.trace import io as trace_io
 from repro.trace.kernels import KERNELS
-from repro.trace.model import AccessTrace
 from repro.trace.stats import compute_stats, shift_locality_score
 from repro.trace.synthetic import GENERATORS
 
@@ -91,6 +94,10 @@ def _add_perf_flags(parser: argparse.ArgumentParser) -> None:
         "--resume", action="store_true",
         help="restore completed tasks from --checkpoint instead of rerunning",
     )
+    parser.add_argument(
+        "--metrics-out", default=None, metavar="PATH",
+        help="write a run manifest (metric snapshot + span trees) to PATH",
+    )
 
 
 def _journal_from_args(args):
@@ -111,6 +118,19 @@ def _journal_from_args(args):
             file=sys.stderr,
         )
     return journal
+
+
+def _write_metrics_manifest(args, kind: str, run_id: str) -> None:
+    """Honour ``--metrics-out``: persist the run's observability snapshot."""
+    if not getattr(args, "metrics_out", None):
+        return
+    import time
+
+    from repro.obs import collect_manifest, write_manifest
+
+    manifest = collect_manifest(kind, run_id, created_unix=time.time())
+    write_manifest(manifest, args.metrics_out)
+    print(f"wrote metrics manifest to {args.metrics_out}", file=sys.stderr)
 
 
 def _report_failures(outputs, label: str) -> int:
@@ -332,6 +352,7 @@ def cmd_experiments(args) -> int:
         )
         Path(args.output).write_text(report, encoding="utf-8")
         print(f"wrote report to {args.output}", file=sys.stderr)
+    _write_metrics_manifest(args, "experiments", ",".join(targets))
     return 1 if failed else 0
 
 
@@ -365,6 +386,7 @@ def cmd_dse(args) -> int:
     front = pareto_front(points)
     print(render_front(points, front))
     print(f"\nbalanced (knee) design: {knee_point(front).label}")
+    _write_metrics_manifest(args, "dse", trace.name)
     return 1 if failed else 0
 
 
@@ -383,6 +405,120 @@ def cmd_cache(args) -> int:
         ("size (KiB)", f"{cache.size_bytes() / 1024:.1f}"),
     ]
     print(format_table(("field", "value"), rows, title="placement-result cache"))
+    return 0
+
+
+def cmd_bench(args) -> int:
+    """Normalize benchmark artifacts / run the regression comparison gate."""
+    from repro.analysis.benchref import compare_files, normalize, source_from_path
+
+    if args.bench_command == "normalize":
+        try:
+            payload = json.loads(Path(args.file).read_text(encoding="utf-8"))
+        except json.JSONDecodeError as exc:
+            raise ReproError(f"{args.file}: not valid JSON: {exc}") from exc
+        if not isinstance(payload, dict):
+            raise ReproError(f"{args.file}: expected a JSON object")
+        if payload.get("manifest"):
+            raise ReproError(f"{args.file}: already a run manifest")
+        source = args.source or source_from_path(args.file)
+        manifest = normalize(payload, source)
+        text = manifest.to_json()
+        if args.output:
+            Path(args.output).write_text(text + "\n", encoding="utf-8")
+            print(f"wrote manifest ({len(manifest.metrics)} metrics) "
+                  f"to {args.output}", file=sys.stderr)
+        else:
+            print(text)
+        return 0
+    # compare
+    overrides = {}
+    for override in args.set or []:
+        pattern, _, value = override.partition("=")
+        if not pattern or not value:
+            raise ReproError(
+                f"--set expects METRIC_GLOB=PERCENT, got {override!r}"
+            )
+        try:
+            overrides[pattern] = float(value) / 100.0
+        except ValueError:
+            raise ReproError(f"--set tolerance {value!r} is not a number")
+    report = compare_files(
+        args.baseline,
+        args.candidate,
+        default_tolerance=args.tolerance / 100.0,
+        tolerances=overrides or None,
+    )
+    if args.json:
+        print(json.dumps(
+            {
+                "baseline": args.baseline,
+                "candidate": args.candidate,
+                "ok": report.ok,
+                "regressions": [d.name for d in report.regressions],
+                "deltas": [
+                    {
+                        "name": d.name,
+                        "baseline": d.baseline,
+                        "candidate": d.candidate,
+                        "relative_change": d.relative_change,
+                        "direction": d.direction,
+                        "status": d.status,
+                    }
+                    for d in report.deltas
+                ],
+            },
+            indent=2,
+        ))
+    else:
+        print(report.render())
+    if not report.ok:
+        print(
+            f"error: {len(report.regressions)} metric regression(s) vs "
+            f"{args.baseline}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def cmd_obs(args) -> int:
+    """Dump the live observability state or pretty-print a manifest file."""
+    from repro.obs import (
+        collect_manifest,
+        get_tracer,
+        read_manifest,
+        render_spans,
+    )
+
+    if args.manifest:
+        manifest = read_manifest(args.manifest)
+        title = f"manifest {args.manifest}"
+    else:
+        manifest = collect_manifest("obs-dump", "live")
+        title = "live observability snapshot"
+    if args.json:
+        print(manifest.to_json())
+        return 0
+    rows = [
+        ("kind", manifest.kind),
+        ("run id", manifest.run_id),
+        ("schema version", manifest.schema_version),
+        ("package version", manifest.package_version),
+        ("git sha", manifest.git_sha),
+        ("python", manifest.python_version),
+        ("platform", manifest.platform),
+        ("metrics", len(manifest.metrics)),
+        ("spans", len(manifest.spans)),
+    ]
+    print(format_table(("field", "value"), rows, title=title))
+    for name in sorted(manifest.metrics):
+        print(f"  {name} = {manifest.metrics[name]}")
+    if not args.manifest:
+        spans = get_tracer().roots()
+        if spans:
+            print("\nspan trees:")
+            print(render_spans(spans))
     return 0
 
 
@@ -502,6 +638,56 @@ def build_parser() -> argparse.ArgumentParser:
                        help="cache location (default: REPRO_CACHE_DIR "
                             "or ~/.cache/repro-dwm)")
     cache.set_defaults(func=cmd_cache)
+
+    bench = sub.add_parser(
+        "bench", help="normalize/compare benchmark artifacts (regression gate)"
+    )
+    bench_sub = bench.add_subparsers(dest="bench_command", required=True)
+
+    bench_normalize = bench_sub.add_parser(
+        "normalize", help="convert a raw BENCH_*.json into a run manifest"
+    )
+    bench_normalize.add_argument("file", help="raw benchmark JSON artifact")
+    bench_normalize.add_argument("-o", "--output", default=None,
+                                 help="manifest path (default: stdout)")
+    bench_normalize.add_argument("--source", default=None, metavar="ID",
+                                 help="run id (default: from the filename)")
+    bench_normalize.set_defaults(func=cmd_bench)
+
+    bench_compare = bench_sub.add_parser(
+        "compare",
+        help="diff two benchmark artifacts; non-zero exit on regression",
+    )
+    bench_compare.add_argument("baseline",
+                               help="baseline manifest or raw BENCH_*.json")
+    bench_compare.add_argument("candidate",
+                               help="candidate manifest or raw BENCH_*.json")
+    bench_compare.add_argument(
+        "--tolerance", type=float, default=10.0, metavar="PCT",
+        help="relative tolerance (percent) for direction-gated metrics "
+             "(default: 10; exactness metrics are always gated at 0)",
+    )
+    bench_compare.add_argument(
+        "--set", action="append", default=None, metavar="GLOB=PCT",
+        help="per-metric tolerance override (repeatable), e.g. "
+             "--set 'cache.*_seconds=50'",
+    )
+    bench_compare.add_argument("--json", action="store_true",
+                               help="emit the comparison as JSON")
+    bench_compare.set_defaults(func=cmd_bench)
+
+    obs = sub.add_parser(
+        "obs", help="dump observability state or inspect a run manifest"
+    )
+    obs_sub = obs.add_subparsers(dest="obs_command", required=True)
+    obs_dump = obs_sub.add_parser(
+        "dump", help="print the metric snapshot / span trees / manifest"
+    )
+    obs_dump.add_argument("manifest", nargs="?", default=None,
+                          help="manifest file (default: live process state)")
+    obs_dump.add_argument("--json", action="store_true",
+                          help="emit the manifest JSON instead of a table")
+    obs_dump.set_defaults(func=cmd_obs)
 
     system = sub.add_parser(
         "system", help="full-system study: all-DRAM vs SPM configurations"

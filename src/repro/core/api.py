@@ -185,15 +185,22 @@ def optimize_placement(
         raise OptimizationError(
             f"unknown method {method!r}; available: {sorted(ALGORITHMS)}"
         )
+    from repro.obs.metrics import get_registry
+    from repro.obs.tracing import trace_span
+
     problem = build_problem(trace, config)
     cache = _PLACEMENT_CACHE
     if cache is not None:
         cached = cache.lookup_placement(trace, problem.config, method, kwargs)
         if cached is not None:
             return cached
+    registry = get_registry()
+    registry.inc("optimize.runs", method=method)
     start = time.perf_counter()
-    placement = ALGORITHMS[method](problem, **kwargs)
+    with trace_span("optimize", method=method):
+        placement = ALGORITHMS[method](problem, **kwargs)
     runtime = time.perf_counter() - start
+    registry.observe("optimize.seconds", runtime, method=method)
     placement.validate(problem.config, problem.items)
     shifts = evaluate_placement_auto(problem, placement, validate=False)
     result = PlacementResult(

@@ -42,6 +42,7 @@ from typing import Sequence
 from repro.dwm.config import DWMConfig
 from repro.dwm.reliability import ReliabilityReport
 from repro.errors import ConfigError
+from repro.obs import get_registry, trace_span
 from repro.trace.model import AccessTrace
 
 #: Fault kinds drawn by the injector.
@@ -270,6 +271,30 @@ def run_injection(
         raise ConfigError(
             f"dbc/cost streams disagree: {len(dbc_seq)} vs {len(cost_seq)}"
         )
+    with trace_span("fault_injection", accesses=len(dbc_seq)):
+        report = _run_injection(dbc_seq, cost_seq, num_dbcs, model, seed)
+    registry = get_registry()
+    registry.inc("faults.runs")
+    for kind in (OVERSHIFT, UNDERSHIFT, PINNING):
+        count = report.count(kind)
+        if count:
+            registry.inc("faults.injected", count, kind=kind)
+    if report.corrupted_accesses:
+        registry.inc("faults.corrupted_accesses", report.corrupted_accesses)
+    if report.realignments:
+        registry.inc("faults.realignments", report.realignments)
+        registry.inc("faults.realignment_shifts", report.realignment_shifts)
+    return report
+
+
+def _run_injection(
+    dbc_seq: Sequence[int],
+    cost_seq: Sequence[int],
+    num_dbcs: int,
+    model: FaultModel,
+    seed: int,
+) -> FaultInjectionReport:
+    """Uninstrumented injection body (see :func:`run_injection`)."""
     rng = random.Random(seed)
     total_shifts = int(sum(int(cost) for cost in cost_seq))
     positions = _fault_positions(rng, total_shifts, model.shift_error_rate)

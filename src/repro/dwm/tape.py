@@ -19,7 +19,7 @@ logical domain ``p - shift_state``.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.errors import ConfigError, SimulationError
 

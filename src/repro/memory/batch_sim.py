@@ -42,6 +42,7 @@ from repro.core.incremental import (
 from repro.core.placement import Placement
 from repro.dwm.config import DWMConfig, PortPolicy
 from repro.memory.result import SimulationResult
+from repro.obs import get_registry
 from repro.trace.model import AccessTrace
 
 
@@ -69,6 +70,9 @@ class ResolvedTrace:
         self.writes = writes
         self.reads = length - writes
         self.resolve_seconds = time.perf_counter() - start
+        registry = get_registry()
+        registry.inc("sim.resolves")
+        registry.observe("sim.resolve.seconds", self.resolve_seconds)
 
 
 def _slot_arrays(resolved: ResolvedTrace, placement: Placement):
@@ -250,6 +254,7 @@ def simulate_vectorized(
     dbc_of, offset_of = _slot_arrays(resolved, placement)
     per_dbc, total, max_access = _scan(resolved, config, dbc_of, offset_of)
     scan_seconds = time.perf_counter() - start
+    get_registry().observe("sim.scan.seconds", scan_seconds, engine="vectorized")
     return SimulationResult(
         trace_name=trace.name,
         config_description=config.describe(),

@@ -29,7 +29,7 @@ from dataclasses import dataclass, field
 
 from repro.dwm.config import DWMConfig
 from repro.dwm.dbc import HeadModel
-from repro.errors import ConfigError, SimulationError
+from repro.errors import ConfigError
 from repro.trace.model import AccessTrace
 
 PLACEMENT_POLICIES = ("static", "promote", "mru_at_port")

@@ -25,6 +25,7 @@ from repro.dwm.array import DWMArray, DWMArrayModel
 from repro.dwm.config import DWMConfig
 from repro.errors import SimulationError
 from repro.memory.result import SimulationResult
+from repro.obs import get_registry, trace_span
 from repro.trace.model import AccessTrace
 
 #: ``engine="auto"`` switches to the vectorized engine at this many accesses;
@@ -114,32 +115,40 @@ class ScratchpadMemory:
                 if len(trace) >= VECTORIZED_MIN_ACCESSES
                 else "scalar"
             )
+        registry = get_registry()
+        registry.inc("sim.runs", engine=engine)
+        registry.inc("sim.accesses", len(trace), engine=engine)
         if engine == "vectorized":
-            self._ensure_validated(trace)
-            batch = self._batch_for(trace)
-            result = batch.simulate(self.config, self.placement, validate=False)
-            if fault_model is not None:
-                dbc_seq, cost_seq = batch.access_costs(
+            with trace_span("simulate", engine="vectorized"):
+                self._ensure_validated(trace)
+                batch = self._batch_for(trace)
+                result = batch.simulate(
                     self.config, self.placement, validate=False
                 )
-                result.details["faults"] = self._inject_faults(
-                    trace, fault_model, dbc_seq, cost_seq
-                )
+                if fault_model is not None:
+                    dbc_seq, cost_seq = batch.access_costs(
+                        self.config, self.placement, validate=False
+                    )
+                    result.details["faults"] = self._inject_faults(
+                        trace, fault_model, dbc_seq, cost_seq
+                    )
             return result
-        slots = self._slots_for(trace)
-        array = DWMArrayModel(self.config)
-        max_access_shifts = 0
-        dbc_seq: list[int] | None = [] if fault_model is not None else None
-        cost_seq: list[int] | None = [] if fault_model is not None else None
-        for access in trace:
-            dbc, offset = slots[access.item]
-            result = array.access(dbc, offset, is_write=access.is_write)
-            if result.shifts > max_access_shifts:
-                max_access_shifts = result.shifts
-            if dbc_seq is not None:
-                dbc_seq.append(dbc)
-                cost_seq.append(result.shifts)
-        stats = array.stats()
+        with trace_span("simulate", engine="scalar") as span:
+            slots = self._slots_for(trace)
+            array = DWMArrayModel(self.config)
+            max_access_shifts = 0
+            dbc_seq: list[int] | None = [] if fault_model is not None else None
+            cost_seq: list[int] | None = [] if fault_model is not None else None
+            for access in trace:
+                dbc, offset = slots[access.item]
+                result = array.access(dbc, offset, is_write=access.is_write)
+                if result.shifts > max_access_shifts:
+                    max_access_shifts = result.shifts
+                if dbc_seq is not None:
+                    dbc_seq.append(dbc)
+                    cost_seq.append(result.shifts)
+            stats = array.stats()
+        registry.observe("sim.scan.seconds", span.seconds, engine="scalar")
         details: dict = {"engine": "scalar"}
         if fault_model is not None:
             details["faults"] = self._inject_faults(

@@ -1,0 +1,65 @@
+"""repro.obs — unified observability: metrics, tracing, run manifests.
+
+One dependency-free subsystem every engine reports through:
+
+* :mod:`repro.obs.metrics` — the process-wide :class:`MetricsRegistry`
+  (counters, gauges, histograms with labels; snapshot/reset/merge;
+  thread-safe).
+* :mod:`repro.obs.tracing` — hierarchical :func:`trace_span` context
+  managers recording wall-time trees for optimizer passes, simulate
+  stages, cache lookups and parallel-task lifecycles.
+* :mod:`repro.obs.manifest` — :class:`RunManifest`, the canonical JSON
+  schema capturing provenance (git SHA, seed, geometry, engine, package
+  version) plus metric snapshots; consumed by
+  :mod:`repro.analysis.benchref` and ``repro bench compare``.
+
+See ``docs/OBSERVABILITY.md`` for the full tour.
+"""
+
+from repro.obs.manifest import (
+    MANIFEST_SCHEMA_VERSION,
+    RunManifest,
+    collect_manifest,
+    detect_git_sha,
+    flatten_snapshot,
+    json_safe,
+    read_manifest,
+    write_manifest,
+)
+from repro.obs.metrics import (
+    HistogramSummary,
+    MetricsRegistry,
+    get_registry,
+    metric_key,
+    set_registry,
+)
+from repro.obs.tracing import (
+    Span,
+    Tracer,
+    get_tracer,
+    render_spans,
+    set_tracer,
+    trace_span,
+)
+
+__all__ = [
+    "MANIFEST_SCHEMA_VERSION",
+    "HistogramSummary",
+    "MetricsRegistry",
+    "RunManifest",
+    "Span",
+    "Tracer",
+    "collect_manifest",
+    "detect_git_sha",
+    "flatten_snapshot",
+    "get_registry",
+    "get_tracer",
+    "json_safe",
+    "metric_key",
+    "read_manifest",
+    "render_spans",
+    "set_registry",
+    "set_tracer",
+    "trace_span",
+    "write_manifest",
+]

@@ -1,0 +1,287 @@
+"""Run manifests: one canonical JSON schema for every measured run.
+
+The repo used to persist three differently-shaped ``results/BENCH_e*.json``
+artifacts plus per-run ``details`` dicts, which made cross-run comparison a
+bespoke parsing job each time.  A :class:`RunManifest` is the single shape
+everything converges on:
+
+* identity — manifest kind (``bench``/``experiment``/``dse``/...), run id,
+  schema version;
+* provenance — package version, git SHA, Python version, platform, seed;
+* configuration — engine name and geometry dict when applicable;
+* **metrics** — one flat ``{dotted.name: number|bool}`` mapping (the part
+  ``repro bench compare`` diffs);
+* **extra** — lossless carry-through for non-numeric payload (lists,
+  strings), keyed by the same dotted paths;
+* spans — optional exported span trees from :mod:`repro.obs.tracing`.
+
+Schema stability is enforced by a golden-file test
+(``tests/test_obs.py``): any change to the serialized layout requires
+bumping :data:`MANIFEST_SCHEMA_VERSION` and regenerating the golden.
+
+All values are JSON-safe by construction: :func:`json_safe` replaces
+non-finite floats with ``None`` (and the upstream
+:class:`repro.perf.ThroughputResult` clamp keeps them from appearing in
+the first place).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import platform
+import subprocess
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Mapping
+
+from repro.errors import ReproError
+from repro.obs.metrics import MetricsRegistry, get_registry
+from repro.obs.tracing import Tracer, get_tracer
+
+__all__ = [
+    "MANIFEST_SCHEMA_VERSION",
+    "RunManifest",
+    "collect_manifest",
+    "detect_git_sha",
+    "flatten_snapshot",
+    "json_safe",
+    "read_manifest",
+    "write_manifest",
+]
+
+#: Bump whenever the serialized manifest layout changes (golden-tested).
+MANIFEST_SCHEMA_VERSION = 1
+
+#: Marker distinguishing manifests from arbitrary JSON payloads.
+MANIFEST_KIND_TAG = "repro-run-manifest"
+
+#: Environment override for the recorded git SHA (CI sets it explicitly).
+GIT_SHA_ENV = "REPRO_GIT_SHA"
+
+
+def json_safe(value: Any) -> Any:
+    """Recursively replace non-finite floats with ``None``.
+
+    JSON has no ``Infinity``/``NaN``; a manifest containing one would
+    either crash ``json.dump`` (with ``allow_nan=False``) or emit
+    non-standard JSON other tools reject.  ``None`` is the explicit
+    "unmeasurable" marker.
+    """
+    if isinstance(value, float):
+        return value if math.isfinite(value) else None
+    if isinstance(value, dict):
+        return {key: json_safe(entry) for key, entry in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [json_safe(entry) for entry in value]
+    return value
+
+
+def detect_git_sha(root: str | os.PathLike | None = None) -> str:
+    """Best-effort commit SHA: env override, ``git rev-parse``, ``.git`` files.
+
+    Returns ``"unknown"`` when nothing works — a manifest must never fail
+    to build because provenance is unavailable.
+    """
+    override = os.environ.get(GIT_SHA_ENV, "").strip()
+    if override:
+        return override
+    directory = Path(root) if root is not None else Path.cwd()
+    try:
+        proc = subprocess.run(
+            ["git", "-C", str(directory), "rev-parse", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=5,
+        )
+        if proc.returncode == 0:
+            sha = proc.stdout.strip()
+            if sha:
+                return sha
+    except (OSError, subprocess.SubprocessError):
+        pass
+    # Fallback: read .git/HEAD by hand (git binary absent).
+    for candidate in (directory, *directory.parents):
+        head = candidate / ".git" / "HEAD"
+        if not head.is_file():
+            continue
+        try:
+            content = head.read_text(encoding="utf-8").strip()
+            if content.startswith("ref:"):
+                ref = candidate / ".git" / content.split(None, 1)[1]
+                return ref.read_text(encoding="utf-8").strip() or "unknown"
+            return content or "unknown"
+        except OSError:
+            break
+    return "unknown"
+
+
+def flatten_snapshot(snapshot: Mapping[str, Any]) -> dict[str, Any]:
+    """Lower a :meth:`MetricsRegistry.snapshot` into flat manifest metrics.
+
+    Counters become ``counter.<key>``, gauges ``gauge.<key>``, histogram
+    summaries explode into ``histogram.<key>.count``/``.sum``/``.min``/
+    ``.max``/``.mean``.
+    """
+    metrics: dict[str, Any] = {}
+    for key, value in snapshot.get("counters", {}).items():
+        metrics[f"counter.{key}"] = value
+    for key, value in snapshot.get("gauges", {}).items():
+        metrics[f"gauge.{key}"] = value
+    for key, summary in snapshot.get("histograms", {}).items():
+        for stat, value in summary.items():
+            if value is not None:
+                metrics[f"histogram.{key}.{stat}"] = value
+    return metrics
+
+
+@dataclass
+class RunManifest:
+    """Canonical description of one measured run (see module docstring)."""
+
+    kind: str
+    run_id: str
+    schema_version: int = MANIFEST_SCHEMA_VERSION
+    package_version: str = ""
+    git_sha: str = "unknown"
+    python_version: str = ""
+    platform: str = ""
+    seed: int | None = None
+    engine: str | None = None
+    geometry: dict | None = None
+    created_unix: float | None = None
+    metrics: dict[str, Any] = field(default_factory=dict)
+    extra: dict[str, Any] = field(default_factory=dict)
+    spans: list[dict] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.package_version:
+            from repro import __version__
+
+            self.package_version = __version__
+        if not self.python_version:
+            self.python_version = platform.python_version()
+        if not self.platform:
+            self.platform = f"{platform.system()}-{platform.machine()}"
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-ready dict in the canonical (golden-tested) key order."""
+        return json_safe(
+            {
+                "manifest": MANIFEST_KIND_TAG,
+                "schema_version": self.schema_version,
+                "kind": self.kind,
+                "run_id": self.run_id,
+                "package_version": self.package_version,
+                "git_sha": self.git_sha,
+                "python_version": self.python_version,
+                "platform": self.platform,
+                "seed": self.seed,
+                "engine": self.engine,
+                "geometry": self.geometry,
+                "created_unix": self.created_unix,
+                "metrics": dict(sorted(self.metrics.items())),
+                "extra": dict(sorted(self.extra.items())),
+                "spans": self.spans,
+            }
+        )
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, allow_nan=False)
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "RunManifest":
+        """Rebuild a manifest; rejects unknown schema versions."""
+        if payload.get("manifest") != MANIFEST_KIND_TAG:
+            raise ReproError(
+                "not a run manifest (missing "
+                f"'manifest': {MANIFEST_KIND_TAG!r} tag)"
+            )
+        version = payload.get("schema_version")
+        if version != MANIFEST_SCHEMA_VERSION:
+            raise ReproError(
+                f"unsupported manifest schema version {version!r}; "
+                f"this build reads version {MANIFEST_SCHEMA_VERSION}"
+            )
+        return cls(
+            kind=str(payload.get("kind", "unknown")),
+            run_id=str(payload.get("run_id", "")),
+            schema_version=int(version),
+            package_version=str(payload.get("package_version", "")),
+            git_sha=str(payload.get("git_sha", "unknown")),
+            python_version=str(payload.get("python_version", "")),
+            platform=str(payload.get("platform", "")),
+            seed=payload.get("seed"),
+            engine=payload.get("engine"),
+            geometry=payload.get("geometry"),
+            created_unix=payload.get("created_unix"),
+            metrics=dict(payload.get("metrics", {})),
+            extra=dict(payload.get("extra", {})),
+            spans=list(payload.get("spans", [])),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "RunManifest":
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ReproError(f"not valid manifest JSON: {exc}") from exc
+        if not isinstance(payload, dict):
+            raise ReproError("not a manifest: expected a JSON object")
+        return cls.from_dict(payload)
+
+
+def collect_manifest(
+    kind: str,
+    run_id: str,
+    *,
+    registry: MetricsRegistry | None = None,
+    tracer: Tracer | None = None,
+    seed: int | None = None,
+    engine: str | None = None,
+    geometry: dict | None = None,
+    metrics: Mapping[str, Any] | None = None,
+    extra: Mapping[str, Any] | None = None,
+    created_unix: float | None = None,
+    include_spans: bool = True,
+) -> RunManifest:
+    """Build a manifest from the live registry/tracer state.
+
+    The registry snapshot is flattened via :func:`flatten_snapshot` and
+    merged under any explicitly passed ``metrics`` (explicit wins on key
+    collision).
+    """
+    registry = registry if registry is not None else get_registry()
+    tracer = tracer if tracer is not None else get_tracer()
+    collected = flatten_snapshot(registry.snapshot())
+    if metrics:
+        collected.update(metrics)
+    return RunManifest(
+        kind=kind,
+        run_id=run_id,
+        git_sha=detect_git_sha(),
+        seed=seed,
+        engine=engine,
+        geometry=geometry,
+        created_unix=created_unix,
+        metrics=collected,
+        extra=dict(extra) if extra else {},
+        spans=tracer.as_dicts() if include_spans else [],
+    )
+
+
+def write_manifest(manifest: RunManifest, path: str | os.PathLike) -> Path:
+    """Serialize ``manifest`` to ``path`` (parent dirs created)."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(manifest.to_json() + "\n", encoding="utf-8")
+    return target
+
+
+def read_manifest(path: str | os.PathLike) -> RunManifest:
+    """Load a manifest file written by :func:`write_manifest`."""
+    return RunManifest.from_json(Path(path).read_text(encoding="utf-8"))

@@ -1,0 +1,237 @@
+"""Process-wide metrics registry: counters, gauges, histograms with labels.
+
+Every performance-critical subsystem used to keep its own ad-hoc counters —
+``repro.perf`` timing helpers, ``ScratchpadMemory.simulate`` perf entries in
+``details``, ``ResultCache.hits``/``misses``, checkpoint-journal tallies.
+This module gives them one dependency-free, thread-safe sink so a run can be
+summarised with a single :meth:`MetricsRegistry.snapshot` call (and shipped
+inside a :class:`~repro.obs.manifest.RunManifest`).
+
+Model
+-----
+Three instrument families, all keyed by ``name`` plus optional labels:
+
+* **Counters** (:meth:`MetricsRegistry.inc`) — monotonically increasing
+  totals (simulation runs, cache hits, injected faults).
+* **Gauges** (:meth:`MetricsRegistry.gauge`) — last-write-wins values
+  (worker count of the most recent pool, configured check interval).
+* **Histograms** (:meth:`MetricsRegistry.observe`) — streaming summaries
+  (count/sum/min/max) of repeated measurements such as span durations.
+
+Labels are keyword arguments; a labelled series is stored under the
+canonical key ``name{label=value,...}`` with label names sorted, so the
+same logical series always lands in the same slot.
+
+Snapshots are plain JSON-ready dicts.  :meth:`MetricsRegistry.merge` folds
+one snapshot into a registry — counters add, gauges overwrite, histograms
+combine — which is how spawn-mode worker processes report back to the
+parent (each worker snapshots its own registry and the parent merges).
+
+The process-wide default registry is reached through :func:`get_registry`;
+:func:`set_registry` swaps it (test isolation, scoped collection).
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from typing import Mapping
+
+__all__ = [
+    "HistogramSummary",
+    "MetricsRegistry",
+    "get_registry",
+    "metric_key",
+    "set_registry",
+]
+
+
+def metric_key(name: str, labels: Mapping[str, object] | None = None) -> str:
+    """Canonical storage key: ``name`` or ``name{a=1,b=x}`` (labels sorted)."""
+    if not labels:
+        return name
+    inner = ",".join(f"{key}={labels[key]}" for key in sorted(labels))
+    return f"{name}{{{inner}}}"
+
+
+class HistogramSummary:
+    """Streaming summary of one histogram series (count/sum/min/max).
+
+    Deliberately bucket-free: the consumers (manifests, bench comparisons)
+    need aggregate rates and extrema, not quantiles, and a fixed summary
+    merges exactly across processes.
+    """
+
+    __slots__ = ("count", "total", "minimum", "maximum")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.minimum = math.inf
+        self.maximum = -math.inf
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def as_dict(self) -> dict:
+        """JSON-ready summary; ``min``/``max`` are ``None`` when empty."""
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.minimum if self.count else None,
+            "max": self.maximum if self.count else None,
+            "mean": self.mean,
+        }
+
+    def merge_dict(self, payload: Mapping[str, object]) -> None:
+        """Fold a snapshot entry (another process's summary) into this one."""
+        count = int(payload.get("count", 0))  # type: ignore[arg-type]
+        if count <= 0:
+            return
+        self.count += count
+        self.total += float(payload.get("sum", 0.0))  # type: ignore[arg-type]
+        minimum = payload.get("min")
+        maximum = payload.get("max")
+        if minimum is not None and float(minimum) < self.minimum:  # type: ignore[arg-type]
+            self.minimum = float(minimum)  # type: ignore[arg-type]
+        if maximum is not None and float(maximum) > self.maximum:  # type: ignore[arg-type]
+            self.maximum = float(maximum)  # type: ignore[arg-type]
+
+
+class MetricsRegistry:
+    """Thread-safe registry of counters, gauges and histograms.
+
+    All mutation goes through one lock; the instruments are dict updates,
+    so contention is negligible next to the numpy scans and process pools
+    they instrument.  Instrumented call sites bump the registry once per
+    *call* (one simulate, one cache lookup), never once per access.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[str, float] = {}
+        self._gauges: dict[str, float] = {}
+        self._histograms: dict[str, HistogramSummary] = {}
+
+    # ------------------------------------------------------------------
+    # Instruments
+    # ------------------------------------------------------------------
+    def inc(self, name: str, value: float = 1, **labels: object) -> None:
+        """Add ``value`` (default 1) to the counter ``name{labels}``."""
+        key = metric_key(name, labels)
+        with self._lock:
+            self._counters[key] = self._counters.get(key, 0) + value
+
+    def gauge(self, name: str, value: float, **labels: object) -> None:
+        """Set the gauge ``name{labels}`` to ``value`` (last write wins)."""
+        key = metric_key(name, labels)
+        with self._lock:
+            self._gauges[key] = value
+
+    def observe(self, name: str, value: float, **labels: object) -> None:
+        """Record one observation into the histogram ``name{labels}``."""
+        key = metric_key(name, labels)
+        with self._lock:
+            histogram = self._histograms.get(key)
+            if histogram is None:
+                histogram = self._histograms[key] = HistogramSummary()
+            histogram.observe(value)
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+    def counter_value(self, name: str, **labels: object) -> float:
+        """Current value of one counter (0 when never incremented)."""
+        with self._lock:
+            return self._counters.get(metric_key(name, labels), 0)
+
+    def gauge_value(self, name: str, **labels: object) -> float | None:
+        """Current value of one gauge, or ``None`` when never set."""
+        with self._lock:
+            return self._gauges.get(metric_key(name, labels))
+
+    def histogram_summary(self, name: str, **labels: object) -> dict | None:
+        """Snapshot dict of one histogram, or ``None`` when never observed."""
+        with self._lock:
+            histogram = self._histograms.get(metric_key(name, labels))
+            return histogram.as_dict() if histogram is not None else None
+
+    def snapshot(self) -> dict:
+        """Consistent JSON-ready snapshot of every instrument."""
+        with self._lock:
+            return {
+                "counters": dict(self._counters),
+                "gauges": dict(self._gauges),
+                "histograms": {
+                    key: histogram.as_dict()
+                    for key, histogram in self._histograms.items()
+                },
+            }
+
+    def reset(self) -> dict:
+        """Clear every instrument; returns the final pre-reset snapshot."""
+        with self._lock:
+            final = {
+                "counters": dict(self._counters),
+                "gauges": dict(self._gauges),
+                "histograms": {
+                    key: histogram.as_dict()
+                    for key, histogram in self._histograms.items()
+                },
+            }
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
+            return final
+
+    # ------------------------------------------------------------------
+    # Cross-process aggregation
+    # ------------------------------------------------------------------
+    def merge(self, snapshot: Mapping[str, object]) -> None:
+        """Fold another registry's :meth:`snapshot` into this one.
+
+        Counters add, gauges overwrite (the merged snapshot is treated as
+        newer), histograms combine their summaries.  This is the parent
+        side of spawn-mode metric collection: workers cannot share the
+        parent's in-memory registry, so they ship snapshots home instead.
+        """
+        counters = snapshot.get("counters", {})
+        gauges = snapshot.get("gauges", {})
+        histograms = snapshot.get("histograms", {})
+        with self._lock:
+            for key, value in counters.items():  # type: ignore[union-attr]
+                self._counters[key] = self._counters.get(key, 0) + value
+            for key, value in gauges.items():  # type: ignore[union-attr]
+                self._gauges[key] = value
+            for key, payload in histograms.items():  # type: ignore[union-attr]
+                histogram = self._histograms.get(key)
+                if histogram is None:
+                    histogram = self._histograms[key] = HistogramSummary()
+                histogram.merge_dict(payload)
+
+
+_REGISTRY = MetricsRegistry()
+_REGISTRY_LOCK = threading.Lock()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide default registry."""
+    return _REGISTRY
+
+
+def set_registry(registry: MetricsRegistry) -> MetricsRegistry:
+    """Swap the process-wide registry; returns the previous one."""
+    global _REGISTRY
+    with _REGISTRY_LOCK:
+        previous = _REGISTRY
+        _REGISTRY = registry
+    return previous

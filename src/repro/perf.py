@@ -11,7 +11,10 @@ plugin.  This module provides the minimal machinery:
 * :class:`Stopwatch` — a context-manager ``perf_counter`` wrapper.
 
 All of it is deliberately dependency-free so benchmark scripts and CI smoke
-runs can import it anywhere.
+runs can import it anywhere.  Measurements additionally report into the
+process metrics registry (:mod:`repro.obs.metrics`) so throughput windows
+show up in run manifests; rates are clamped to
+:data:`MIN_MEASURABLE_SECONDS` and therefore always finite.
 """
 
 from __future__ import annotations
@@ -21,6 +24,13 @@ from dataclasses import dataclass
 from typing import Callable
 
 from repro.errors import OptimizationError
+from repro.obs.metrics import get_registry
+
+#: Smallest duration a throughput window is allowed to report.  A
+#: zero-duration window (clock granularity, mocked timers) used to yield
+#: ``inf`` ops/s, which is not a JSON number and poisoned every manifest
+#: that serialized it; clamping keeps every rate finite.
+MIN_MEASURABLE_SECONDS = 1e-9
 
 
 @dataclass(frozen=True)
@@ -32,9 +42,9 @@ class ThroughputResult:
 
     @property
     def ops_per_second(self) -> float:
-        if self.seconds <= 0.0:
-            return float("inf")
-        return self.operations / self.seconds
+        if not self.operations:
+            return 0.0
+        return self.operations / max(self.seconds, MIN_MEASURABLE_SECONDS)
 
     @property
     def seconds_per_op(self) -> float:
@@ -102,7 +112,12 @@ def measure_throughput(
             break
         if elapsed >= min_seconds and operations >= min_operations:
             break
-    return ThroughputResult(operations=operations, seconds=elapsed)
+    result = ThroughputResult(operations=operations, seconds=elapsed)
+    registry = get_registry()
+    registry.inc("perf.measure_throughput.calls")
+    registry.inc("perf.measure_throughput.operations", operations)
+    registry.observe("perf.measure_throughput.seconds", elapsed)
+    return result
 
 
 def speedup(fast: ThroughputResult, slow: ThroughputResult) -> float:

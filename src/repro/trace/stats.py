@@ -14,7 +14,7 @@ the working-set size.
 
 from __future__ import annotations
 
-from collections import Counter, defaultdict
+from collections import defaultdict
 from dataclasses import dataclass, field
 from typing import Mapping
 

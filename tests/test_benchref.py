@@ -1,0 +1,283 @@
+"""Tests for repro.analysis.benchref: normalization + regression gate."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.benchref import (
+    classify_metric,
+    compare,
+    compare_files,
+    denormalize,
+    flatten_payload,
+    load_reference,
+    normalize,
+    source_from_path,
+    unflatten_payload,
+)
+from repro.errors import ReproError
+from repro.obs import RunManifest
+
+RESULTS = Path(__file__).parent.parent / "results"
+BENCH_ARTIFACTS = sorted(RESULTS.glob("BENCH_e*.json"))
+
+
+# ---------------------------------------------------------------------------
+# Flatten / unflatten
+# ---------------------------------------------------------------------------
+
+class TestFlatten:
+    def test_numeric_and_bool_leaves_become_metrics(self):
+        metrics, extra = flatten_payload(
+            {"a": {"b": 1, "c": 2.5, "d": True}, "e": 3}
+        )
+        assert metrics == {"a.b": 1, "a.c": 2.5, "a.d": True, "e": 3}
+        assert extra == {}
+
+    def test_other_leaves_go_to_extra(self):
+        metrics, extra = flatten_payload(
+            {"a": {"ids": ["x", "y"], "note": "hi", "none": None}, "n": 1}
+        )
+        assert metrics == {"n": 1}
+        assert extra == {"a.ids": ["x", "y"], "a.note": "hi", "a.none": None}
+
+    def test_rejects_dotted_keys(self):
+        with pytest.raises(ReproError, match="contains"):
+            flatten_payload({"a.b": 1})
+
+    def test_rejects_non_string_keys(self):
+        with pytest.raises(ReproError, match="not a string"):
+            flatten_payload({1: 2})
+
+    def test_rejects_empty_sections(self):
+        with pytest.raises(ReproError, match="empty section"):
+            flatten_payload({"a": {"b": {}}})
+
+    def test_unflatten_inverts(self):
+        payload = {"a": {"b": 1, "c": {"d": 2.0}}, "e": False, "s": "str"}
+        metrics, extra = flatten_payload(payload)
+        assert unflatten_payload(metrics, extra) == payload
+
+    def test_unflatten_detects_leaf_collision(self):
+        with pytest.raises(ReproError, match="collides"):
+            unflatten_payload({"a": 1, "a.b": 2})
+
+
+# ---------------------------------------------------------------------------
+# Normalize / denormalize round trip over the committed artifacts (golden)
+# ---------------------------------------------------------------------------
+
+class TestNormalizeRoundTrip:
+    def test_artifacts_exist(self):
+        names = {path.name for path in BENCH_ARTIFACTS}
+        assert {"BENCH_e18.json", "BENCH_e19.json", "BENCH_e20.json"} <= names
+
+    @pytest.mark.parametrize(
+        "path", BENCH_ARTIFACTS, ids=lambda path: path.name
+    )
+    def test_lossless_round_trip(self, path):
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        manifest = normalize(payload, source_from_path(path))
+        assert denormalize(manifest) == payload
+
+    @pytest.mark.parametrize(
+        "path", BENCH_ARTIFACTS, ids=lambda path: path.name
+    )
+    def test_round_trip_survives_manifest_json(self, path):
+        """Normalize -> serialize -> parse -> denormalize is still lossless."""
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        manifest = normalize(payload, source_from_path(path))
+        rebuilt = RunManifest.from_json(manifest.to_json())
+        assert denormalize(rebuilt) == payload
+
+    def test_source_from_path(self):
+        assert source_from_path("results/BENCH_e18.json") == "e18"
+        assert source_from_path("/x/BENCH_smoke-1.json") == "smoke-1"
+        assert source_from_path("other.json") == "other"
+
+    def test_normalize_sets_kind_and_run_id(self):
+        manifest = normalize({"n": 1}, "e99", seed=5)
+        assert manifest.kind == "bench"
+        assert manifest.run_id == "e99"
+        assert manifest.seed == 5
+
+    def test_load_reference_raw_and_manifest(self, tmp_path):
+        raw = tmp_path / "BENCH_e18.json"
+        raw.write_text(json.dumps({"a": {"speedup": 2.0}}), encoding="utf-8")
+        from_raw = load_reference(raw)
+        assert from_raw.run_id == "e18"
+        assert from_raw.metrics == {"a.speedup": 2.0}
+        normalized = tmp_path / "manifest.json"
+        normalized.write_text(from_raw.to_json(), encoding="utf-8")
+        from_manifest = load_reference(normalized)
+        assert from_manifest.metrics == from_raw.metrics
+
+    def test_load_reference_rejects_non_object(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("[1, 2]", encoding="utf-8")
+        with pytest.raises(ReproError, match="JSON object"):
+            load_reference(path)
+
+
+# ---------------------------------------------------------------------------
+# Direction classification
+# ---------------------------------------------------------------------------
+
+class TestClassify:
+    @pytest.mark.parametrize(
+        "name,expected",
+        [
+            ("simulation.scalar_accesses_per_sec", "higher"),
+            ("parallel.sweep_speedup", "higher"),
+            ("cache.cold_hits", "higher"),
+            ("random.fault_reduction_percent", "higher"),  # reduction > fault
+            ("simulation.scalar_seconds", "lower"),
+            ("cache.cold_misses", "lower"),
+            ("heuristic.fault_count", "lower"),
+            ("declaration.corrupted_accesses", "lower"),
+            ("by_geometry.1p-lazy.total_shifts", "lower"),
+            ("simulation.engines_exact_match", "exact"),
+            ("by_geometry.1p-lazy.identical", "exact"),
+            ("simulation.num_accesses", "info"),
+            ("parallel.cpu_count", "info"),
+        ],
+    )
+    def test_name_patterns(self, name, expected):
+        assert classify_metric(name) == expected
+
+    def test_bool_value_forces_exact(self):
+        assert classify_metric("whatever", True) == "exact"
+
+
+# ---------------------------------------------------------------------------
+# Comparison / regression gate
+# ---------------------------------------------------------------------------
+
+def _manifest(metrics, run_id="m"):
+    return RunManifest(kind="bench", run_id=run_id, metrics=metrics)
+
+
+class TestCompare:
+    def test_self_compare_passes(self):
+        for path in BENCH_ARTIFACTS:
+            report = compare_files(path, path)
+            assert report.ok, f"{path.name}: {report.regressions}"
+
+    def test_injected_throughput_regression_detected(self, tmp_path):
+        """Acceptance: a 20% throughput drop must trip the gate at 10%."""
+        baseline_path = RESULTS / "BENCH_e18.json"
+        payload = json.loads(baseline_path.read_text(encoding="utf-8"))
+        for section in payload["by_geometry"].values():
+            section["incremental_evals_per_sec"] *= 0.8
+        regressed = tmp_path / "BENCH_e18.json"
+        regressed.write_text(json.dumps(payload), encoding="utf-8")
+        report = compare_files(baseline_path, regressed)
+        assert not report.ok
+        names = {delta.name for delta in report.regressions}
+        assert any("incremental_evals_per_sec" in name for name in names)
+
+    def test_drop_within_tolerance_passes(self):
+        report = compare(
+            _manifest({"x_per_sec": 100.0}),
+            _manifest({"x_per_sec": 95.0}),
+            default_tolerance=0.10,
+        )
+        assert report.ok
+        assert report.deltas[0].status == "ok"
+
+    def test_improvement_is_not_regression(self):
+        report = compare(
+            _manifest({"x_per_sec": 100.0, "run_seconds": 10.0}),
+            _manifest({"x_per_sec": 200.0, "run_seconds": 1.0}),
+        )
+        assert report.ok
+        assert {delta.status for delta in report.deltas} == {"improved"}
+
+    def test_lower_better_rise_is_regression(self):
+        report = compare(
+            _manifest({"run_seconds": 10.0}),
+            _manifest({"run_seconds": 12.0}),
+            default_tolerance=0.10,
+        )
+        assert not report.ok
+
+    def test_missing_metric_is_regression(self):
+        report = compare(
+            _manifest({"a_per_sec": 1.0, "b_per_sec": 2.0}),
+            _manifest({"a_per_sec": 1.0}),
+        )
+        assert not report.ok
+        assert report.regressions[0].status == "missing"
+
+    def test_new_metric_is_ok(self):
+        report = compare(
+            _manifest({"a_per_sec": 1.0}),
+            _manifest({"a_per_sec": 1.0, "b_per_sec": 2.0}),
+        )
+        assert report.ok
+        statuses = {delta.name: delta.status for delta in report.deltas}
+        assert statuses["b_per_sec"] == "new"
+
+    def test_exact_metric_gated_at_zero(self):
+        report = compare(
+            _manifest({"engines_exact_match": True}),
+            _manifest({"engines_exact_match": False}),
+            default_tolerance=0.50,
+        )
+        assert not report.ok
+        assert report.deltas[0].tolerance == 0.0
+
+    def test_info_metrics_never_gate(self):
+        report = compare(
+            _manifest({"num_accesses": 100}),
+            _manifest({"num_accesses": 1}),
+        )
+        assert report.ok
+        assert report.deltas[0].status == "info"
+
+    def test_glob_tolerance_override(self):
+        metrics_base = {"sim.x_per_sec": 100.0}
+        metrics_cand = {"sim.x_per_sec": 60.0}
+        strict = compare(_manifest(metrics_base), _manifest(metrics_cand))
+        assert not strict.ok
+        loose = compare(
+            _manifest(metrics_base),
+            _manifest(metrics_cand),
+            tolerances={"sim.*": 0.50},
+        )
+        assert loose.ok
+
+    def test_override_can_tighten_exact_family(self):
+        report = compare(
+            _manifest({"x_per_sec": 100.0}),
+            _manifest({"x_per_sec": 99.5}),
+            tolerances={"x_per_sec": 0.0},
+        )
+        assert not report.ok
+
+    def test_zero_baseline_handling(self):
+        report = compare(
+            _manifest({"faults": 0, "hits": 0}),
+            _manifest({"faults": 3, "hits": 0}),
+        )
+        statuses = {delta.name: delta.status for delta in report.deltas}
+        assert statuses["faults"] == "regression"
+        assert statuses["hits"] == "ok"
+
+    def test_negative_tolerance_rejected(self):
+        with pytest.raises(ReproError, match=">= 0"):
+            compare(_manifest({}), _manifest({}), default_tolerance=-0.1)
+
+    def test_render_mentions_verdict_and_regressions_first(self):
+        report = compare(
+            _manifest({"a_per_sec": 100.0, "zz_info": 1}),
+            _manifest({"a_per_sec": 10.0, "zz_info": 1}),
+        )
+        text = report.render()
+        assert "FAIL (1 regression(s))" in text
+        assert text.index("a_per_sec") < text.index("zz_info")
+
+    def test_render_pass_verdict(self):
+        text = compare(_manifest({"n": 1}), _manifest({"n": 1})).render()
+        assert "PASS" in text

@@ -379,3 +379,141 @@ class TestSystemCommand:
         assert "all_dram" in out
         assert "spm_shift_aware" in out
         assert "speedup" in out
+
+
+class TestBenchCommand:
+    @pytest.fixture()
+    def raw_bench(self, tmp_path):
+        path = tmp_path / "BENCH_demo.json"
+        path.write_text(json.dumps({
+            "section": {"evals_per_sec": 100.0, "total_shifts": 500,
+                        "engines_exact_match": True},
+            "headline_speedup": 2.0,
+        }), encoding="utf-8")
+        return path
+
+    def test_normalize_to_stdout(self, raw_bench, capsys):
+        code, out, _err = run_cli(capsys, "bench", "normalize", str(raw_bench))
+        assert code == 0
+        payload = json.loads(out)
+        assert payload["manifest"] == "repro-run-manifest"
+        assert payload["run_id"] == "demo"
+        assert payload["metrics"]["section.evals_per_sec"] == 100.0
+
+    def test_normalize_to_file_with_source(self, raw_bench, tmp_path, capsys):
+        out_path = tmp_path / "manifest.json"
+        code, _out, err = run_cli(
+            capsys, "bench", "normalize", str(raw_bench),
+            "-o", str(out_path), "--source", "e42",
+        )
+        assert code == 0
+        assert "wrote manifest" in err
+        assert json.loads(out_path.read_text())["run_id"] == "e42"
+
+    def test_normalize_rejects_manifest_input(self, raw_bench, tmp_path, capsys):
+        out_path = tmp_path / "manifest.json"
+        run_cli(capsys, "bench", "normalize", str(raw_bench), "-o", str(out_path))
+        capsys.readouterr()
+        code, _out, err = run_cli(capsys, "bench", "normalize", str(out_path))
+        assert code != 0
+        assert "already a run manifest" in err
+
+    def test_compare_self_passes(self, raw_bench, capsys):
+        code, out, _err = run_cli(
+            capsys, "bench", "compare", str(raw_bench), str(raw_bench)
+        )
+        assert code == 0
+        assert "PASS" in out
+
+    @pytest.fixture()
+    def regressed_bench(self, raw_bench, tmp_path):
+        payload = json.loads(raw_bench.read_text())
+        payload["section"]["evals_per_sec"] *= 0.8  # 20% throughput drop
+        path = tmp_path / "BENCH_regressed.json"
+        path.write_text(json.dumps(payload), encoding="utf-8")
+        return path
+
+    def test_compare_detects_regression(self, raw_bench, regressed_bench, capsys):
+        code, out, err = run_cli(
+            capsys, "bench", "compare", str(raw_bench), str(regressed_bench)
+        )
+        assert code == 1
+        assert "REGRESSION" in out
+        assert "regression(s)" in err
+
+    def test_compare_tolerance_flag(self, raw_bench, regressed_bench, capsys):
+        code, out, _err = run_cli(
+            capsys, "bench", "compare", str(raw_bench), str(regressed_bench),
+            "--tolerance", "30",
+        )
+        assert code == 0
+        assert "PASS" in out
+
+    def test_compare_set_override(self, raw_bench, regressed_bench, capsys):
+        code, _out, _err = run_cli(
+            capsys, "bench", "compare", str(raw_bench), str(regressed_bench),
+            "--set", "section.*=50",
+        )
+        assert code == 0
+
+    def test_compare_bad_set_syntax(self, raw_bench, capsys):
+        code, _out, err = run_cli(
+            capsys, "bench", "compare", str(raw_bench), str(raw_bench),
+            "--set", "nonsense",
+        )
+        assert code != 0
+        assert "--set expects" in err
+
+    def test_compare_json_output(self, raw_bench, regressed_bench, capsys):
+        code, out, _err = run_cli(
+            capsys, "bench", "compare", str(raw_bench), str(regressed_bench),
+            "--json",
+        )
+        assert code == 1
+        payload = json.loads(out)
+        assert payload["ok"] is False
+        assert "section.evals_per_sec" in payload["regressions"]
+
+
+class TestObsCommand:
+    def test_dump_live(self, capsys):
+        code, out, _err = run_cli(capsys, "obs", "dump")
+        assert code == 0
+        assert "live observability snapshot" in out
+
+    def test_dump_live_json(self, capsys):
+        code, out, _err = run_cli(capsys, "obs", "dump", "--json")
+        assert code == 0
+        payload = json.loads(out)
+        assert payload["manifest"] == "repro-run-manifest"
+        assert payload["kind"] == "obs-dump"
+
+    def test_dump_manifest_file(self, tmp_path, capsys):
+        from repro.obs import RunManifest, write_manifest
+
+        manifest = RunManifest(
+            kind="bench", run_id="e18", metrics={"a.b_per_sec": 1.5}
+        )
+        path = write_manifest(manifest, tmp_path / "m.json")
+        code, out, _err = run_cli(capsys, "obs", "dump", str(path))
+        assert code == 0
+        assert "e18" in out
+        assert "a.b_per_sec = 1.5" in out
+
+
+class TestMetricsOutFlag:
+    def test_experiments_writes_manifest(self, tmp_path, capsys):
+        from repro.obs import read_manifest
+
+        out_path = tmp_path / "metrics.json"
+        code, _out, err = run_cli(
+            capsys, "experiments", "e1", "--metrics-out", str(out_path)
+        )
+        assert code == 0
+        assert "wrote metrics manifest" in err
+        manifest = read_manifest(out_path)
+        assert manifest.kind == "experiments"
+        assert manifest.run_id == "e1"
+        assert any(
+            name.startswith("counter.optimize.runs") for name in manifest.metrics
+        )

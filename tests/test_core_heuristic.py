@@ -1,6 +1,5 @@
 """Unit tests for the full heuristic and its ablation variants."""
 
-import pytest
 
 from repro.core.baselines import declaration_order_placement, random_placement
 from repro.core.cost import evaluate_placement

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.core.placement import Placement, Slot
-from repro.dwm.config import DWMConfig
 from repro.errors import CapacityError, PlacementError
 
 

@@ -10,7 +10,6 @@ from repro.memory.hierarchy import (
     SystemResult,
     system_comparison,
 )
-from repro.memory.timing import TimingParams
 from repro.trace.model import AccessTrace
 from repro.trace.kernels import fir_trace
 from repro.trace.synthetic import markov_trace

@@ -13,7 +13,7 @@ from repro.memory.timing import (
     overlap_benefit,
 )
 from repro.trace.model import AccessTrace
-from repro.trace.synthetic import markov_trace, pingpong_trace
+from repro.trace.synthetic import markov_trace
 
 
 @pytest.fixture

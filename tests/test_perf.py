@@ -39,6 +39,28 @@ class TestMeasureThroughput:
         assert result.seconds_per_op == pytest.approx(0.005)
 
 
+class TestZeroDurationClamp:
+    def test_zero_duration_rate_is_finite(self):
+        """A timer too coarse to see any elapsed time must not yield inf."""
+        import json
+        import math
+
+        result = ThroughputResult(operations=100, seconds=0.0)
+        rate = result.ops_per_second
+        assert math.isfinite(rate)
+        assert rate > 0
+        # The clamped rate must survive JSON round-trips (bench manifests).
+        assert json.loads(json.dumps(rate, allow_nan=False)) == rate
+
+    def test_zero_operations_rate_is_zero(self):
+        result = ThroughputResult(operations=0, seconds=0.0)
+        assert result.ops_per_second == 0.0
+
+    def test_clamp_does_not_distort_normal_measurements(self):
+        result = ThroughputResult(operations=10, seconds=2.0)
+        assert result.ops_per_second == pytest.approx(5.0)
+
+
 class TestSpeedup:
     def test_ratio(self):
         fast = ThroughputResult(operations=1000, seconds=1.0)

@@ -15,7 +15,6 @@ import itertools
 
 from hypothesis import given, settings, strategies as st
 
-from repro.core.api import ALGORITHMS, build_problem
 from repro.core.baselines import random_placement
 from repro.core.cost import evaluate_placement, linear_arrangement_cost
 from repro.core.exact import minla_exact_order

@@ -1,6 +1,5 @@
 """Additional rendering tests: heatmaps and formatting edge cases."""
 
-import pytest
 
 from repro.analysis.report import (
     format_bar_chart,
