@@ -522,6 +522,51 @@ def cmd_obs(args) -> int:
     return 0
 
 
+def cmd_fuzz(args) -> int:
+    """Run the differential conformance fuzzer across all cost engines."""
+    from repro.obs import get_registry
+    from repro.verify import run_fuzz
+
+    report = run_fuzz(
+        seed=args.seed,
+        cases=args.cases,
+        budget_seconds=args.budget_seconds,
+        out=args.out,
+        shrink=not args.no_shrink,
+        brute_force_limit=args.brute_force_limit,
+        progress=lambda message: print(f"  {message}"),
+    )
+    registry = get_registry()
+    rows = [
+        ("seed", report.seed),
+        ("cases run", f"{report.cases_run}/{report.cases_requested}"),
+        ("elapsed (s)", f"{report.elapsed_seconds:.1f}"),
+        ("findings", len(report.findings)),
+        ("cases/s", f"{report.cases_run / report.elapsed_seconds:.1f}"
+         if report.elapsed_seconds else "n/a"),
+        ("budget hit", "yes" if report.stopped_on_budget else "no"),
+    ]
+    print(format_table(("field", "value"), rows, title="conformance fuzz sweep"))
+    if report.findings:
+        print("\nviolations:")
+        for finding in report.findings:
+            print(f"  case {finding.index}: {', '.join(finding.kinds)}")
+            print(f"    original: {finding.case.describe()}")
+            print(f"    shrunk:   {finding.shrunk.describe()}")
+        if report.artifact_paths:
+            print("\nartifacts (JSON repro + regression snippet):")
+            for path in report.artifact_paths:
+                print(f"  {path}")
+        print(
+            "\npaste the artifact's `regression_test` into tests/ to pin "
+            "the repro."
+        )
+        return 1
+    checked = int(registry.counter_value("fuzz.cases"))
+    print(f"\nall invariants held across {checked} case(s)")
+    return 0
+
+
 def cmd_system(args) -> int:
     """Full-system comparison: all-DRAM vs SPM(oblivious) vs SPM(shift-aware)."""
     from repro.memory.hierarchy import system_comparison
@@ -688,6 +733,25 @@ def build_parser() -> argparse.ArgumentParser:
     obs_dump.add_argument("--json", action="store_true",
                           help="emit the manifest JSON instead of a table")
     obs_dump.set_defaults(func=cmd_obs)
+
+    fuzz = sub.add_parser(
+        "fuzz",
+        help="differential conformance fuzzer across the cost engines",
+    )
+    fuzz.add_argument("--seed", type=int, default=2015,
+                      help="sweep seed; every case derives from it")
+    fuzz.add_argument("--cases", type=int, default=200,
+                      help="number of random cases to generate")
+    fuzz.add_argument("--budget-seconds", type=float, default=None,
+                      help="stop early after this much wall-clock time")
+    fuzz.add_argument("--out", default=None, metavar="DIR",
+                      help="directory for JSON repro artifacts")
+    fuzz.add_argument("--no-shrink", action="store_true",
+                      help="report findings without minimizing them")
+    fuzz.add_argument("--brute-force-limit", type=int, default=2000,
+                      help="max injective assignments for the tiny-instance "
+                           "optimum oracle")
+    fuzz.set_defaults(func=cmd_fuzz)
 
     system = sub.add_parser(
         "system", help="full-system study: all-DRAM vs SPM configurations"

@@ -32,7 +32,10 @@ from repro.core.cost import (
     shift_lower_bound,
     single_dbc_lower_bound,
 )
-from repro.core.exact_partition import exact_partitioned_placement
+from repro.core.exact_partition import (
+    exact_partitioned_placement,
+    partition_minimum,
+)
 from repro.core.fast_eval import (
     evaluate_placement_auto,
     evaluate_placement_fast,
@@ -42,6 +45,7 @@ from repro.core.incremental import CostEvaluator
 from repro.core.exact import (
     exact_single_dbc_placement,
     exhaustive_placement,
+    exhaustive_search_is_exact,
     minla_exact_order,
     minla_optimal_cost,
 )
@@ -126,6 +130,8 @@ __all__ = [
     "exact_partitioned_placement",
     "exact_single_dbc_placement",
     "exhaustive_placement",
+    "exhaustive_search_is_exact",
+    "partition_minimum",
     "fiedler_order",
     "frequency_placement",
     "greedy_chain_order",

@@ -9,10 +9,15 @@ the same optima:
   placing items left to right, the total cost ``Σ w(u,v)·|pos u − pos v|``
   equals ``Σ_k cut(prefix_k)``, so ``f(S) = cut(S) + min_{u∈S} f(S∖{u})``.
   Exact for the single-DBC / single-port / lazy-policy objective; O(2ⁿ·n).
-* :func:`exhaustive_placement` — true-trace-cost brute force over grouped,
-  ordered, port-anchored placements for very small item counts; exact for
-  the multi-DBC problem restricted to contiguous anchored blocks (the class
-  every algorithm here emits).
+* :func:`exhaustive_placement` — true-trace-cost brute force for very small
+  item counts: per item subset it enumerates every within-group order and
+  every offset assignment (all ``C(L, k)`` combinations while that count
+  stays under :data:`MAX_OFFSET_COMBINATIONS`, else every contiguous
+  window), then combines subset optima with a partition DP over the per-DBC
+  cost decomposition.  Exact whenever the full combination enumeration
+  applies — in particular for every single-port-lazy geometry (contiguous
+  windows are optimal there) and every eager geometry (solved directly by
+  frequency/offset pairing); see :func:`exhaustive_search_is_exact`.
 
 Both raise :class:`OptimizationError` beyond their size guards rather than
 silently taking hours.
@@ -21,12 +26,14 @@ silently taking hours.
 from __future__ import annotations
 
 import itertools
-from typing import Sequence
+import math
+from typing import Iterator, Sequence
 
 from repro.core.cost import evaluate_placement, linear_arrangement_cost
-from repro.core.ordering import anchored_offsets
+from repro.core.ordering import restricted_sequence_cost
 from repro.core.placement import Placement, Slot
 from repro.core.problem import PlacementProblem
+from repro.dwm.config import DWMConfig
 from repro.errors import OptimizationError
 
 #: Hard cap for the subset DP (2^n states with an n-way min each).
@@ -35,21 +42,30 @@ MAX_DP_ITEMS = 16
 #: Hard cap for the brute-force search over grouped placements.
 MAX_BRUTE_FORCE_ITEMS = 7
 
+#: Per-subset cap on full offset-combination enumeration in the brute
+#: force; beyond it the search falls back to contiguous anchor windows
+#: (optimal for single-port lazy, best-effort for multi-port lazy).
+MAX_OFFSET_COMBINATIONS = 4096
+
 
 def minla_exact_order(
     items: Sequence[str],
     affinity: dict[tuple[str, str], int],
     first_item: str | None = None,
+    approach_costs: Sequence[int] | None = None,
 ) -> list[str]:
     """Optimal MinLA order of ``items`` under the pairwise affinity objective.
 
     Dynamic program over prefix subsets; see module docstring.  Ties resolve
     deterministically (lowest item index first).
 
-    When ``first_item`` is given, the objective additionally charges +1 for
-    every item placed before it — exactly the initial port-approach cost of
-    a trace starting with that item on a DBC whose port sits at offset 0
-    with the order anchored at offset 0.
+    When ``first_item`` is given, the objective additionally charges the
+    port-approach cost of the position ``first_item`` ends up at:
+    ``approach_costs[q]`` for position ``q`` when ``approach_costs`` is
+    supplied, else ``q`` itself (+1 per item placed before it — the
+    port-at-offset-0, anchored-at-0 special case).  ``approach_costs`` lets
+    callers model an arbitrary port position with anchor freedom exactly:
+    pass ``min over feasible starts of |start + q - port|`` per position.
     """
     items = list(items)
     n = len(items)
@@ -59,7 +75,16 @@ def minla_exact_order(
         raise OptimizationError(
             f"minla_exact_order supports at most {MAX_DP_ITEMS} items, got {n}"
         )
+    if approach_costs is not None and first_item is None:
+        raise OptimizationError("approach_costs requires first_item")
+    if approach_costs is not None and len(approach_costs) < n:
+        raise OptimizationError(
+            f"approach_costs needs {n} entries, got {len(approach_costs)}"
+        )
     first_index = items.index(first_item) if first_item is not None else -1
+    penalties = (
+        list(approach_costs) if approach_costs is not None else list(range(n))
+    )
     index = {item: i for i, item in enumerate(items)}
     # weights[i][j] symmetric matrix of affinities among the given items.
     weights = [[0] * n for _ in range(n)]
@@ -93,6 +118,7 @@ def minla_exact_order(
         cut[mask] = cut[rest] + row_totals[u] - 2 * w_u_rest
     first_bit = (1 << first_index) if first_index >= 0 else 0
     for mask in range(1, 1 << n):
+        position = mask.bit_count() - 1
         best = INF
         best_u = -1
         probe = mask
@@ -100,10 +126,11 @@ def minla_exact_order(
             bit = probe & -probe
             u = bit.bit_length() - 1
             candidate = f[mask ^ bit]
-            # Charge the port-approach penalty when u is placed before the
-            # trace's first item (u != first and first not yet in the prefix).
-            if first_bit and bit != first_bit and not (mask & first_bit):
-                candidate += 1
+            # Charge the port-approach penalty of the position the trace's
+            # first item lands at (it is placed as the prefix's last element,
+            # i.e. at index |mask| - 1).
+            if bit == first_bit:
+                candidate += penalties[position]
             if candidate < best:
                 best = candidate
                 best_u = u
@@ -131,85 +158,137 @@ def minla_optimal_cost(
     return linear_arrangement_cost(order, affinity)
 
 
-def _ordered_partitions(items: list[str], max_groups: int, capacity: int):
-    """Yield all partitions of ``items`` into ≤ max_groups lists of ≤ capacity.
+def _offset_candidates(size: int, config: DWMConfig) -> Iterator[tuple[int, ...]]:
+    """Ascending offset tuples a group of ``size`` items may occupy.
 
-    Groups are *sets* here (ordering is enumerated separately); to avoid
-    symmetric duplicates the first item of each group is its minimum-index
-    element.
+    Full ``C(L, size)`` enumeration while it fits the combination cap (the
+    exact search space — multi-port optima may need gaps to straddle
+    ports); contiguous windows beyond it (optimal for single-port lazy by
+    the compaction argument, best-effort otherwise).
     """
+    words = config.words_per_dbc
+    if math.comb(words, size) <= MAX_OFFSET_COMBINATIONS:
+        yield from itertools.combinations(range(words), size)
+    else:
+        for start in range(words - size + 1):
+            yield tuple(range(start, start + size))
 
-    def recurse(remaining: list[str], groups: list[list[str]]):
-        if not remaining:
-            yield [list(group) for group in groups]
-            return
-        head, rest = remaining[0], remaining[1:]
-        for group in groups:
-            if len(group) < capacity:
-                group.append(head)
-                yield from recurse(rest, groups)
-                group.pop()
-        if len(groups) < max_groups:
-            groups.append([head])
-            yield from recurse(rest, groups)
-            groups.pop()
 
-    yield from recurse(items, [])
+def exhaustive_search_is_exact(config: DWMConfig, num_items: int) -> bool:
+    """Whether :func:`exhaustive_placement` provably reaches the optimum.
+
+    True for every eager or single-port geometry, and for multi-port lazy
+    geometries whose offset combinations are fully enumerable.
+    """
+    from repro.dwm.config import PortPolicy
+
+    if config.port_policy is PortPolicy.EAGER or config.num_ports == 1:
+        return True
+    largest = min(num_items, config.words_per_dbc)
+    return all(
+        math.comb(config.words_per_dbc, size) <= MAX_OFFSET_COMBINATIONS
+        for size in range(1, largest + 1)
+    )
+
+
+def _eager_group_layout(
+    members: list[str],
+    config: DWMConfig,
+    frequencies: dict[str, int],
+) -> tuple[int, dict[str, int]]:
+    """Optimal eager layout of one group: hot items on cheap offsets.
+
+    Each eager access costs ``2·dist(offset, nearest port)`` independently
+    of history, so pairing descending frequencies with ascending offset
+    costs is exact (rearrangement inequality).
+    """
+    ranked = sorted(members, key=lambda item: (-frequencies.get(item, 0), item))
+    ports = config.port_offsets
+    by_cost = sorted(
+        range(config.words_per_dbc),
+        key=lambda offset: (min(abs(offset - port) for port in ports), offset),
+    )
+    offsets = {item: by_cost[rank] for rank, item in enumerate(ranked)}
+    cost = sum(
+        frequencies.get(item, 0)
+        * 2
+        * min(abs(offset - port) for port in ports)
+        for item, offset in offsets.items()
+    )
+    return cost, offsets
+
+
+def _lazy_group_layout(
+    problem: PlacementProblem,
+    members: list[str],
+) -> tuple[int, dict[str, int]]:
+    """Optimal lazy layout of one group by order × offset enumeration."""
+    config = problem.config
+    restricted = problem.trace.restricted_to(members)
+    if len(restricted) == 0:
+        return 0, {item: index for index, item in enumerate(members)}
+    best_cost: int | None = None
+    best_offsets: dict[str, int] | None = None
+    for order in itertools.permutations(members):
+        for chosen in _offset_candidates(len(members), config):
+            offsets = dict(zip(order, chosen))
+            cost = restricted_sequence_cost(restricted, offsets, config)
+            if best_cost is None or cost < best_cost:
+                best_cost = cost
+                best_offsets = offsets
+                if best_cost == 0:
+                    return best_cost, best_offsets
+    assert best_cost is not None and best_offsets is not None
+    return best_cost, best_offsets
 
 
 def exhaustive_placement(
     problem: PlacementProblem,
     max_items: int = MAX_BRUTE_FORCE_ITEMS,
 ) -> Placement:
-    """True-cost brute force over grouped, ordered, anchored placements.
+    """True-cost brute force via the per-DBC cost decomposition.
 
-    Enumerates every partition of the items into at most ``num_dbcs`` groups
-    of at most ``L``, every within-group order, and both canonical anchors
-    (port-anchored and offset-0), evaluating the *true* trace cost of each.
-    Exponential; guarded to ``max_items`` items.  The instance-wide
-    :func:`~repro.core.cost.shift_lower_bound` prunes the search: once a
-    candidate matches it, no better placement can exist and the scan stops.
+    A placement's cost is the sum of each DBC's cost on its *restricted*
+    subsequence (docs/COST_MODEL.md §2), so the search solves each item
+    subset exactly — every within-group order crossed with every offset
+    assignment from :func:`_offset_candidates`, scored by the exact
+    restricted-sequence evaluator (eager groups are solved directly by
+    frequency/offset pairing) — and combines subset optima with a partition
+    DP.  Exponential; guarded to ``max_items`` items.  Exact whenever
+    :func:`exhaustive_search_is_exact` holds for the geometry.
     """
-    from repro.core.cost import shift_lower_bound
+    from repro.core.exact_partition import partition_minimum
+    from repro.dwm.config import PortPolicy
 
     items = list(problem.items)
-    if len(items) > max_items:
+    n = len(items)
+    if n > max_items:
         raise OptimizationError(
             f"exhaustive_placement supports at most {max_items} items, "
-            f"got {len(items)}"
+            f"got {n}"
         )
     config = problem.config
+    capacity = config.words_per_dbc
+    eager = config.port_policy is PortPolicy.EAGER
     frequencies = dict(problem.trace.frequencies())
-    lower_bound = shift_lower_bound(problem)
-    best_cost: int | None = None
-    best_placement: Placement | None = None
-    for partition in _ordered_partitions(
-        items, config.num_dbcs, config.words_per_dbc
-    ):
-        for ordered_groups in itertools.product(
-            *[itertools.permutations(group) for group in partition]
-        ):
-            candidates = []
-            anchored: dict[str, Slot] = {}
-            for dbc, group in enumerate(ordered_groups):
-                offsets = anchored_offsets(list(group), config, frequencies)
-                for item, offset in offsets.items():
-                    anchored[item] = Slot(dbc, offset)
-            candidates.append(Placement(anchored))
-            zeroed: dict[str, Slot] = {}
-            for dbc, group in enumerate(ordered_groups):
-                for position, item in enumerate(group):
-                    zeroed[item] = Slot(dbc, position)
-            candidates.append(Placement(zeroed))
-            for placement in candidates:
-                cost = evaluate_placement(problem, placement, validate=False)
-                if best_cost is None or cost < best_cost:
-                    best_cost = cost
-                    best_placement = placement
-                    if best_cost <= lower_bound:
-                        return best_placement
-    assert best_placement is not None
-    return best_placement
+    group_cost: dict[int, int] = {}
+    group_layout: dict[int, dict[str, int]] = {}
+    for mask in range(1, 1 << n):
+        if mask.bit_count() > capacity:
+            continue
+        members = [items[i] for i in range(n) if mask >> i & 1]
+        if eager:
+            cost, offsets = _eager_group_layout(members, config, frequencies)
+        else:
+            cost, offsets = _lazy_group_layout(problem, members)
+        group_cost[mask] = cost
+        group_layout[mask] = offsets
+    _, groups = partition_minimum(group_cost, n, min(config.num_dbcs, n))
+    mapping: dict[str, Slot] = {}
+    for dbc, mask in enumerate(groups):
+        for item, offset in group_layout[mask].items():
+            mapping[item] = Slot(dbc, offset)
+    return Placement(mapping)
 
 
 def exact_single_dbc_placement(problem: PlacementProblem) -> Placement:
@@ -217,20 +296,26 @@ def exact_single_dbc_placement(problem: PlacementProblem) -> Placement:
 
     Requires all items to fit in one DBC (single port, lazy policy).  The
     trace cost of an order anchored at ``start`` is its pairwise MinLA cost
-    plus the initial port approach ``|start + index(first) − port|``; the
-    pairwise part is anchor-independent, so:
-
-    * when an anchor can zero the approach term, the pure MinLA optimum is
-      the true optimum (both DP variants are swept over all anchors and the
-      true evaluator picks the winner);
-    * when it cannot (e.g. an end-mounted port with a full DBC), the DP
-      variant that charges +1 per item placed before the trace's first item
-      models the approach term exactly.
-
-    Both variants are generated, every feasible anchor is tried, and each
-    candidate is scored with the exact evaluator.
+    plus the initial port approach ``|start + index(first) − port|``.  The
+    pairwise part is anchor-independent, so minimising over starts leaves
+    ``approach(q) = min over starts of |start + q − port|`` — a function of
+    the first item's position ``q`` only — which the DP charges exactly via
+    ``approach_costs``.  The pure MinLA variant is kept as a cheap extra
+    candidate; every feasible anchor of each order (and its reversal) is
+    scored with the exact evaluator.
     """
+    from repro.dwm.config import PortPolicy
+
     config = problem.config
+    if config.num_ports != 1:
+        raise OptimizationError(
+            "exact_single_dbc_placement is exact only for single-port DBCs; "
+            "use exhaustive_placement for small multi-port instances"
+        )
+    if config.port_policy is not PortPolicy.LAZY:
+        raise OptimizationError(
+            "exact_single_dbc_placement requires the lazy shift policy"
+        )
     if problem.num_items > config.words_per_dbc:
         raise OptimizationError(
             f"{problem.num_items} items exceed a single DBC "
@@ -238,13 +323,22 @@ def exact_single_dbc_placement(problem: PlacementProblem) -> Placement:
         )
     items = list(problem.items)
     first_item = problem.trace[0].item
+    port = config.port_offsets[0]
+    max_start = config.words_per_dbc - len(items)
+    approach = [
+        max(0, q - port, port - q - max_start) for q in range(len(items))
+    ]
     orders = [
         minla_exact_order(items, problem.affinity),
-        minla_exact_order(items, problem.affinity, first_item=first_item),
+        minla_exact_order(
+            items,
+            problem.affinity,
+            first_item=first_item,
+            approach_costs=approach,
+        ),
     ]
     best_cost: int | None = None
     best_placement: Placement | None = None
-    max_start = config.words_per_dbc - len(items)
     for order in orders:
         reversed_order = list(reversed(order))
         for candidate_order in (order, reversed_order):

@@ -42,13 +42,21 @@ def _group_cost_and_layout(
         return 0, {item: index for index, item in enumerate(items)}
     affinity = affinity_graph(restricted)
     first_item = restricted[0].item
+    port = config.port_offsets[0]
+    max_start = config.words_per_dbc - len(items)
+    # Exact port-approach cost of the first item landing at position q,
+    # minimised over feasible anchors (see exact_single_dbc_placement).
+    approach = [
+        max(0, q - port, port - q - max_start) for q in range(len(items))
+    ]
     orders = [
         minla_exact_order(items, affinity),
-        minla_exact_order(items, affinity, first_item=first_item),
+        minla_exact_order(
+            items, affinity, first_item=first_item, approach_costs=approach
+        ),
     ]
     best_cost: int | None = None
     best_offsets: dict[str, int] | None = None
-    max_start = config.words_per_dbc - len(items)
     for order in orders:
         for candidate in (order, list(reversed(order))):
             for start in range(max_start + 1):
@@ -62,6 +70,75 @@ def _group_cost_and_layout(
                     best_offsets = offsets
     assert best_cost is not None and best_offsets is not None
     return best_cost, best_offsets
+
+
+def partition_minimum(
+    group_cost: dict[int, int],
+    num_items: int,
+    max_groups: int,
+) -> tuple[int, list[int]]:
+    """Minimum-cost partition of items ``{0..n-1}`` into feasible groups.
+
+    ``group_cost`` maps subset bitmasks to their exact group cost; masks
+    absent from it are infeasible (e.g. oversized).  Returns the optimal
+    total and the chosen subset masks (at most ``max_groups`` of them).
+    Classic submask-enumeration DP, canonicalised so each partition is
+    counted once (every subset must contain the lowest uncovered item).
+    Raises :class:`OptimizationError` when no feasible partition exists.
+    """
+    full = (1 << num_items) - 1
+    INF = float("inf")
+    # f[g][mask] = min cost covering `mask` with exactly g groups.
+    f: list[dict[int, int | float]] = [dict() for _ in range(max_groups + 1)]
+    f[0][0] = 0
+    parent: dict[tuple[int, int], int] = {}
+    for g in range(1, max_groups + 1):
+        previous = f[g - 1]
+        current = f[g]
+        for mask, base in previous.items():
+            remaining = full ^ mask
+            if remaining == 0:
+                if mask not in current or base < current[mask]:
+                    current[mask] = base  # allow unused groups
+                    parent[(g, mask)] = 0
+                continue
+            low_bit = remaining & -remaining
+            rest = remaining ^ low_bit
+            submask = rest
+            while True:
+                subset = submask | low_bit
+                cost = group_cost.get(subset)
+                if cost is not None:
+                    candidate = base + cost
+                    covered = mask | subset
+                    if covered not in current or candidate < current[covered]:
+                        current[covered] = candidate
+                        parent[(g, covered)] = subset
+                if submask == 0:
+                    break
+                submask = (submask - 1) & rest
+    best_g: int | None = None
+    best_value: int | float = INF
+    for g in range(1, max_groups + 1):
+        value = f[g].get(full, INF)
+        if value < best_value:
+            best_value = value
+            best_g = g
+    if best_g is None:
+        raise OptimizationError(
+            "no feasible partition (a group exceeds DBC capacity)"
+        )
+    groups: list[int] = []
+    mask = full
+    g = best_g
+    while g > 0:
+        subset = parent[(g, mask)]
+        if subset:
+            groups.append(subset)
+        mask ^= subset
+        g -= 1
+    groups.reverse()
+    return int(best_value), groups
 
 
 def exact_partitioned_placement(
@@ -114,61 +191,9 @@ def exact_partitioned_placement(
         group_cost[mask] = cost
         group_layout[mask] = offsets
 
-    INF = float("inf")
-    max_groups = min(config.num_dbcs, n)
-    # f[g][mask] = min cost covering `mask` with exactly g groups.
-    f = [dict() for _ in range(max_groups + 1)]
-    f[0][0] = 0
-    parent: dict[tuple[int, int], int] = {}
-    for g in range(1, max_groups + 1):
-        previous = f[g - 1]
-        current = f[g]
-        for mask, base in previous.items():
-            remaining = full ^ mask
-            if remaining == 0:
-                if mask not in current or base < current[mask]:
-                    current[mask] = base  # allow unused groups
-                    parent[(g, mask)] = 0
-                continue
-            low_bit = remaining & -remaining
-            # The subset must contain the lowest uncovered item (canonical
-            # enumeration: each partition counted once).
-            rest = remaining ^ low_bit
-            submask = rest
-            while True:
-                subset = submask | low_bit
-                cost = group_cost.get(subset)
-                if cost is not None:
-                    candidate = base + cost
-                    covered = mask | subset
-                    if covered not in current or candidate < current[covered]:
-                        current[covered] = candidate
-                        parent[(g, covered)] = subset
-                if submask == 0:
-                    break
-                submask = (submask - 1) & rest
-    best_g: int | None = None
-    best_value = INF
-    for g in range(1, max_groups + 1):
-        value = f[g].get(full, INF)
-        if value < best_value:
-            best_value = value
-            best_g = g
-    if best_g is None:
-        raise OptimizationError(
-            "no feasible partition (a group exceeds DBC capacity)"
-        )
-    # Reconstruct the partition and assemble the placement.
+    _, groups = partition_minimum(group_cost, n, min(config.num_dbcs, n))
     mapping: dict[str, Slot] = {}
-    mask = full
-    g = best_g
-    dbc = 0
-    while g > 0:
-        subset = parent[(g, mask)]
-        if subset:
-            for item, offset in group_layout[subset].items():
-                mapping[item] = Slot(dbc, offset)
-            dbc += 1
-        mask ^= subset
-        g -= 1
+    for dbc, subset in enumerate(groups):
+        for item, offset in group_layout[subset].items():
+            mapping[item] = Slot(dbc, offset)
     return Placement(mapping)

@@ -52,18 +52,38 @@ def reuse_distances(trace: AccessTrace) -> list[int]:
 
     First accesses (cold misses) are excluded.  Small distances mean high
     temporal locality, which is where shift-aware placement gains the most.
+
+    The stack distance of a reuse at time ``t`` equals the number of
+    distinct items whose *last* access falls strictly between the item's
+    previous access and ``t``; a Fenwick tree over access timestamps counts
+    those in O(log n) per access (O(n log n) overall, where the explicit
+    LRU-stack walk is quadratic on low-locality traces).
     """
-    stack: list[str] = []
+    n = len(trace)
+    tree = [0] * (n + 1)  # Fenwick tree over 1-based access timestamps
+
+    def add(index: int, delta: int) -> None:
+        while index <= n:
+            tree[index] += delta
+            index += index & -index
+
+    def prefix(index: int) -> int:
+        total = 0
+        while index > 0:
+            total += tree[index]
+            index -= index & -index
+        return total
+
     distances: list[int] = []
-    position: dict[str, int] = {}
-    for access in trace:
+    last_time: dict[str, int] = {}
+    for now, access in enumerate(trace, start=1):
         item = access.item
-        if item in position:
-            index = stack.index(item)
-            distances.append(len(stack) - 1 - index)
-            stack.pop(index)
-        stack.append(item)
-        position[item] = True  # membership marker only
+        previous = last_time.get(item)
+        if previous is not None:
+            distances.append(prefix(now - 1) - prefix(previous))
+            add(previous, -1)
+        add(now, 1)
+        last_time[item] = now
     return distances
 
 
@@ -104,13 +124,22 @@ def compute_stats(trace: AccessTrace) -> TraceStats:
     if distances:
         ordered = sorted(distances)
         mean = sum(ordered) / len(ordered)
-        median = float(ordered[len(ordered) // 2])
+        middle = len(ordered) // 2
+        if len(ordered) % 2:
+            median = float(ordered[middle])
+        else:
+            median = (ordered[middle - 1] + ordered[middle]) / 2
     else:
         mean = 0.0
         median = 0.0
     frequencies = trace.frequencies()
     if frequencies:
-        top_item, top_count = frequencies.most_common(1)[0]
+        top_count = max(frequencies.values())
+        # Deterministic tie-break: lowest item name among the most frequent
+        # (most_common(1) depends on insertion order).
+        top_item = min(
+            item for item, count in frequencies.items() if count == top_count
+        )
     else:
         top_item, top_count = "", 0
     return TraceStats(

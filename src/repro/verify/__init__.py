@@ -1,0 +1,61 @@
+"""Differential conformance fuzzing and invariant oracles.
+
+The repo prices the same placement four independent ways (scalar
+reference, vectorized batch engine, incremental delta engine, and the
+fault-injection cost stream); every experiment table assumes they agree
+bit-for-bit.  This package is the standing correctness harness for that
+assumption: seeded random cases (:mod:`repro.verify.cases`), invariant
+oracles (:mod:`repro.verify.oracles`), ddmin-style minimization
+(:mod:`repro.verify.shrink`), and the sweep driver behind the
+``repro fuzz`` CLI verb (:mod:`repro.verify.fuzzer`).  See
+docs/VERIFICATION.md.
+"""
+
+from repro.verify.cases import (
+    CASE_METHODS,
+    CASE_SCHEMA_VERSION,
+    FuzzCase,
+    generate_case,
+)
+from repro.verify.fuzzer import (
+    FuzzFinding,
+    FuzzReport,
+    regression_snippet,
+    run_fuzz,
+)
+from repro.verify.oracles import (
+    DEFAULT_BRUTE_FORCE_LIMIT,
+    Violation,
+    brute_force_optimum,
+    build_placement,
+    check_bounds,
+    check_cache_equivalence,
+    check_case,
+    check_engine_agreement,
+    check_fault_determinism,
+    check_round_trip,
+)
+from repro.verify.shrink import ShrinkStats, shrink_case
+
+__all__ = [
+    "CASE_METHODS",
+    "CASE_SCHEMA_VERSION",
+    "DEFAULT_BRUTE_FORCE_LIMIT",
+    "FuzzCase",
+    "FuzzFinding",
+    "FuzzReport",
+    "ShrinkStats",
+    "Violation",
+    "brute_force_optimum",
+    "build_placement",
+    "check_bounds",
+    "check_cache_equivalence",
+    "check_case",
+    "check_engine_agreement",
+    "check_fault_determinism",
+    "check_round_trip",
+    "generate_case",
+    "regression_snippet",
+    "run_fuzz",
+    "shrink_case",
+]

@@ -1,0 +1,494 @@
+"""Invariant oracles: every way the repo prices a placement must agree.
+
+:func:`check_case` runs one :class:`~repro.verify.cases.FuzzCase` through
+five oracle families and returns the (hopefully empty) list of
+:class:`Violation` records:
+
+* **engine agreement** — scalar reference vs vectorized vs incremental vs
+  simulator engines vs the fault-injection cost stream, on totals, per-DBC
+  decompositions, and the per-access maximum;
+* **round trips** — seeded swap/move/reversal mutation scripts through
+  :class:`~repro.core.incremental.CostEvaluator`: probed deltas must match
+  applied deltas, running totals must match from-scratch evaluation, and
+  undo must restore the exact starting state;
+* **bounds** — ``shift_lower_bound ≤ cost`` always, and on tiny instances
+  ``lower_bound ≤ brute-force optimum ≤ cost`` with the ``exact`` method
+  landing exactly on the optimum (the brute force here enumerates *all*
+  injective slot assignments — deliberately sharing no code with
+  ``repro.core.exact``);
+* **cache equivalence** — a cold placement-cache store followed by a warm
+  lookup must be a hit and return the identical result;
+* **fault determinism** — ``injection_seed`` is stable, ``run_injection``
+  is a pure function of it, and fault reports are engine-independent.
+
+Each family is guarded: an exception inside a check becomes a
+``crash:<family>`` violation instead of aborting the sweep.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+import random
+import tempfile
+from dataclasses import dataclass, field
+
+from repro.analysis.cache import cache_scope
+from repro.core.api import ALGORITHMS, optimize_placement
+from repro.core.cost import evaluate_placement, per_dbc_costs, shift_lower_bound
+from repro.core.exact import exhaustive_search_is_exact
+from repro.core.fast_eval import evaluate_placement_fast
+from repro.core.incremental import CostEvaluator
+from repro.core.placement import Placement, Slot
+from repro.core.problem import PlacementProblem
+from repro.dwm.faults import FaultModel, injection_seed, run_injection
+from repro.memory.batch_sim import per_access_costs
+from repro.memory.spm import ScratchpadMemory
+from repro.verify.cases import FuzzCase
+
+#: Brute-force optimum oracle budget: skip when the number of injective
+#: slot assignments exceeds this.
+DEFAULT_BRUTE_FORCE_LIMIT = 2000
+
+#: Item-count gate for running the ``exact`` method inside the oracle.
+EXACT_ORACLE_MAX_ITEMS = 6
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One invariant breach, with enough data to read the disagreement."""
+
+    kind: str
+    detail: str
+    data: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {"kind": self.kind, "detail": self.detail, "data": self.data}
+
+
+def build_placement(case: FuzzCase) -> tuple[PlacementProblem, Placement]:
+    """Instantiate the case's problem and run its placement method."""
+    problem = case.problem()
+    placement = ALGORITHMS[case.method](problem, **case.method_kwargs)
+    return problem, placement
+
+
+def brute_force_optimum(
+    problem: PlacementProblem,
+    limit: int = DEFAULT_BRUTE_FORCE_LIMIT,
+) -> int | None:
+    """True optimum over ALL injective slot assignments, or ``None``.
+
+    Independent of ``repro.core.exact`` by design: this is the oracle the
+    exact solvers are judged against, so it enumerates raw assignments
+    (including non-contiguous, gap-straddling ones) with no search-space
+    restriction.  Returns ``None`` when the assignment count exceeds
+    ``limit``.
+    """
+    config = problem.config
+    slots = [
+        Slot(dbc, offset)
+        for dbc in range(config.num_dbcs)
+        for offset in range(config.words_per_dbc)
+    ]
+    items = list(problem.items)
+    if math.perm(len(slots), len(items)) > limit:
+        return None
+    best: int | None = None
+    for chosen in itertools.permutations(slots, len(items)):
+        placement = Placement(dict(zip(items, chosen)))
+        cost = evaluate_placement(problem, placement, validate=False)
+        if best is None or cost < best:
+            best = cost
+    return best
+
+
+def check_engine_agreement(
+    case: FuzzCase,
+    problem: PlacementProblem,
+    placement: Placement,
+) -> list[Violation]:
+    """All cost engines must agree bit-for-bit with the scalar reference."""
+    violations: list[Violation] = []
+    trace, config = problem.trace, problem.config
+    reference = evaluate_placement(problem, placement)
+    spm = ScratchpadMemory(config, placement)
+    scalar = spm.simulate(trace, engine="scalar")
+    vectorized = spm.simulate(trace, engine="vectorized")
+    dbc_seq, cost_seq = per_access_costs(trace, config, placement)
+    totals = {
+        "fast_eval": int(evaluate_placement_fast(problem, placement)),
+        "incremental": int(CostEvaluator(problem, placement).total),
+        "simulator_scalar": int(scalar.shifts),
+        "simulator_vectorized": int(vectorized.shifts),
+        "fault_cost_stream": int(cost_seq.sum()),
+    }
+    for engine, total in totals.items():
+        if total != reference:
+            violations.append(
+                Violation(
+                    kind="engine_total_mismatch",
+                    detail=(
+                        f"{engine} total {total} != scalar reference "
+                        f"{reference}"
+                    ),
+                    data={"engine": engine, "total": total, "reference": reference},
+                )
+            )
+    per_dbc_reference = per_dbc_costs(problem, placement)
+    views = {
+        "simulator_scalar": tuple(int(s) for s in scalar.per_dbc_shifts),
+        "simulator_vectorized": tuple(
+            int(s) for s in vectorized.per_dbc_shifts
+        ),
+    }
+    stream_per_dbc = [0] * config.num_dbcs
+    for dbc, cost in zip(dbc_seq.tolist(), cost_seq.tolist()):
+        stream_per_dbc[dbc] += cost
+    views["fault_cost_stream"] = tuple(stream_per_dbc)
+    for engine, per_dbc in views.items():
+        expected = tuple(
+            per_dbc_reference.get(dbc, 0) for dbc in range(config.num_dbcs)
+        )
+        if per_dbc != expected:
+            violations.append(
+                Violation(
+                    kind="engine_per_dbc_mismatch",
+                    detail=(
+                        f"{engine} per-DBC {list(per_dbc)} != reference "
+                        f"{list(expected)}"
+                    ),
+                    data={
+                        "engine": engine,
+                        "per_dbc": list(per_dbc),
+                        "reference": list(expected),
+                    },
+                )
+            )
+    if scalar.max_access_shifts != vectorized.max_access_shifts:
+        violations.append(
+            Violation(
+                kind="engine_max_access_mismatch",
+                detail=(
+                    f"max access shifts: scalar {scalar.max_access_shifts} "
+                    f"!= vectorized {vectorized.max_access_shifts}"
+                ),
+                data={
+                    "scalar": int(scalar.max_access_shifts),
+                    "vectorized": int(vectorized.max_access_shifts),
+                },
+            )
+        )
+    return violations
+
+
+def check_round_trip(
+    case: FuzzCase,
+    problem: PlacementProblem,
+    placement: Placement,
+    mutation_ops: int = 8,
+) -> list[Violation]:
+    """Seeded mutation script through CostEvaluator apply/undo."""
+    violations: list[Violation] = []
+    rng = random.Random(case.seed ^ 0x5EED)
+    evaluator = CostEvaluator(problem, placement)
+    start_total = evaluator.total
+    start_mapping = evaluator.placement().as_dict()
+    items = list(problem.items)
+    # From-scratch cross-checks are O(trace) each; keep them per-step on
+    # small traces, final-state-only on long ones.
+    check_every_step = len(problem.trace) <= 200
+    applied = 0
+    for _step in range(mutation_ops):
+        kind = rng.choice(("swap", "move", "reversal"))
+        if kind == "swap" and len(items) >= 2:
+            left, right = rng.sample(items, 2)
+            delta = evaluator.swap_delta(left, right)
+            before = evaluator.total
+            evaluator.apply_swap(left, right)
+        elif kind == "move":
+            free = evaluator.free_slots()
+            if not free:
+                continue
+            item = rng.choice(items)
+            slot = rng.choice(sorted(free))
+            delta = evaluator.move_delta(item, slot)
+            before = evaluator.total
+            evaluator.apply_move(item, slot)
+        elif kind == "reversal":
+            used = evaluator.dbcs_used()
+            if not used:
+                continue
+            dbc = rng.choice(sorted(used))
+            offsets = sorted(evaluator.dbc_contents(dbc))
+            delta = evaluator.reversal_delta(dbc, offsets)
+            before = evaluator.total
+            evaluator.apply_reversal(dbc, offsets)
+        else:
+            continue
+        applied += 1
+        if evaluator.total != before + delta:
+            violations.append(
+                Violation(
+                    kind="delta_apply_mismatch",
+                    detail=(
+                        f"{kind} probe delta {delta} but applied total moved "
+                        f"{evaluator.total - before}"
+                    ),
+                    data={"op": kind, "delta": delta},
+                )
+            )
+            break
+        if check_every_step:
+            scratch = evaluate_placement(problem, evaluator.placement())
+            if scratch != evaluator.total:
+                violations.append(
+                    Violation(
+                        kind="incremental_total_drift",
+                        detail=(
+                            f"running total {evaluator.total} != scratch "
+                            f"evaluation {scratch} after {kind}"
+                        ),
+                        data={
+                            "op": kind,
+                            "running": evaluator.total,
+                            "scratch": scratch,
+                        },
+                    )
+                )
+                break
+    if not violations and not check_every_step:
+        scratch = evaluate_placement(problem, evaluator.placement())
+        if scratch != evaluator.total:
+            violations.append(
+                Violation(
+                    kind="incremental_total_drift",
+                    detail=(
+                        f"running total {evaluator.total} != scratch "
+                        f"evaluation {scratch} after {applied} ops"
+                    ),
+                    data={"running": evaluator.total, "scratch": scratch},
+                )
+            )
+    for _ in range(applied):
+        evaluator.undo()
+    if (
+        evaluator.total != start_total
+        or evaluator.placement().as_dict() != start_mapping
+    ):
+        violations.append(
+            Violation(
+                kind="undo_not_restored",
+                detail=(
+                    f"after undoing {applied} ops: total {evaluator.total} "
+                    f"(expected {start_total}), mapping "
+                    f"{'differs' if evaluator.placement().as_dict() != start_mapping else 'matches'}"
+                ),
+                data={"total": evaluator.total, "expected": start_total},
+            )
+        )
+    return violations
+
+
+def check_bounds(
+    case: FuzzCase,
+    problem: PlacementProblem,
+    placement: Placement,
+    brute_force_limit: int = DEFAULT_BRUTE_FORCE_LIMIT,
+) -> list[Violation]:
+    """lower bound ≤ optimum ≤ evaluated cost; exact methods hit optimum."""
+    violations: list[Violation] = []
+    lower = shift_lower_bound(problem)
+    cost = evaluate_placement(problem, placement)
+    if lower > cost:
+        violations.append(
+            Violation(
+                kind="lower_bound_exceeds_cost",
+                detail=f"shift_lower_bound {lower} > evaluated cost {cost}",
+                data={"lower_bound": lower, "cost": cost},
+            )
+        )
+    optimum = brute_force_optimum(problem, brute_force_limit)
+    if optimum is None:
+        return violations
+    if lower > optimum:
+        violations.append(
+            Violation(
+                kind="lower_bound_unsound",
+                detail=f"shift_lower_bound {lower} > true optimum {optimum}",
+                data={"lower_bound": lower, "optimum": optimum},
+            )
+        )
+    if cost < optimum:
+        violations.append(
+            Violation(
+                kind="cost_below_optimum",
+                detail=(
+                    f"evaluated cost {cost} < brute-force optimum {optimum} "
+                    "(reference evaluator disagrees with itself)"
+                ),
+                data={"cost": cost, "optimum": optimum},
+            )
+        )
+    config = problem.config
+    if problem.num_items <= EXACT_ORACLE_MAX_ITEMS and exhaustive_search_is_exact(
+        config, problem.num_items
+    ):
+        exact_cost = evaluate_placement(
+            problem, ALGORITHMS["exact"](problem)
+        )
+        if exact_cost != optimum:
+            violations.append(
+                Violation(
+                    kind="exact_method_suboptimal",
+                    detail=(
+                        f"exact method cost {exact_cost} != brute-force "
+                        f"optimum {optimum}"
+                    ),
+                    data={"exact": exact_cost, "optimum": optimum},
+                )
+            )
+    return violations
+
+
+def check_cache_equivalence(case: FuzzCase) -> list[Violation]:
+    """A warm placement-cache hit must replay the cold result exactly."""
+    violations: list[Violation] = []
+    trace, config = case.trace(), case.config()
+    with tempfile.TemporaryDirectory(prefix="repro-fuzz-cache-") as tmp:
+        with cache_scope(enabled=True, root=tmp):
+            cold = optimize_placement(
+                trace, config, method=case.method, **case.method_kwargs
+            )
+            warm = optimize_placement(
+                trace, config, method=case.method, **case.method_kwargs
+            )
+    if warm.details.get("cache") != "hit":
+        violations.append(
+            Violation(
+                kind="cache_miss_on_replay",
+                detail=(
+                    "second optimize_placement call was not served from the "
+                    f"placement cache (details: {warm.details.get('cache')!r})"
+                ),
+                data={"cache": str(warm.details.get("cache"))},
+            )
+        )
+    if (
+        cold.total_shifts != warm.total_shifts
+        or cold.placement.as_dict() != warm.placement.as_dict()
+    ):
+        violations.append(
+            Violation(
+                kind="cache_hit_mismatch",
+                detail=(
+                    f"cache hit returned {warm.total_shifts} shifts, cold "
+                    f"run computed {cold.total_shifts}"
+                ),
+                data={"cold": cold.total_shifts, "warm": warm.total_shifts},
+            )
+        )
+    return violations
+
+
+def check_fault_determinism(
+    case: FuzzCase,
+    problem: PlacementProblem,
+    placement: Placement,
+) -> list[Violation]:
+    """Fault injection is a pure, engine-independent function of its seed."""
+    violations: list[Violation] = []
+    trace, config = problem.trace, problem.config
+    model = FaultModel(
+        shift_error_rate=0.02, check_interval=8, seed=case.seed % 997
+    )
+    seed_a = injection_seed(model, trace, config)
+    seed_b = injection_seed(model, trace, config)
+    if seed_a != seed_b:
+        violations.append(
+            Violation(
+                kind="injection_seed_unstable",
+                detail=f"injection_seed returned {seed_a} then {seed_b}",
+                data={"first": seed_a, "second": seed_b},
+            )
+        )
+    dbc_seq, cost_seq = per_access_costs(trace, config, placement)
+    report_a = run_injection(dbc_seq, cost_seq, config.num_dbcs, model, seed_a)
+    report_b = run_injection(dbc_seq, cost_seq, config.num_dbcs, model, seed_a)
+    if report_a != report_b:
+        violations.append(
+            Violation(
+                kind="fault_injection_nondeterministic",
+                detail="run_injection differed across two identical runs",
+                data={},
+            )
+        )
+    spm = ScratchpadMemory(config, placement)
+    scalar = spm.simulate(trace, engine="scalar", fault_model=model)
+    vectorized = spm.simulate(trace, engine="vectorized", fault_model=model)
+    if scalar.details.get("faults") != vectorized.details.get("faults"):
+        violations.append(
+            Violation(
+                kind="fault_report_engine_mismatch",
+                detail="fault reports differ between scalar and vectorized",
+                data={
+                    "scalar": scalar.details.get("faults"),
+                    "vectorized": vectorized.details.get("faults"),
+                },
+            )
+        )
+    return violations
+
+
+def check_case(
+    case: FuzzCase,
+    brute_force_limit: int = DEFAULT_BRUTE_FORCE_LIMIT,
+    mutation_ops: int = 8,
+) -> list[Violation]:
+    """Run every oracle family on ``case``; return all violations found."""
+    violations: list[Violation] = []
+    try:
+        problem, placement = build_placement(case)
+    except Exception as exc:  # noqa: BLE001 - any crash is a finding
+        return [
+            Violation(
+                kind="crash:build",
+                detail=f"{type(exc).__name__}: {exc}",
+                data={"stage": "build"},
+            )
+        ]
+    try:
+        placement.validate(problem.config, problem.items)
+    except Exception as exc:  # noqa: BLE001
+        return [
+            Violation(
+                kind="method_invalid_placement",
+                detail=f"{case.method} produced an invalid placement: {exc}",
+                data={"method": case.method},
+            )
+        ]
+    checks = (
+        ("engines", lambda: check_engine_agreement(case, problem, placement)),
+        ("round_trip", lambda: check_round_trip(case, problem, placement, mutation_ops)),
+        (
+            "bounds",
+            lambda: check_bounds(case, problem, placement, brute_force_limit),
+        ),
+        ("cache", lambda: check_cache_equivalence(case)),
+        (
+            "faults",
+            lambda: check_fault_determinism(case, problem, placement),
+        ),
+    )
+    for name, run in checks:
+        try:
+            violations.extend(run())
+        except Exception as exc:  # noqa: BLE001 - crashes are findings too
+            violations.append(
+                Violation(
+                    kind=f"crash:{name}",
+                    detail=f"{type(exc).__name__}: {exc}",
+                    data={"stage": name},
+                )
+            )
+    return violations

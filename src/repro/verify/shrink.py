@@ -1,0 +1,186 @@
+"""Shrink a failing fuzz case to a minimal reproduction.
+
+Delta-debugging over the case's degrees of freedom, in decreasing order of
+leverage: drop access chunks (classic ddmin with adaptive granularity),
+drop or merge whole items, shrink the geometry (fewer DBCs, shorter
+tapes, fewer ports), and finally cosmetic canonicalisation (reads-only
+kinds, ``v0..vk`` names by first appearance).  Every candidate must keep
+the *same violation kind* alive — the ``interesting`` predicate — so the
+minimized case reproduces the original bug, not a different one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator
+
+from repro.verify.cases import FuzzCase
+
+#: Default cap on predicate evaluations per shrink (each runs all oracles).
+DEFAULT_MAX_CHECKS = 600
+
+
+@dataclass
+class ShrinkStats:
+    """Bookkeeping for one shrink run."""
+
+    checks: int = 0
+    accepted: int = 0
+
+    def spent(self, max_checks: int) -> bool:
+        return self.checks >= max_checks
+
+
+def _valid(case: FuzzCase) -> bool:
+    """Structural validity: geometry holds the items, ports fit the tape."""
+    if not case.accesses:
+        return False
+    if case.words_per_dbc < 1 or case.num_dbcs < 1:
+        return False
+    if not case.port_offsets:
+        return False
+    if any(not 0 <= port < case.words_per_dbc for port in case.port_offsets):
+        return False
+    if len(set(case.port_offsets)) != len(case.port_offsets):
+        return False
+    return case.num_items() <= case.num_dbcs * case.words_per_dbc
+
+
+def _try(
+    candidate: FuzzCase,
+    interesting: Callable[[FuzzCase], bool],
+    stats: ShrinkStats,
+) -> bool:
+    if not _valid(candidate):
+        return False
+    stats.checks += 1
+    if interesting(candidate):
+        stats.accepted += 1
+        return True
+    return False
+
+
+def _minimize_accesses(
+    case: FuzzCase,
+    interesting: Callable[[FuzzCase], bool],
+    stats: ShrinkStats,
+    max_checks: int,
+) -> FuzzCase:
+    """ddmin over the access sequence: remove chunks, refine granularity."""
+    accesses = list(case.accesses)
+    granularity = 2
+    while len(accesses) >= 2 and not stats.spent(max_checks):
+        chunk = max(1, len(accesses) // granularity)
+        removed_any = False
+        start = 0
+        while start < len(accesses) and not stats.spent(max_checks):
+            shorter = accesses[:start] + accesses[start + chunk :]
+            if shorter and _try(
+                case.with_changes(accesses=tuple(shorter)), interesting, stats
+            ):
+                accesses = shorter
+                removed_any = True
+                # Same start now addresses the next chunk — retry in place.
+                continue
+            start += chunk
+        if not removed_any:
+            if chunk == 1:
+                break
+            granularity = min(len(accesses), granularity * 2)
+        else:
+            granularity = max(2, granularity - 1)
+    return case.with_changes(accesses=tuple(accesses))
+
+
+def _item_candidates(case: FuzzCase) -> Iterator[FuzzCase]:
+    """Drop an item entirely, or merge it into its predecessor."""
+    order: list[str] = []
+    for item, _kind in case.accesses:
+        if item not in order:
+            order.append(item)
+    for victim in order:
+        kept = tuple(
+            (item, kind) for item, kind in case.accesses if item != victim
+        )
+        if kept:
+            yield case.with_changes(accesses=kept)
+    for previous, victim in zip(order, order[1:]):
+        merged = tuple(
+            (previous if item == victim else item, kind)
+            for item, kind in case.accesses
+        )
+        yield case.with_changes(accesses=merged)
+
+
+def _geometry_candidates(case: FuzzCase) -> Iterator[FuzzCase]:
+    """Fewer DBCs, shorter tapes (ports trimmed to fit), fewer ports."""
+    if case.num_dbcs > 1:
+        yield case.with_changes(num_dbcs=case.num_dbcs - 1)
+    if case.words_per_dbc > 1:
+        words = case.words_per_dbc - 1
+        fitting = tuple(p for p in case.port_offsets if p < words)
+        if fitting:
+            yield case.with_changes(words_per_dbc=words, port_offsets=fitting)
+        clamped = tuple(sorted({min(p, words - 1) for p in case.port_offsets}))
+        if clamped != fitting:
+            yield case.with_changes(words_per_dbc=words, port_offsets=clamped)
+    if len(case.port_offsets) > 1:
+        for drop in range(len(case.port_offsets)):
+            remaining = tuple(
+                p for i, p in enumerate(case.port_offsets) if i != drop
+            )
+            yield case.with_changes(port_offsets=remaining)
+
+
+def _cosmetic_candidates(case: FuzzCase) -> Iterator[FuzzCase]:
+    """Reads-only kinds and canonical item names (first-appearance order)."""
+    if any(kind != "R" for _item, kind in case.accesses):
+        yield case.with_changes(
+            accesses=tuple((item, "R") for item, _kind in case.accesses)
+        )
+    rename: dict[str, str] = {}
+    for item, _kind in case.accesses:
+        if item not in rename:
+            rename[item] = f"v{len(rename)}"
+    if any(old != new for old, new in rename.items()):
+        yield case.with_changes(
+            accesses=tuple(
+                (rename[item], kind) for item, kind in case.accesses
+            )
+        )
+
+
+def shrink_case(
+    case: FuzzCase,
+    interesting: Callable[[FuzzCase], bool],
+    max_checks: int = DEFAULT_MAX_CHECKS,
+    stats: ShrinkStats | None = None,
+) -> FuzzCase:
+    """Greedily minimize ``case`` while ``interesting`` stays true.
+
+    ``interesting`` must already be true for ``case`` itself; the returned
+    case is guaranteed interesting (it is only ever replaced by accepted
+    candidates).
+    """
+    stats = stats if stats is not None else ShrinkStats()
+    improved = True
+    while improved and not stats.spent(max_checks):
+        improved = False
+        smaller = _minimize_accesses(case, interesting, stats, max_checks)
+        if len(smaller.accesses) < len(case.accesses):
+            case = smaller
+            improved = True
+        for maker in (_item_candidates, _geometry_candidates):
+            for candidate in maker(case):
+                if stats.spent(max_checks):
+                    break
+                if _try(candidate, interesting, stats):
+                    case = candidate
+                    improved = True
+                    break
+    for candidate in _cosmetic_candidates(case):
+        if stats.spent(max_checks):
+            break
+        if _try(candidate, interesting, stats):
+            case = candidate
+    return case.with_changes(label=f"{case.label or 'fuzz'}-shrunk")

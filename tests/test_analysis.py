@@ -152,3 +152,12 @@ class TestSweep:
             [trace], methods=("declaration",), num_ports_values=(1, 2)
         )
         assert {r.num_ports for r in records} == {1, 2}
+
+
+class TestSummarizeNormalizedEdgeCases:
+    def test_empty_rows_yield_nan_per_key(self):
+        import math as _math
+
+        summary = summarize_normalized([], ["x", "y"])
+        assert set(summary) == {"x", "y"}
+        assert all(_math.isnan(value) for value in summary.values())

@@ -119,3 +119,85 @@ class TestExhaustivePlacement:
         brute = evaluate_placement(problem, exhaustive_placement(problem))
         dp = evaluate_placement(problem, exact_single_dbc_placement(problem))
         assert brute == dp
+
+
+def _true_optimum(problem):
+    """All injective slot assignments — independent of repro.core.exact."""
+    from repro.core.placement import Placement, Slot
+
+    config = problem.config
+    slots = [
+        Slot(dbc, offset)
+        for dbc in range(config.num_dbcs)
+        for offset in range(config.words_per_dbc)
+    ]
+    items = list(problem.items)
+    return min(
+        evaluate_placement(problem, Placement(dict(zip(items, chosen))))
+        for chosen in itertools.permutations(slots, len(items))
+    )
+
+
+class TestFuzzerRegressions:
+    """Cases the differential fuzzer minimized against the old solvers."""
+
+    def test_two_port_zero_cost_split(self):
+        # Shrunk fuzz repro: two items ping-ponging between ports 0 and 2.
+        # The old exhaustive search only tried contiguous windows, forcing
+        # the items adjacent (cost 5); one item parked on each port is free.
+        trace = AccessTrace(["a", "b"] * 3)
+        config = DWMConfig(words_per_dbc=3, num_dbcs=1, port_offsets=(0, 2))
+        problem = PlacementProblem(trace=trace, config=config)
+        placement = exhaustive_placement(problem)
+        assert evaluate_placement(problem, placement) == 0
+
+    def test_interior_port_approach_term(self):
+        # Shrunk fuzz repro: full single-port DBC with the port mid-tape.
+        # The old MinLA variants charged the first access as if the port sat
+        # at offset 0 and returned a suboptimal order.
+        trace = AccessTrace(["c", "a", "b", "c", "d", "e", "c", "a", "c", "b"])
+        config = DWMConfig(words_per_dbc=5, num_dbcs=1, port_offsets=(2,))
+        problem = PlacementProblem(trace=trace, config=config)
+        cost = evaluate_placement(problem, exact_single_dbc_placement(problem))
+        assert cost == 12
+        assert cost == _true_optimum(problem)
+
+    @pytest.mark.parametrize("ports", [(0,), (1,), (2,), (0, 2), (1, 3)])
+    def test_exhaustive_matches_true_optimum(self, ports):
+        from repro.core.exact import exhaustive_search_is_exact
+
+        trace = markov_trace(4, 40, locality=0.6, seed=9)
+        words = max(ports) + 2
+        config = DWMConfig(
+            words_per_dbc=words, num_dbcs=2, port_offsets=ports
+        )
+        problem = PlacementProblem(trace=trace, config=config)
+        assert exhaustive_search_is_exact(config, len(problem.items))
+        cost = evaluate_placement(problem, exhaustive_placement(problem))
+        assert cost == _true_optimum(problem)
+
+
+class TestExhaustiveSearchIsExact:
+    def test_eager_always_exact(self):
+        from repro.core.exact import exhaustive_search_is_exact
+        from repro.dwm.config import PortPolicy
+
+        config = DWMConfig(
+            words_per_dbc=64, num_dbcs=4, port_offsets=(0, 31, 63),
+            port_policy=PortPolicy.EAGER,
+        )
+        assert exhaustive_search_is_exact(config, 7)
+
+    def test_single_port_lazy_exact(self):
+        from repro.core.exact import exhaustive_search_is_exact
+
+        config = DWMConfig(words_per_dbc=64, num_dbcs=4, port_offsets=(0,))
+        assert exhaustive_search_is_exact(config, 7)
+
+    def test_multi_port_lazy_truncated_combinations(self):
+        from repro.core.exact import exhaustive_search_is_exact
+
+        # comb(64, 7) is astronomically past MAX_OFFSET_COMBINATIONS, so the
+        # search falls back to contiguous windows and loses the guarantee.
+        config = DWMConfig(words_per_dbc=64, num_dbcs=1, port_offsets=(0, 32))
+        assert not exhaustive_search_is_exact(config, 7)

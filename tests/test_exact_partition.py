@@ -115,3 +115,70 @@ class TestGuards:
         with pytest.raises(Exception):
             problem = PlacementProblem(trace=trace, config=config)
             exact_partitioned_placement(problem)
+
+
+class TestFuzzerRegressions:
+    """Pinned repros from the differential conformance fuzzer."""
+
+    def test_interior_port_group_cost(self):
+        # The per-group MinLA used to charge the first access of each group
+        # as if the port sat at offset 0; with the port mid-tape the group
+        # costs were inflated and the partition DP picked a worse split.
+        import itertools
+
+        from repro.core.placement import Placement, Slot
+
+        trace = AccessTrace(
+            ["a", "b", "a", "c", "d", "c", "a", "d", "b", "a"]
+        )
+        config = DWMConfig(words_per_dbc=3, num_dbcs=2, port_offsets=(1,))
+        problem = PlacementProblem(trace=trace, config=config)
+        cost = evaluate_placement(
+            problem, exact_partitioned_placement(problem)
+        )
+        assert cost == 4
+        slots = [
+            Slot(dbc, offset)
+            for dbc in range(config.num_dbcs)
+            for offset in range(config.words_per_dbc)
+        ]
+        items = list(problem.items)
+        true_optimum = min(
+            evaluate_placement(
+                problem, Placement(dict(zip(items, chosen)))
+            )
+            for chosen in itertools.permutations(slots, len(items))
+        )
+        assert cost == true_optimum
+
+
+class TestPartitionMinimum:
+    def test_picks_cheapest_cover(self):
+        from repro.core.exact_partition import partition_minimum
+
+        group_cost = {
+            0b001: 5, 0b010: 7, 0b100: 1,
+            0b011: 10, 0b101: 2, 0b110: 100, 0b111: 50,
+        }
+        cost, groups = partition_minimum(group_cost, 3, 2)
+        assert cost == 9
+        assert sorted(groups) == [0b010, 0b101]
+
+    def test_group_bound_respected(self):
+        from repro.core.exact_partition import partition_minimum
+
+        # With only singleton groups allowed to be cheap, one group must
+        # cover everything when max_groups == 1.
+        group_cost = {
+            mask: (0 if mask == 0b111 else 100)
+            for mask in range(1, 8)
+        }
+        cost, groups = partition_minimum(group_cost, 3, 1)
+        assert cost == 0
+        assert groups == [0b111]
+
+    def test_infeasible_raises(self):
+        from repro.core.exact_partition import partition_minimum
+
+        with pytest.raises(OptimizationError):
+            partition_minimum({0b001: 1}, 2, 2)  # item 1 uncoverable

@@ -152,3 +152,76 @@ class TestShiftLocalityScore:
     def test_score_bounded(self, locality_trace):
         score = shift_locality_score(locality_trace)
         assert 0.0 <= score <= 1.0
+
+
+def _stack_walk_reuse_distances(trace):
+    """The original O(n^2) LRU-stack implementation, kept as a test oracle."""
+    stack = []
+    distances = []
+    for access in trace:
+        item = access.item
+        if item in stack:
+            index = stack.index(item)
+            distances.append(index)
+            stack.pop(index)
+        stack.insert(0, item)
+    return distances
+
+
+class TestReuseDistancesDifferential:
+    """The Fenwick-tree rewrite must match the old stack walk exactly."""
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_matches_stack_walk_on_random_traces(self, seed):
+        import random
+
+        rng = random.Random(seed)
+        items = [f"i{k}" for k in range(rng.randint(2, 12))]
+        trace = AccessTrace(
+            [rng.choice(items) for _ in range(rng.randint(1, 300))]
+        )
+        assert reuse_distances(trace) == _stack_walk_reuse_distances(trace)
+
+    def test_matches_stack_walk_on_pathological_trace(self):
+        # Single hot item with a long cold tail in between: the pattern
+        # that made the quadratic scan hurt the most.
+        sequence = (
+            ["hot"] + [f"cold{k}" for k in range(50)] + ["hot"]
+        ) * 3
+        trace = AccessTrace(sequence)
+        assert reuse_distances(trace) == _stack_walk_reuse_distances(trace)
+
+    def test_empty_trace(self):
+        assert reuse_distances(AccessTrace([])) == []
+
+
+class TestMedianReuseDistance:
+    def test_even_length_averages_middle_pair(self):
+        # Distances are [0, 1]: a-a reused immediately, b reused past one
+        # distinct item.  The median of an even-length list is the mean of
+        # the two middle elements, not the upper one.
+        trace = AccessTrace(["a", "a", "b", "a", "b"])
+        distances = reuse_distances(trace)
+        assert sorted(distances) == [0, 1, 1]  # sanity: odd case unchanged
+        trace = AccessTrace(["a", "a", "b", "c", "b"])
+        assert sorted(reuse_distances(trace)) == [0, 1]
+        stats = compute_stats(trace)
+        assert stats.median_reuse_distance == pytest.approx(0.5)
+
+    def test_odd_length_still_middle_element(self):
+        trace = AccessTrace(["a", "a", "b", "c", "b", "d", "c"])
+        assert sorted(reuse_distances(trace)) == [0, 1, 2]
+        stats = compute_stats(trace)
+        assert stats.median_reuse_distance == pytest.approx(1.0)
+
+
+class TestTopItemTieBreak:
+    def test_count_ties_break_by_name(self):
+        stats = compute_stats(AccessTrace(["b", "a", "b", "a"]))
+        assert stats.top_item == "a"
+        assert stats.max_item_frequency == 2
+
+    def test_tie_break_independent_of_first_touch(self):
+        first = compute_stats(AccessTrace(["z", "a", "z", "a"]))
+        second = compute_stats(AccessTrace(["a", "z", "a", "z"]))
+        assert first.top_item == second.top_item == "a"
