@@ -85,6 +85,12 @@ LOWER_PATTERNS = (
     "quarantined",
 )
 
+#: Leaf-name patterns recording the host's parallel capacity.  When one of
+#: these differs between two manifests, speedup metrics in the same section
+#: were measured on machines with different core budgets and cannot be
+#: compared like-for-like — they are annotated, not gated.
+HOST_CAPACITY_PATTERNS = ("cpu_count", "effective_workers", "effective_jobs")
+
 _BENCH_NAME = re.compile(r"BENCH_([A-Za-z0-9_-]+)\.json$")
 
 
@@ -223,6 +229,12 @@ def classify_metric(name: str, value: Any = None) -> str:
     return "info"
 
 
+def _is_host_capacity(name: str) -> bool:
+    """True if ``name``'s leaf records host parallel capacity."""
+    leaf = name.rsplit(SEPARATOR, 1)[-1].lower()
+    return any(pattern in leaf for pattern in HOST_CAPACITY_PATTERNS)
+
+
 @dataclass(frozen=True)
 class MetricDelta:
     """Comparison outcome for one metric name."""
@@ -247,6 +259,7 @@ class ComparisonReport:
     baseline_id: str
     candidate_id: str
     deltas: list[MetricDelta] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
 
     @property
     def regressions(self) -> list[MetricDelta]:
@@ -285,7 +298,7 @@ class ComparisonReport:
             for delta in ordered
         ]
         verdict = "PASS" if self.ok else f"FAIL ({len(self.regressions)} regression(s))"
-        return format_table(
+        table = format_table(
             ("metric", "baseline", "candidate", "change", "direction", "status"),
             rows,
             title=(
@@ -293,6 +306,10 @@ class ComparisonReport:
                 f"[{verdict}]"
             ),
         )
+        if self.notes:
+            notes = "\n".join(f"  - {note}" for note in self.notes)
+            return f"{table}\nnotes:\n{notes}"
+        return table
 
 
 def _tolerance_for(
@@ -370,6 +387,24 @@ def compare(
         candidate_id=candidate.run_id,
     )
     names = sorted(set(baseline.metrics) | set(candidate.metrics))
+    # Sections whose recorded host capacity (cpu_count/effective_workers...)
+    # differs between the runs: speedup metrics there were measured on
+    # machines with different core budgets, so they are annotated as info
+    # instead of being gated.  A top-level mismatch (scope "") covers all.
+    capacity_mismatch: dict[str, list[str]] = {}
+    for name in names:
+        if not _is_host_capacity(name):
+            continue
+        if name not in baseline.metrics or name not in candidate.metrics:
+            continue
+        base_value = baseline.metrics[name]
+        cand_value = candidate.metrics[name]
+        if base_value == cand_value:
+            continue
+        scope = name.rsplit(SEPARATOR, 1)[0] if SEPARATOR in name else ""
+        capacity_mismatch.setdefault(scope, []).append(
+            f"{name} {base_value!r} -> {cand_value!r}"
+        )
     for name in names:
         in_base = name in baseline.metrics
         in_cand = name in candidate.metrics
@@ -386,6 +421,19 @@ def compare(
             status, change = _delta_status(
                 direction, base_value, cand_value, tolerance
             )
+            if "speedup" in name.lower() and status != "info":
+                reasons = [
+                    mismatch
+                    for scope, mismatches in capacity_mismatch.items()
+                    if scope == "" or name.startswith(scope + SEPARATOR)
+                    for mismatch in mismatches
+                ]
+                if reasons:
+                    status = "info"
+                    report.notes.append(
+                        f"{name}: hosts differ in parallel capacity "
+                        f"({'; '.join(reasons)}); speedup annotated, not gated"
+                    )
         report.deltas.append(
             MetricDelta(
                 name=name,

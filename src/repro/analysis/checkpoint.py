@@ -244,15 +244,23 @@ def run_checkpointed(
         if checkpoint is not None and keys[index] is not None:
             checkpoint.record(keys[index], encode(value))
 
-    fresh = resilient_map(
-        fn,
-        [tasks[index] for index in remaining],
-        jobs,
-        timeout=timeout,
-        retries=retries,
-        backoff_seconds=backoff_seconds,
-        on_result=on_result,
-    )
+    try:
+        fresh = resilient_map(
+            fn,
+            [tasks[index] for index in remaining],
+            jobs,
+            timeout=timeout,
+            retries=retries,
+            backoff_seconds=backoff_seconds,
+            on_result=on_result,
+        )
+    except BaseException:
+        # Interrupt (or pool meltdown) mid-batch: everything journaled so
+        # far must survive for resume, even when the caller never reaches
+        # the CLI's KeyboardInterrupt handler.
+        if checkpoint is not None:
+            checkpoint.flush()
+        raise
     for sub_index, index in enumerate(remaining):
         value = fresh[sub_index]
         if isinstance(value, TaskFailure):

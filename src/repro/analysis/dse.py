@@ -19,10 +19,12 @@ from dataclasses import asdict, dataclass
 from typing import Iterable, Sequence
 
 from repro.analysis.checkpoint import CheckpointJournal, run_checkpointed, task_key
+from repro.analysis.parallel import resolve_jobs
 from repro.core.api import optimize_placement
 from repro.dwm.config import DWMConfig, PortPolicy
 from repro.dwm.energy import DWMEnergyModel
 from repro.errors import OptimizationError
+from repro.memory.shm import publish_traces
 from repro.memory.spm import ScratchpadMemory
 from repro.trace.model import AccessTrace
 
@@ -60,8 +62,13 @@ def area_per_bit(words_per_dbc: int, num_ports: int) -> float:
 
 
 def _explore_point(task: tuple) -> DesignPoint:
-    """Evaluate one geometry (top-level so pool workers can unpickle it)."""
-    trace, length, port_count, policy, method, energy_model = task
+    """Evaluate one geometry (top-level so pool workers can unpickle it).
+
+    The trace arrives as a :class:`~repro.memory.shm.TraceHandle`; see
+    :func:`repro.analysis.sweep._sweep_cell`.
+    """
+    handle, length, port_count, policy, method, energy_model = task
+    trace = handle.trace()
     config = DWMConfig.for_items(
         trace.num_items,
         words_per_dbc=length,
@@ -84,12 +91,13 @@ def _explore_point(task: tuple) -> DesignPoint:
 
 
 def _point_key(task: tuple) -> str:
-    """Checkpoint-journal content key of one design point."""
-    trace, length, port_count, policy, method, energy_model = task
+    """Checkpoint-journal content key of one design point (fingerprint-
+    keyed, so serial and pooled runs journal identically)."""
+    handle, length, port_count, policy, method, energy_model = task
     return task_key(
         "dse-point",
         {
-            "trace": trace.fingerprint(),
+            "trace": handle.fingerprint(),
             "length": length,
             "ports": port_count,
             "policy": str(policy),
@@ -121,25 +129,31 @@ def explore(
     points are restored on resume instead of recomputed.
     """
     energy_model = energy_model or DWMEnergyModel()
-    tasks = [
-        (trace, length, port_count, policy, method, energy_model)
-        for length in lengths
-        for port_count in ports
-        if port_count <= length
-        for policy in policies
-    ]
-    keys = [_point_key(task) for task in tasks] if checkpoint is not None else None
-    return run_checkpointed(
-        _explore_point,
-        tasks,
-        keys,
-        checkpoint=checkpoint,
-        encode=asdict,
-        decode=lambda payload: DesignPoint(**payload),
-        jobs=jobs,
-        timeout=timeout,
-        retries=retries,
-    )
+    effective_jobs = resolve_jobs(jobs)
+    with publish_traces([trace], effective_jobs) as (handle,):
+        tasks = [
+            (handle, length, port_count, policy, method, energy_model)
+            for length in lengths
+            for port_count in ports
+            if port_count <= length
+            for policy in policies
+        ]
+        keys = (
+            [_point_key(task) for task in tasks]
+            if checkpoint is not None
+            else None
+        )
+        return run_checkpointed(
+            _explore_point,
+            tasks,
+            keys,
+            checkpoint=checkpoint,
+            encode=asdict,
+            decode=lambda payload: DesignPoint(**payload),
+            jobs=effective_jobs,
+            timeout=timeout,
+            retries=retries,
+        )
 
 
 def dominates(a: Sequence[float], b: Sequence[float]) -> bool:

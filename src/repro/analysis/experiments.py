@@ -1073,7 +1073,10 @@ def run_experiments(
 
     Unknown ids are rejected up front (before any work starts).  Outputs
     come back in the requested order for any job count; each worker runs
-    its experiment's internal sweeps serially (no nested pools).
+    its experiment's internal sweeps serially (no nested pools).  Tasks
+    are bare experiment-id strings dispatched to the persistent worker
+    pool (:mod:`repro.analysis.pool`), so consecutive batches reuse the
+    same warm workers.
 
     ``timeout``/``retries`` enable the fault-tolerant runner: an
     experiment that keeps failing yields a

@@ -4,23 +4,31 @@ The experiment harness is embarrassingly parallel: every sweep cell, DSE
 design point and experiment is an independent pure function of its inputs.
 This module provides the two primitives they share:
 
-* :func:`parallel_map` — an order-preserving process-pool map with a serial
-  fast path.  Pool-infrastructure failures degrade to a serial rerun with a
-  *loud* one-time :class:`RuntimeWarning` naming the cause (a degraded run
-  must be visible, not silent).
-* :func:`resilient_map` — the fault-tolerant variant: each task runs in its
-  own worker process with a per-task **timeout**, bounded **retries** with
+* :func:`parallel_map` — an order-preserving map over the persistent
+  worker pool (:mod:`repro.analysis.pool`) with a serial fast path.
+  Pool-infrastructure failures degrade to a serial rerun with a *loud*
+  one-time :class:`RuntimeWarning` naming the cause (a degraded run must
+  be visible, not silent).
+* :func:`resilient_map` — the fault-tolerant variant: per-task **timeout**
+  (a hung worker is terminated and replaced), bounded **retries** with
   exponential backoff, and **failure isolation** — a task that keeps
   crashing, hanging or raising yields a :class:`TaskFailure` record in its
   result slot instead of killing the whole map.  Sibling tasks always run
   to completion.
 
+Both primitives share one pool of long-lived workers per (start method,
+job count), spawned on first use and reused across maps — tasks pay a
+pipe send/recv, not a process spawn.  Bulk inputs (traces) should cross
+the boundary as :mod:`repro.memory.shm` handles so the per-task pickle
+stays small.
+
 Shared policy: the job count resolves as ``--jobs`` flag > ``REPRO_JOBS``
-env var > serial, and the start method as ``REPRO_MP_START`` > fork >
-spawn.  Workers run with ``REPRO_JOBS=1`` so a parallel experiment that
-internally calls a sweep does not fork a pool per worker, and rebuild
-env-configured state (the placement cache) on startup so the ``spawn``
-start method behaves like ``fork``.
+env var > serial, capped at the host's logical CPU count (a one-time
+warning reports oversubscription), and the start method as
+``REPRO_MP_START`` > fork > spawn.  Workers run with ``REPRO_JOBS=1`` so
+a parallel experiment that internally calls a sweep does not fork a pool
+per worker, and rebuild env-configured state (the placement cache) on
+startup so the ``spawn`` start method behaves like ``fork``.
 
 Determinism contract (both primitives): results come back in task order
 regardless of worker scheduling, so parallel runs are byte-identical to
@@ -32,7 +40,6 @@ from __future__ import annotations
 import os
 import time
 import warnings
-from collections import deque
 from dataclasses import dataclass
 from typing import Callable, Iterable, Sequence, TypeVar
 
@@ -89,19 +96,40 @@ class TaskFailure:
         )
 
 
+def _cpu_count() -> int:
+    """Logical CPU count (monkeypatchable seam for tests)."""
+    return os.cpu_count() or 1
+
+
+def _cap_jobs(jobs: int, source: str) -> int:
+    """Clamp ``jobs`` to the host CPU count, warning once on excess."""
+    cap = _cpu_count()
+    if jobs > cap:
+        _warn_once(
+            "resolve-jobs-cap",
+            f"requested {jobs} jobs via {source} but the host has only "
+            f"{cap} CPU(s); capping at {cap}",
+        )
+        return cap
+    return jobs
+
+
 def resolve_jobs(jobs: int | None = None) -> int:
     """Effective worker count: explicit argument > ``REPRO_JOBS`` > 1.
 
-    Non-numeric or non-positive values resolve to 1 (serial) rather than
-    erroring — the environment variable is a tuning knob, not an API — but
-    a garbage value is reported once so a silently serial run is traceable.
+    The result is capped at the host's logical CPU count — workers beyond
+    that only add contention — with a one-time :class:`RuntimeWarning`
+    naming the oversubscribing source.  Non-numeric or non-positive values
+    resolve to 1 (serial) rather than erroring — the environment variable
+    is a tuning knob, not an API — but a garbage value is reported once so
+    a silently serial run is traceable.
     """
     if jobs is not None:
-        return max(1, int(jobs))
+        return _cap_jobs(max(1, int(jobs)), "--jobs")
     raw = os.environ.get(JOBS_ENV, "").strip()
     if raw:
         try:
-            return max(1, int(raw))
+            return _cap_jobs(max(1, int(raw)), JOBS_ENV)
         except ValueError:
             _warn_once(
                 "resolve-jobs",
@@ -111,16 +139,23 @@ def resolve_jobs(jobs: int | None = None) -> int:
     return 1
 
 
-def _pool_context():
-    """Multiprocessing context: ``REPRO_MP_START`` > fork > spawn."""
+def _pool_start_method() -> str:
+    """Start-method name: ``REPRO_MP_START`` > fork > spawn."""
     import multiprocessing
 
     method = os.environ.get(MP_START_ENV, "").strip()
     if method:
-        return multiprocessing.get_context(method)
+        return method
     if "fork" in multiprocessing.get_all_start_methods():
-        return multiprocessing.get_context("fork")
-    return multiprocessing.get_context("spawn")
+        return "fork"
+    return "spawn"
+
+
+def _pool_context():
+    """Multiprocessing context: ``REPRO_MP_START`` > fork > spawn."""
+    import multiprocessing
+
+    return multiprocessing.get_context(_pool_start_method())
 
 
 def _worker_init() -> None:
@@ -159,28 +194,19 @@ def parallel_map(
         registry.inc("parallel.tasks", len(tasks), mode="serial")
         with trace_span("parallel_map", mode="serial", tasks=len(tasks)):
             return [fn(task) for task in tasks]
-    import concurrent.futures
-    import pickle
+    from repro.analysis import pool as pool_mod
 
     registry.gauge("parallel.jobs", jobs)
     try:
         with trace_span("parallel_map", mode="pool", tasks=len(tasks)):
-            with concurrent.futures.ProcessPoolExecutor(
-                max_workers=min(jobs, len(tasks)),
-                mp_context=_pool_context(),
-                initializer=_worker_init,
-            ) as pool:
-                results = list(pool.map(fn, tasks, chunksize=chunksize))
+            worker_pool = pool_mod.get_pool(jobs)
+            results = worker_pool.run(fn, tasks, propagate=True)
         registry.inc("parallel.tasks", len(tasks), mode="pool")
         return results
     except (
         OSError,
-        pickle.PicklingError,
-        # pickle reports unpicklable callables/tasks as AttributeError or
-        # TypeError (not PicklingError) depending on the object.
-        AttributeError,
-        TypeError,
-        concurrent.futures.process.BrokenProcessPool,
+        pool_mod.PoolDispatchError,
+        pool_mod.PoolCrashError,
     ) as exc:
         _warn_once(
             "parallel-map-fallback",
@@ -196,34 +222,6 @@ def parallel_map(
 # ---------------------------------------------------------------------------
 # Resilient (timeout + retry + failure isolation) map
 # ---------------------------------------------------------------------------
-
-def _child_entry(fn, task, conn) -> None:
-    """Worker body for :func:`resilient_map`: run one task, report once."""
-    _worker_init()
-    try:
-        payload = (True, fn(task))
-    except BaseException as exc:  # noqa: BLE001 - reported to the parent
-        payload = (False, f"{type(exc).__name__}: {exc}")
-    try:
-        conn.send(payload)
-    except Exception:
-        # Unpicklable result / broken pipe: the parent sees EOF and treats
-        # this attempt as a crash.
-        pass
-    finally:
-        conn.close()
-
-
-class _Running:
-    """Bookkeeping for one in-flight task attempt."""
-
-    __slots__ = ("proc", "conn", "deadline")
-
-    def __init__(self, proc, conn, deadline) -> None:
-        self.proc = proc
-        self.conn = conn
-        self.deadline = deadline
-
 
 def _run_serial_with_retries(fn, tasks, retries, backoff_seconds, on_result):
     """Inline serial path (no timeout enforcement, retries still honoured)."""
@@ -264,12 +262,12 @@ def resilient_map(
 ) -> list:
     """Fault-tolerant order-preserving map.
 
-    Unlike :func:`parallel_map`, every task attempt runs in its *own*
-    worker process, which is what makes a hung task killable: on timeout
-    the worker is terminated and the task retried (with exponential
-    backoff) up to ``retries`` times.  A task that exhausts its budget —
-    by raising, hanging, or crashing its worker — contributes a
-    :class:`TaskFailure` at its index; sibling tasks are unaffected.
+    Runs on the persistent worker pool: on timeout the (hung) worker is
+    terminated and replaced, and the task retried (with exponential
+    backoff) up to ``retries`` times — always on a live worker.  A task
+    that exhausts its budget — by raising, hanging, or crashing its
+    worker — contributes a :class:`TaskFailure` at its index; sibling
+    tasks are unaffected.
 
     ``on_result(index, result)`` fires in the parent as each task
     *succeeds* (in completion order, not task order) — the checkpoint
@@ -278,6 +276,9 @@ def resilient_map(
     With ``timeout=None`` and an effective job count of 1 the map runs
     inline (retries still honoured); any timeout forces worker processes
     even for serial runs, since an in-process hang cannot be interrupted.
+    A function or task that cannot be pickled into workers degrades to
+    the inline path with a one-time warning — timeouts are then best
+    effort (unenforced), which the warning spells out.
     """
     tasks = list(tasks)
     jobs = resolve_jobs(jobs)
@@ -292,128 +293,29 @@ def resilient_map(
             return _run_serial_with_retries(
                 fn, tasks, retries, backoff_seconds, on_result
             )
+    from repro.analysis import pool as pool_mod
+
     with trace_span(
-        "resilient_map", mode="workers", tasks=len(tasks), jobs=jobs
+        "resilient_map", mode="pool", tasks=len(tasks), jobs=jobs
     ):
-        return _resilient_worker_loop(
-            fn, tasks, jobs, timeout, retries, backoff_seconds, on_result
-        )
-
-
-def _resilient_worker_loop(
-    fn,
-    tasks: list,
-    jobs: int,
-    timeout: float | None,
-    retries: int,
-    backoff_seconds: float,
-    on_result: Callable[[int, object], None] | None,
-) -> list:
-    """Per-task worker-process scheduler behind :func:`resilient_map`."""
-    from multiprocessing.connection import wait as _wait
-
-    ctx = _pool_context()
-    results: list = [None] * len(tasks)
-    pending: deque[int] = deque(range(len(tasks)))
-    running: dict[int, _Running] = {}
-    failures: dict[int, int] = {}
-    ready_at: dict[int, float] = {}
-
-    registry = get_registry()
-
-    def handle_failure(index: int, kind: str, message: str) -> None:
-        failures[index] = failures.get(index, 0) + 1
-        if failures[index] > retries:
-            results[index] = TaskFailure(
-                index=index, error=message, attempts=failures[index], kind=kind
+        try:
+            worker_pool = pool_mod.get_pool(jobs)
+            return worker_pool.run(
+                fn,
+                tasks,
+                timeout=timeout,
+                retries=retries,
+                backoff_seconds=backoff_seconds,
+                on_result=on_result,
             )
-            registry.inc("resilient.failures", kind=kind)
-        else:
-            registry.inc("resilient.retries")
-            ready_at[index] = time.monotonic() + backoff_seconds * (
-                2 ** (failures[index] - 1)
+        except pool_mod.PoolDispatchError as exc:
+            _warn_once(
+                "resilient-map-fallback",
+                "resilient_map: cannot ship tasks to pool workers "
+                f"({exc}); falling back to serial execution without "
+                "timeout enforcement",
             )
-            pending.append(index)
-
-    def reap(index: int) -> None:
-        entry = running.pop(index)
-        entry.conn.close()
-        entry.proc.join()
-
-    try:
-        while pending or running:
-            now = time.monotonic()
-            # Launch up to ``jobs`` attempts whose backoff has elapsed.
-            for _ in range(len(pending)):
-                if len(running) >= jobs:
-                    break
-                index = pending.popleft()
-                if ready_at.get(index, 0.0) > now:
-                    pending.append(index)
-                    continue
-                receiver, sender = ctx.Pipe(duplex=False)
-                proc = ctx.Process(
-                    target=_child_entry,
-                    args=(fn, tasks[index], sender),
-                    daemon=True,
-                )
-                proc.start()
-                sender.close()
-                deadline = now + timeout if timeout is not None else None
-                running[index] = _Running(proc, receiver, deadline)
-            if not running:
-                # Everything left is backing off; sleep until the earliest.
-                soonest = min(ready_at[index] for index in pending)
-                time.sleep(max(0.0, soonest - time.monotonic()))
-                continue
-            # Wait for results, bounded by the nearest deadline.
-            wait_timeout = 0.1
-            if timeout is not None:
-                nearest = min(
-                    entry.deadline
-                    for entry in running.values()
-                    if entry.deadline is not None
-                )
-                wait_timeout = max(0.0, min(wait_timeout, nearest - now))
-            conn_index = {entry.conn: i for i, entry in running.items()}
-            for conn in _wait(list(conn_index), timeout=wait_timeout):
-                index = conn_index[conn]
-                try:
-                    ok, payload = conn.recv()
-                except (EOFError, OSError):
-                    reap(index)
-                    handle_failure(
-                        index, "crash", "worker exited without a result"
-                    )
-                    continue
-                reap(index)
-                if ok:
-                    results[index] = payload
-                    registry.inc("resilient.tasks", mode="worker")
-                    if on_result is not None:
-                        on_result(index, payload)
-                else:
-                    handle_failure(index, "error", payload)
-            # Enforce deadlines and collect workers that died silently.
-            now = time.monotonic()
-            for index in list(running):
-                entry = running[index]
-                if entry.deadline is not None and now >= entry.deadline:
-                    entry.proc.terminate()
-                    reap(index)
-                    handle_failure(
-                        index,
-                        "timeout",
-                        f"exceeded task timeout of {timeout:g}s",
-                    )
-                elif not entry.proc.is_alive() and not entry.conn.poll():
-                    reap(index)
-                    handle_failure(
-                        index, "crash", "worker exited without a result"
-                    )
-    finally:
-        for entry in running.values():
-            entry.proc.terminate()
-            entry.conn.close()
-            entry.proc.join()
-    return results
+            get_registry().inc("parallel.fallbacks")
+            return _run_serial_with_retries(
+                fn, tasks, retries, backoff_seconds, on_result
+            )

@@ -11,8 +11,10 @@ from dataclasses import asdict, dataclass
 from typing import Iterable, Sequence
 
 from repro.analysis.checkpoint import CheckpointJournal, run_checkpointed, task_key
+from repro.analysis.parallel import resolve_jobs
 from repro.core.api import optimize_placement
 from repro.dwm.config import DWMConfig
+from repro.memory.shm import publish_traces
 from repro.trace.model import AccessTrace
 
 
@@ -37,12 +39,16 @@ class SweepRecord:
 
 
 def _sweep_cell(task: tuple) -> SweepRecord:
-    """Evaluate one (trace, geometry, method) grid cell.
+    """Evaluate one (trace-handle, geometry, method) grid cell.
 
     Top-level (picklable) so :func:`repro.analysis.parallel.parallel_map`
-    can ship cells to pool workers under any start method.
+    can ship cells to pool workers under any start method.  The trace
+    arrives as a :class:`~repro.memory.shm.TraceHandle` — the pickle is a
+    few dozen bytes; the access arrays live in shared memory (or, in the
+    publishing process itself, are the original trace object).
     """
-    trace, words_per_dbc, num_ports, method, kwargs = task
+    handle, words_per_dbc, num_ports, method, kwargs = task
+    trace = handle.trace()
     config = DWMConfig.for_items(
         trace.num_items,
         words_per_dbc=words_per_dbc,
@@ -62,12 +68,17 @@ def _sweep_cell(task: tuple) -> SweepRecord:
 
 
 def _cell_key(task: tuple) -> str:
-    """Checkpoint-journal content key of one sweep cell."""
-    trace, words_per_dbc, num_ports, method, kwargs = task
+    """Checkpoint-journal content key of one sweep cell.
+
+    Keyed on the trace *fingerprint* (content hash), never the handle, so
+    serial and pooled runs — and resumed runs republished under new
+    segment names — generate identical journal keys.
+    """
+    handle, words_per_dbc, num_ports, method, kwargs = task
     return task_key(
         "sweep-cell",
         {
-            "trace": trace.fingerprint(),
+            "trace": handle.fingerprint(),
             "words_per_dbc": words_per_dbc,
             "num_ports": num_ports,
             "method": method,
@@ -101,28 +112,35 @@ def sweep(
     by trace fingerprint + geometry + method) so an interrupted sweep
     resumes without recomputing.
     """
-    tasks = [
-        (trace, words_per_dbc, num_ports, method, kwargs)
-        for trace in traces
-        for words_per_dbc in words_per_dbc_values
-        for num_ports in num_ports_values
-        for method in methods
-    ]
-    keys = [_cell_key(task) for task in tasks] if checkpoint is not None else None
+    traces = list(traces)
+    effective_jobs = resolve_jobs(jobs)
     from repro.obs import trace_span
 
-    with trace_span("sweep", cells=len(tasks)):
-        return run_checkpointed(
-            _sweep_cell,
-            tasks,
-            keys,
-            checkpoint=checkpoint,
-            encode=asdict,
-            decode=lambda payload: SweepRecord(**payload),
-            jobs=jobs,
-            timeout=timeout,
-            retries=retries,
+    with publish_traces(traces, effective_jobs) as handles:
+        tasks = [
+            (handle, words_per_dbc, num_ports, method, kwargs)
+            for handle in handles
+            for words_per_dbc in words_per_dbc_values
+            for num_ports in num_ports_values
+            for method in methods
+        ]
+        keys = (
+            [_cell_key(task) for task in tasks]
+            if checkpoint is not None
+            else None
         )
+        with trace_span("sweep", cells=len(tasks)):
+            return run_checkpointed(
+                _sweep_cell,
+                tasks,
+                keys,
+                checkpoint=checkpoint,
+                encode=asdict,
+                decode=lambda payload: SweepRecord(**payload),
+                jobs=effective_jobs,
+                timeout=timeout,
+                retries=retries,
+            )
 
 
 def pivot(

@@ -455,6 +455,7 @@ def cmd_bench(args) -> int:
                 "baseline": args.baseline,
                 "candidate": args.candidate,
                 "ok": report.ok,
+                "notes": report.notes,
                 "regressions": [d.name for d in report.regressions],
                 "deltas": [
                     {
@@ -564,6 +565,19 @@ def cmd_fuzz(args) -> int:
         return 1
     checked = int(registry.counter_value("fuzz.cases"))
     print(f"\nall invariants held across {checked} case(s)")
+    return 0
+
+
+def cmd_kernels(args) -> int:
+    """Report which compiled lazy-cost kernel backend is active and why."""
+    from repro.core import kernels
+
+    info = kernels.describe()
+    if getattr(args, "json", False):
+        print(json.dumps(info, indent=2, sort_keys=True))
+        return 0
+    rows = [(key, str(value)) for key, value in sorted(info.items())]
+    print(format_table(("field", "value"), rows, title="lazy-cost kernel backend"))
     return 0
 
 
@@ -753,6 +767,14 @@ def build_parser() -> argparse.ArgumentParser:
                            "optimum oracle")
     fuzz.set_defaults(func=cmd_fuzz)
 
+    kernels = sub.add_parser(
+        "kernels",
+        help="show the active compiled lazy-cost kernel backend",
+    )
+    kernels.add_argument("--json", action="store_true",
+                         help="emit machine-readable JSON")
+    kernels.set_defaults(func=cmd_kernels)
+
     system = sub.add_parser(
         "system", help="full-system study: all-DRAM vs SPM configurations"
     )
@@ -774,15 +796,23 @@ def main(argv: list[str] | None = None) -> int:
         return args.func(args)
     except KeyboardInterrupt:
         # Flush any open checkpoint journals so an interrupted sweep can be
-        # resumed with --resume, then exit with the conventional SIGINT code.
+        # resumed with --resume, tear down the worker pools and any
+        # shared-memory trace segments (no leaked /dev/shm blocks), then
+        # exit with the conventional SIGINT code.
         from repro.analysis.checkpoint import flush_active_journals
+        from repro.analysis.pool import shutdown_pools
+        from repro.memory.shm import unlink_all
 
         flushed = flush_active_journals()
+        shutdown_pools()
+        unlinked = unlink_all()
+        notes = []
         if flushed:
-            print(
-                f"interrupted: flushed {flushed} checkpoint journal(s)",
-                file=sys.stderr,
-            )
+            notes.append(f"flushed {flushed} checkpoint journal(s)")
+        if unlinked:
+            notes.append(f"released {unlinked} shared-memory segment(s)")
+        if notes:
+            print(f"interrupted: {', '.join(notes)}", file=sys.stderr)
         else:
             print("interrupted", file=sys.stderr)
         return 130

@@ -30,18 +30,51 @@ from __future__ import annotations
 
 from typing import Iterable, Mapping, Sequence
 
+from repro.core import kernels
 from repro.core.placement import Placement, Slot
 from repro.core.problem import PlacementProblem
 from repro.dwm.config import PortPolicy
 from repro.errors import PlacementError
 
 #: Multi-port lazy subsequences at least this long replay through the
-#: vectorised port-state fold; shorter ones use the scalar walk, which has
+#: vectorised port-state fold (numpy fallback only; the compiled kernel
+#: backend has no minimum); shorter ones use the scalar walk, which has
 #: lower constant overhead.
 MULTI_PORT_VECTOR_MIN = 256
 
 
 def two_port_access_costs(offsets, ports):
+    """Per-access shift costs of a lazy two-port replay.
+
+    Dispatches to the compiled kernel backend
+    (:func:`repro.core.kernels.compiled`) when one is active — a single
+    fused walk, bit-identical by construction — and otherwise to the
+    closed-form numpy formulation
+    (:func:`two_port_access_costs_numpy`).
+    """
+    backend = kernels.compiled()
+    if backend is not None:
+        import numpy as np
+
+        return backend.lazy_costs(offsets, np.asarray(ports, dtype=np.int64))
+    return two_port_access_costs_numpy(offsets, ports)
+
+
+def multi_port_access_costs(offsets, ports):
+    """Per-access shift costs of a lazy multi-port replay (``P ≥ 2``).
+
+    Compiled-kernel dispatch with the Hillis–Steele numpy scan
+    (:func:`multi_port_access_costs_numpy`) as the fallback.
+    """
+    backend = kernels.compiled()
+    if backend is not None:
+        import numpy as np
+
+        return backend.lazy_costs(offsets, np.asarray(ports, dtype=np.int64))
+    return multi_port_access_costs_numpy(offsets, ports)
+
+
+def two_port_access_costs_numpy(offsets, ports):
     """Per-access shift costs of a lazy two-port replay (closed form).
 
     Vectorised over the whole offset sequence: with two ports every step's
@@ -100,7 +133,7 @@ def two_port_access_costs(offsets, ports):
     return out
 
 
-def multi_port_access_costs(offsets, ports):
+def multi_port_access_costs_numpy(offsets, ports):
     """Per-access shift costs of a lazy multi-port replay (``P ≥ 2``).
 
     After any access the head equals ``offset − p`` for exactly one port
@@ -189,9 +222,12 @@ class CostEvaluator:
         config = problem.config
         self._config = config
         self._ports: tuple[int, ...] = config.port_offsets
+        self._ports_np = np.asarray(config.port_offsets, dtype=np.int64)
         self._eager = config.port_policy is PortPolicy.EAGER
         self._single_port = len(self._ports) == 1
         self._port = self._ports[0]
+        #: compiled lazy-walk kernels (None → numpy/scalar fallback).
+        self._kernel = None if self._eager else kernels.compiled()
         if validate:
             placement.validate(config, problem.items)
 
@@ -338,11 +374,28 @@ class CostEvaluator:
         merged.sort()
         return merged
 
+    def _item_positions_union(self, indices):
+        """Ascending trace positions of all accesses to ``indices``."""
+        np = self._np
+        if not indices:
+            return np.empty(0, dtype=np.int64)
+        if len(indices) == 1:
+            return self._positions[next(iter(indices))]
+        merged = np.concatenate([self._positions[i] for i in indices])
+        merged.sort()
+        return merged
+
     def _lazy_dbc_cost(self, positions) -> int:
         """Exact lazy-policy cost of one DBC's restricted subsequence."""
         np = self._np
         if positions.size == 0:
             return 0
+        if self._kernel is not None:
+            # Fused gather + walk in native code: no intermediate arrays,
+            # one call for every port count.
+            return self._kernel.lazy_chain_cost(
+                positions, self._item_at, self._offset_np, self._ports_np
+            )
         sequence = self._item_at[positions]
         offsets = self._offset_np[sequence]
         if self._single_port:
@@ -528,16 +581,32 @@ class CostEvaluator:
                     if changes[i][0] == dbc and self._dbc[i] != dbc
                 }
                 if outgoing or incoming:
-                    positions = self._merged_positions(
-                        (base - outgoing) | incoming
-                    )
+                    if self._kernel is not None:
+                        # Walk (base \ outgoing) ∪ incoming merged on the
+                        # fly — no concatenate/sort per probe.  The merged
+                        # positions are only materialised if the move is
+                        # actually committed (see ``_apply``).
+                        cost = self._kernel.lazy_merge_cost(
+                            self._positions_of_dbc(dbc),
+                            self._item_positions_union(outgoing),
+                            self._item_positions_union(incoming),
+                            self._item_at,
+                            self._offset_np,
+                            self._ports_np,
+                        )
+                        payload: object = frozenset(
+                            (base - outgoing) | incoming
+                        )
+                    else:
+                        positions = self._merged_positions(
+                            (base - outgoing) | incoming
+                        )
+                        cost = self._lazy_dbc_cost(positions)
+                        payload = positions
                 else:
-                    positions = self._positions_of_dbc(dbc)
-                cost = self._lazy_dbc_cost(positions)
-                new_costs[dbc] = (
-                    cost,
-                    positions if (outgoing or incoming) else None,
-                )
+                    cost = self._lazy_dbc_cost(self._positions_of_dbc(dbc))
+                    payload = None
+                new_costs[dbc] = (cost, payload)
                 delta += cost - self._dbc_cost.get(dbc, 0)
         finally:
             for i, offset in saved:
@@ -637,10 +706,16 @@ class CostEvaluator:
                 (dbc, self._dbc_cost.get(dbc, 0), self._dbc_positions.get(dbc))
                 for dbc in affected
             ]
-            for dbc, (cost, positions) in info.items():
+            for dbc, (cost, payload) in info.items():
                 self._dbc_cost[dbc] = cost
-                if positions is not None:
-                    self._dbc_positions[dbc] = positions
+                if payload is None:
+                    continue
+                if isinstance(payload, frozenset):
+                    # Compiled-kernel probes defer materialisation of the
+                    # merged position array to commit time.
+                    self._dbc_positions[dbc] = self._merged_positions(payload)
+                else:
+                    self._dbc_positions[dbc] = payload
             record = ("lazy", record_slots, record_costs, delta)
         self._reassign(changes.items())
         self._total += delta

@@ -66,13 +66,64 @@ class ResolvedTrace:
         self.item_at = np.fromiter(
             (index[access.item] for access in trace), np.int64, length
         )
-        writes = sum(1 for access in trace if access.is_write)
+        self.is_write = np.fromiter(
+            (access.is_write for access in trace), np.bool_, length
+        )
+        writes = int(self.is_write.sum())
         self.writes = writes
         self.reads = length - writes
         self.resolve_seconds = time.perf_counter() - start
         registry = get_registry()
         registry.inc("sim.resolves")
         registry.observe("sim.resolve.seconds", self.resolve_seconds)
+
+    @classmethod
+    def from_arrays(cls, trace: AccessTrace, items, item_at, is_write):
+        """Trusted constructor from prebuilt dense arrays.
+
+        Used by the shared-memory attach path
+        (:mod:`repro.memory.shm`), where the arrays already exist in a
+        published segment and re-deriving them from the trace object
+        would repeat the O(accesses) Python loop the segment exists to
+        avoid.  The caller guarantees the arrays describe ``trace``.
+        """
+        resolved = cls.__new__(cls)
+        resolved.trace = trace
+        resolved.items = tuple(items)
+        resolved.item_at = item_at
+        resolved.is_write = is_write
+        resolved.writes = int(is_write.sum())
+        resolved.reads = int(item_at.size) - resolved.writes
+        resolved.resolve_seconds = 0.0
+        get_registry().inc("sim.resolves", mode="attached")
+        return resolved
+
+
+def seed_resolved(trace: AccessTrace, resolved: ResolvedTrace) -> None:
+    """Register ``resolved`` as the canonical resolution of ``trace``.
+
+    The resolution is cached on the trace object itself, so its lifetime
+    exactly matches the trace's and every later :func:`resolve_trace`
+    call — sweep cells, shared-memory handles, simulators — reuses the
+    same arrays.  The cache is dropped on pickling (see
+    ``AccessTrace.__getstate__``) so it never bloats task payloads.
+    """
+    trace._resolved = resolved
+
+
+def resolve_trace(trace: AccessTrace) -> ResolvedTrace:
+    """The canonical :class:`ResolvedTrace` of ``trace``.
+
+    Resolves at most once per trace object: the result is cached on the
+    trace (see :func:`seed_resolved`), so repeated sweep cells over the
+    same trace skip the per-access Python loop entirely.
+    """
+    cached = getattr(trace, "_resolved", None)
+    if cached is not None:
+        return cached
+    resolved = ResolvedTrace(trace)
+    trace._resolved = resolved
+    return resolved
 
 
 def _slot_arrays(resolved: ResolvedTrace, placement: Placement):
@@ -181,7 +232,7 @@ def per_access_costs(
     import numpy as np
 
     if resolved is None or resolved.trace is not trace:
-        resolved = ResolvedTrace(trace)
+        resolved = resolve_trace(trace)
     if validate:
         placement.validate(config, resolved.items)
     dbc_of, offset_of = _slot_arrays(resolved, placement)
@@ -244,7 +295,7 @@ def simulate_vectorized(
     ``scan_seconds``.
     """
     if resolved is None or resolved.trace is not trace:
-        resolved = ResolvedTrace(trace)
+        resolved = resolve_trace(trace)
         resolve_seconds = resolved.resolve_seconds
     else:
         resolve_seconds = 0.0
@@ -282,7 +333,7 @@ class BatchSimulator:
 
     def __init__(self, trace: AccessTrace) -> None:
         self.trace = trace
-        self.resolved = ResolvedTrace(trace)
+        self.resolved = resolve_trace(trace)
         self._resolve_reported = False
 
     def access_costs(

@@ -1,0 +1,333 @@
+"""Shared-memory publication of traces for persistent worker pools.
+
+The worker-pool runtime (:mod:`repro.analysis.pool`) keeps workers alive
+across many tasks, so shipping a full :class:`AccessTrace` inside every
+task pickle — the dominant per-task cost of the old fork-per-task model —
+is pure waste: the same trace crosses the process boundary once per task.
+This module publishes a trace's *resolved* dense arrays (item index and
+write flag per access, from :class:`~repro.memory.batch_sim.ResolvedTrace`)
+into a :mod:`multiprocessing.shared_memory` segment exactly once, and hands
+tasks a tiny picklable :class:`TraceHandle` instead.
+
+Resolution of a handle back to a trace is tiered, cheapest first:
+
+1. **In-process** — the publishing process (and any worker *forked after*
+   publication, which inherits the registry) finds the original trace
+   object through a weakref registry: zero copies, zero work.
+2. **Attach** — other workers map the segment read-only, rebuild the trace
+   via the trusted :meth:`AccessTrace._from_dense` constructor and seed the
+   resolved-trace memo, then cache the attachment so subsequent tasks on
+   the same trace are dictionary lookups.  Works under both ``fork`` and
+   ``spawn`` start methods.
+
+Segment layout: ``[item_at int64×n][is_write uint8×n][pickled meta]``
+where the meta blob carries ``(name, metadata, items, fingerprint)``.
+
+Lifecycle: segments are refcounted per publishing process.
+:func:`publish_traces` is the intended entry point — a context manager
+that publishes for the duration of a parallel run and releases in a
+``finally``; :func:`unlink_all` is the big hammer for interrupt/atexit
+paths (no leaked ``/dev/shm`` blocks).  On the worker side, attaching
+registers the segment with the ``resource_tracker`` in CPython ≤ 3.12,
+which would unlink it when the *worker* exits; the attach path
+unregisters it again so ownership stays with the publisher.
+"""
+
+from __future__ import annotations
+
+import atexit
+import itertools
+import pickle
+import weakref
+from collections import OrderedDict
+from contextlib import contextmanager
+from typing import Iterator, Sequence
+
+from repro.memory.batch_sim import ResolvedTrace, resolve_trace, seed_resolved
+from repro.obs import get_registry
+from repro.trace.model import AccessTrace
+
+#: Worker-side attach cache size (segments kept mapped between tasks).
+ATTACH_CACHE_SIZE = 8
+
+#: token → weakref(AccessTrace): in-process resolution registry.  Entries
+#: evict themselves when the trace is garbage-collected.
+_LOCAL: dict[str, weakref.ref] = {}
+
+#: shm name → [SharedMemory, refcount]: segments this process published.
+_SEGMENTS: dict[str, list] = {}
+
+#: id(trace) → (weakref(trace), shm name): dedupes concurrent publishes of
+#: the same trace object onto one segment.
+_BY_TRACE: dict[int, tuple] = {}
+
+#: Worker-side attach cache: shm name → (SharedMemory, trace, resolved).
+_ATTACHED: "OrderedDict[str, tuple]" = OrderedDict()
+
+_local_counter = itertools.count()
+
+
+class TraceHandle:
+    """A picklable reference to a published (or in-process) trace.
+
+    ``shm_name`` is ``None`` for local-only handles (serial runs publish
+    nothing); such handles refuse to pickle, so accidentally shipping one
+    to a pool worker degrades loudly through the pool's dispatch-error
+    fallback instead of failing mysteriously in the worker.
+    """
+
+    __slots__ = ("shm_name", "token", "num_accesses", "meta_size", "_fp")
+
+    def __init__(self, shm_name, token, num_accesses, meta_size, fp=None):
+        self.shm_name = shm_name
+        self.token = token
+        self.num_accesses = num_accesses
+        self.meta_size = meta_size
+        self._fp = fp
+
+    def __getstate__(self):
+        if self.shm_name is None:
+            raise pickle.PicklingError(
+                "local-only TraceHandle cannot cross process boundaries; "
+                "publish the trace first (repro.memory.shm.publish)"
+            )
+        return (
+            self.shm_name, self.token, self.num_accesses,
+            self.meta_size, self._fp,
+        )
+
+    def __setstate__(self, state):
+        (self.shm_name, self.token, self.num_accesses,
+         self.meta_size, self._fp) = state
+
+    def __repr__(self) -> str:
+        kind = self.shm_name or "local"
+        return f"TraceHandle({kind}, n={self.num_accesses})"
+
+    # -- resolution ----------------------------------------------------
+    def trace(self) -> AccessTrace:
+        """The trace behind this handle (in-process or attached)."""
+        return _resolve(self)[0]
+
+    def resolved(self) -> ResolvedTrace:
+        """The canonical resolution of the trace behind this handle."""
+        return _resolve(self)[1]
+
+    def fingerprint(self) -> str:
+        """Content fingerprint of the underlying trace.
+
+        Computed (and cached) by the publisher, carried in the segment
+        meta, so serial and pooled runs key checkpoints identically.
+        """
+        if self._fp is None:
+            self._fp = self.trace().fingerprint()
+        return self._fp
+
+
+def _resolve(handle: TraceHandle):
+    ref = _LOCAL.get(handle.token)
+    if ref is not None:
+        trace = ref()
+        if trace is not None:
+            return trace, resolve_trace(trace)
+    if handle.shm_name is None:
+        raise RuntimeError(
+            "local-only TraceHandle resolved outside its publishing process"
+        )
+    _shm, trace, resolved = _attach(handle)
+    return trace, resolved
+
+
+def _register_local(trace: AccessTrace, token: str) -> None:
+    # The registry is bound as a default so the callback stays valid
+    # during interpreter shutdown, when module globals are cleared.
+    def _evict(_ref, _token=token, _local=_LOCAL):
+        _local.pop(_token, None)
+
+    _LOCAL[token] = weakref.ref(trace, _evict)
+
+
+def local_handle(trace: AccessTrace) -> TraceHandle:
+    """An in-process handle (no segment): the serial-path counterpart."""
+    token = f"local:{next(_local_counter)}"
+    _register_local(trace, token)
+    return TraceHandle(None, token, len(trace), 0, trace._fingerprint)
+
+
+def publish(trace: AccessTrace) -> TraceHandle:
+    """Publish ``trace`` into a shared-memory segment (refcounted).
+
+    Publishing the same trace object again reuses the existing segment
+    and bumps its refcount; every handle must be balanced by one
+    :func:`release`.
+    """
+    from multiprocessing import shared_memory
+
+    import numpy as np
+
+    entry = _BY_TRACE.get(id(trace))
+    if entry is not None and entry[0]() is trace:
+        name = entry[1]
+        segment = _SEGMENTS.get(name)
+        if segment is not None:
+            segment[1] += 1
+            shm, handle_proto = segment[0], segment[2]
+            return TraceHandle(
+                name, name, handle_proto[0], handle_proto[1], handle_proto[2]
+            )
+    resolved = resolve_trace(trace)
+    seed_resolved(trace, resolved)
+    n = int(resolved.item_at.size)
+    meta = pickle.dumps(
+        (
+            trace.name,
+            dict(trace.metadata),
+            tuple(resolved.items),
+            trace.fingerprint(),
+        ),
+        protocol=pickle.HIGHEST_PROTOCOL,
+    )
+    total = max(1, 9 * n + len(meta))
+    shm = shared_memory.SharedMemory(create=True, size=total)
+    item_view = np.frombuffer(shm.buf, dtype=np.int64, count=n)
+    item_view[:] = resolved.item_at
+    write_view = np.frombuffer(shm.buf, dtype=np.uint8, count=n, offset=8 * n)
+    write_view[:] = resolved.is_write.view(np.uint8)
+    shm.buf[9 * n : 9 * n + len(meta)] = meta
+    del item_view, write_view
+    name = shm.name
+    _SEGMENTS[name] = [shm, 1, (n, len(meta), trace.fingerprint())]
+    _BY_TRACE[id(trace)] = (weakref.ref(trace), name)
+    _register_local(trace, name)
+    registry = get_registry()
+    registry.inc("shm.published")
+    registry.gauge("shm.segments", len(_SEGMENTS))
+    return TraceHandle(name, name, n, len(meta), trace.fingerprint())
+
+
+def release(handle: TraceHandle) -> None:
+    """Drop one reference to ``handle``'s segment; unlink at zero."""
+    if handle.shm_name is None:
+        return
+    segment = _SEGMENTS.get(handle.shm_name)
+    if segment is None:
+        return
+    segment[1] -= 1
+    if segment[1] > 0:
+        return
+    _SEGMENTS.pop(handle.shm_name, None)
+    _LOCAL.pop(handle.token, None)
+    shm = segment[0]
+    try:
+        shm.close()
+    except BufferError:  # pragma: no cover - exported views still alive
+        pass
+    try:
+        shm.unlink()
+    except FileNotFoundError:  # pragma: no cover - already gone
+        pass
+    get_registry().gauge("shm.segments", len(_SEGMENTS))
+
+
+def unlink_all() -> int:
+    """Unlink every segment this process published (interrupt/atexit).
+
+    Returns the number of segments torn down.  Safe to call repeatedly.
+    """
+    count = 0
+    for name in list(_SEGMENTS):
+        segment = _SEGMENTS.pop(name, None)
+        if segment is None:
+            continue
+        shm = segment[0]
+        try:
+            shm.close()
+        except BufferError:  # pragma: no cover
+            pass
+        try:
+            shm.unlink()
+        except FileNotFoundError:  # pragma: no cover
+            pass
+        count += 1
+    _BY_TRACE.clear()
+    if count:
+        get_registry().gauge("shm.segments", 0)
+    return count
+
+
+def active_segments() -> list[str]:
+    """Names of segments currently published by this process (tests)."""
+    return sorted(_SEGMENTS)
+
+
+@contextmanager
+def publish_traces(
+    traces: Sequence[AccessTrace], jobs: int
+) -> Iterator[list[TraceHandle]]:
+    """Handles for ``traces``, shared iff the run is parallel.
+
+    With ``jobs > 1`` every trace is published to shared memory for the
+    duration of the ``with`` block (released on exit, including on
+    interrupt); serial runs get zero-cost local handles.
+    """
+    share = jobs > 1
+    handles: list[TraceHandle] = []
+    try:
+        for trace in traces:
+            handles.append(publish(trace) if share else local_handle(trace))
+        yield handles
+    finally:
+        for handle in handles:
+            release(handle)
+
+
+def _attach(handle: TraceHandle):
+    """Worker-side: map the segment and rebuild (trace, resolved) once."""
+    from multiprocessing import shared_memory
+
+    import numpy as np
+
+    cached = _ATTACHED.get(handle.shm_name)
+    if cached is not None:
+        _ATTACHED.move_to_end(handle.shm_name)
+        return cached
+    shm = shared_memory.SharedMemory(name=handle.shm_name)
+    try:
+        # CPython ≤ 3.12 registers attachments with the resource tracker,
+        # which would unlink the segment when *this* process exits; the
+        # publisher owns cleanup, so undo the registration.
+        from multiprocessing import resource_tracker
+
+        resource_tracker.unregister(shm._name, "shared_memory")
+    except Exception:  # pragma: no cover - tracker internals vary
+        pass
+    n = handle.num_accesses
+    item_at = np.frombuffer(shm.buf, dtype=np.int64, count=n)
+    is_write = np.frombuffer(
+        shm.buf, dtype=np.uint8, count=n, offset=8 * n
+    ).view(np.bool_)
+    name, metadata, items, fp = pickle.loads(
+        bytes(shm.buf[9 * n : 9 * n + handle.meta_size])
+    )
+    trace = AccessTrace._from_dense(
+        items, item_at, is_write, name=name, metadata=metadata, fingerprint=fp
+    )
+    resolved = ResolvedTrace.from_arrays(trace, items, item_at, is_write)
+    seed_resolved(trace, resolved)
+    _register_local(trace, handle.token)
+    entry = (shm, trace, resolved)
+    _ATTACHED[handle.shm_name] = entry
+    get_registry().inc("shm.attaches")
+    while len(_ATTACHED) > ATTACH_CACHE_SIZE:
+        _evict_name, (old_shm, _t, _r) = _ATTACHED.popitem(last=False)
+        _LOCAL.pop(_evict_name, None)
+        try:
+            old_shm.close()
+        except BufferError:
+            # numpy views still alive somewhere; the mapping stays until
+            # process exit (bounded by the number of distinct traces).
+            pass
+    return entry
+
+
+atexit.register(unlink_all)

@@ -86,6 +86,19 @@ class AccessTrace:
         self.metadata = dict(metadata or {})
         self._items: tuple[str, ...] | None = None
         self._fingerprint: str | None = None
+        self._resolved = None  # ResolvedTrace cache (repro.memory.batch_sim)
+
+    def __getstate__(self):
+        # The resolved-trace cache carries dense numpy arrays; shipping it
+        # with every pickled trace would bloat worker task payloads, and
+        # the receiving process re-resolves (or attaches) lazily anyway.
+        state = dict(self.__dict__)
+        state.pop("_resolved", None)
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self._resolved = None
 
     # ------------------------------------------------------------------
     # Sequence protocol
@@ -245,6 +258,45 @@ class AccessTrace:
             name=name,
             metadata=metadata,
         )
+
+    @classmethod
+    def _from_dense(
+        cls,
+        items: Sequence[str],
+        item_at,
+        is_write,
+        name: str = "trace",
+        metadata: dict | None = None,
+        fingerprint: str | None = None,
+    ) -> "AccessTrace":
+        """Trusted fast constructor from dense resolved arrays.
+
+        Rebuilds a trace from the arrays a :class:`ResolvedTrace` carries
+        (item index and write flag per access, plus the first-touch item
+        tuple) — the shared-memory attach path in :mod:`repro.memory.shm`.
+        Skips all per-access validation: the caller guarantees the arrays
+        came from a valid trace, so ``Access.__post_init__`` checks would
+        only re-prove what resolution already proved, per access, in
+        Python.  ``items`` must be the distinct item names in first-touch
+        order (``_items`` is pre-seeded from it).
+        """
+        read, write = AccessKind.READ, AccessKind.WRITE
+        records = []
+        append = records.append
+        item_names = tuple(items)
+        for index, write_flag in zip(item_at.tolist(), is_write.tolist()):
+            access = object.__new__(Access)
+            object.__setattr__(access, "item", item_names[index])
+            object.__setattr__(access, "kind", write if write_flag else read)
+            append(access)
+        trace = cls.__new__(cls)
+        trace._accesses = tuple(records)
+        trace.name = name
+        trace.metadata = dict(metadata or {})
+        trace._items = item_names
+        trace._fingerprint = fingerprint
+        trace._resolved = None
+        return trace
 
 
 class TraceRecorder:

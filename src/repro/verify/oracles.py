@@ -19,7 +19,11 @@ five oracle families and returns the (hopefully empty) list of
 * **cache equivalence** — a cold placement-cache store followed by a warm
   lookup must be a hit and return the identical result;
 * **fault determinism** — ``injection_seed`` is stable, ``run_injection``
-  is a pure function of it, and fault reports are engine-independent.
+  is a pure function of it, and fault reports are engine-independent;
+* **kernel parity** — the compiled lazy-cost kernels (numba or cc, when
+  selected) must match the pure-numpy reference implementations
+  bit-for-bit on per-access costs, fused chain walks and merge walks,
+  across single-port, two-port and the case's own port geometry.
 
 Each family is guarded: an exception inside a check becomes a
 ``crash:<family>`` violation instead of aborting the sweep.
@@ -33,12 +37,18 @@ import random
 import tempfile
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.analysis.cache import cache_scope
+from repro.core import kernels
 from repro.core.api import ALGORITHMS, optimize_placement
 from repro.core.cost import evaluate_placement, per_dbc_costs, shift_lower_bound
 from repro.core.exact import exhaustive_search_is_exact
 from repro.core.fast_eval import evaluate_placement_fast
-from repro.core.incremental import CostEvaluator
+from repro.core.incremental import (
+    CostEvaluator,
+    multi_port_access_costs_numpy,
+)
 from repro.core.placement import Placement, Slot
 from repro.core.problem import PlacementProblem
 from repro.dwm.faults import FaultModel, injection_seed, run_injection
@@ -440,6 +450,119 @@ def check_fault_determinism(
     return violations
 
 
+#: Access-chain length exercised by the kernel-parity oracle.
+KERNEL_PARITY_MAX_ACCESSES = 256
+
+
+def check_kernel_parity(
+    case: FuzzCase,
+    problem: PlacementProblem,
+    placement: Placement,
+) -> list[Violation]:
+    """Compiled lazy-cost kernels must match the numpy reference exactly.
+
+    Skipped (vacuously clean) when no compiled backend is selected — the
+    numpy fallback *is* the reference.  Exercises a seeded random offset
+    chain against single-port, two-port and the case's own port geometry,
+    plus the fused chain-walk and merge-walk kernels against a from-scratch
+    numpy evaluation of the same (sub)chains.
+    """
+    backend = kernels.compiled()
+    if backend is None:
+        return []
+    violations: list[Violation] = []
+    rng = np.random.default_rng(case.seed ^ 0xC0DE)
+    config = problem.config
+    length = config.words_per_dbc
+    n = int(rng.integers(1, KERNEL_PARITY_MAX_ACCESSES + 1))
+    offsets = rng.integers(0, length, size=n, dtype=np.int64)
+    port_sets = {(0,), tuple(config.port_offsets)}
+    if length >= 2:
+        port_sets.add((0, length - 1))
+    for ports in sorted(port_sets):
+        ports_arr = np.asarray(ports, dtype=np.int64)
+        reference = multi_port_access_costs_numpy(offsets, ports_arr)
+        compiled_costs = backend.lazy_costs(offsets, ports_arr)
+        if not np.array_equal(reference, compiled_costs):
+            bad = int(np.argmax(reference != compiled_costs))
+            violations.append(
+                Violation(
+                    kind="kernel_costs_mismatch",
+                    detail=(
+                        f"{kernels.backend_name()} lazy_costs diverges from "
+                        f"numpy at access {bad} (ports {list(ports)}): "
+                        f"{int(compiled_costs[bad])} != {int(reference[bad])}"
+                    ),
+                    data={
+                        "backend": kernels.backend_name(),
+                        "ports": list(ports),
+                        "index": bad,
+                    },
+                )
+            )
+            continue
+        # Fused chain walk: identity item mapping makes offsets[positions]
+        # the chain the kernel should gather and price.
+        item_at = np.arange(n, dtype=np.int64)
+        keep = rng.random(n) < 0.7
+        positions = np.flatnonzero(keep).astype(np.int64)
+        chain_ref = (
+            int(multi_port_access_costs_numpy(offsets[positions], ports_arr).sum())
+            if positions.size
+            else 0
+        )
+        chain_got = backend.lazy_chain_cost(positions, item_at, offsets, ports_arr)
+        if chain_got != chain_ref:
+            violations.append(
+                Violation(
+                    kind="kernel_chain_mismatch",
+                    detail=(
+                        f"{kernels.backend_name()} lazy_chain_cost "
+                        f"{chain_got} != numpy reference {chain_ref} "
+                        f"(ports {list(ports)}, {positions.size} accesses)"
+                    ),
+                    data={
+                        "backend": kernels.backend_name(),
+                        "ports": list(ports),
+                        "got": int(chain_got),
+                        "reference": chain_ref,
+                    },
+                )
+            )
+        # Merge walk: (base \ skip) ∪ add, all ascending and disjoint.
+        base = positions
+        skip = base[rng.random(base.size) < 0.3] if base.size else base
+        others = np.flatnonzero(~keep).astype(np.int64)
+        add = others[rng.random(others.size) < 0.5] if others.size else others
+        merged = np.union1d(np.setdiff1d(base, skip), add).astype(np.int64)
+        merge_ref = (
+            int(multi_port_access_costs_numpy(offsets[merged], ports_arr).sum())
+            if merged.size
+            else 0
+        )
+        merge_got = backend.lazy_merge_cost(
+            base, skip, add, item_at, offsets, ports_arr
+        )
+        if merge_got != merge_ref:
+            violations.append(
+                Violation(
+                    kind="kernel_merge_mismatch",
+                    detail=(
+                        f"{kernels.backend_name()} lazy_merge_cost "
+                        f"{merge_got} != numpy reference {merge_ref} "
+                        f"(ports {list(ports)}, {merged.size} accesses)"
+                    ),
+                    data={
+                        "backend": kernels.backend_name(),
+                        "ports": list(ports),
+                        "got": int(merge_got),
+                        "reference": merge_ref,
+                    },
+                )
+            )
+    return violations
+
+
 def check_case(
     case: FuzzCase,
     brute_force_limit: int = DEFAULT_BRUTE_FORCE_LIMIT,
@@ -478,6 +601,10 @@ def check_case(
         (
             "faults",
             lambda: check_fault_determinism(case, problem, placement),
+        ),
+        (
+            "kernels",
+            lambda: check_kernel_parity(case, problem, placement),
         ),
     )
     for name, run in checks:

@@ -23,6 +23,20 @@ def _hermetic_perf_env(tmp_path, monkeypatch):
     monkeypatch.delenv("REPRO_JOBS", raising=False)
 
 
+@pytest.fixture(autouse=True)
+def _many_cpus(monkeypatch):
+    """Pretend the host has 8 CPUs so the jobs cap never serialises tests.
+
+    ``resolve_jobs`` caps at the logical CPU count; on small CI hosts that
+    would silently turn every ``jobs=4`` determinism/pool test into a
+    serial run.  The cap itself is tested explicitly by patching this same
+    seam the other way (see ``tests/test_parallel.py``).
+    """
+    from repro.analysis import parallel
+
+    monkeypatch.setattr(parallel, "_cpu_count", lambda: 8)
+
+
 @pytest.fixture
 def single_dbc_config() -> DWMConfig:
     """One DBC of 8 words, single port at offset 4 (uniform default)."""

@@ -67,6 +67,47 @@ class TestResolveJobs:
         monkeypatch.setenv(JOBS_ENV, "-2")
         assert resolve_jobs(None) == 1
 
+    def test_capped_at_cpu_count_with_warning(self, monkeypatch):
+        from repro.analysis import parallel
+
+        monkeypatch.setattr(parallel, "_cpu_count", lambda: 2)
+        parallel._reset_warnings()
+        with pytest.warns(RuntimeWarning, match="capping at 2"):
+            assert resolve_jobs(16) == 2
+
+    def test_env_oversubscription_capped(self, monkeypatch):
+        from repro.analysis import parallel
+
+        monkeypatch.setattr(parallel, "_cpu_count", lambda: 3)
+        monkeypatch.setenv(JOBS_ENV, "12")
+        parallel._reset_warnings()
+        with pytest.warns(RuntimeWarning, match=JOBS_ENV):
+            assert resolve_jobs(None) == 3
+
+    def test_cap_warning_fires_once(self, monkeypatch):
+        import warnings as warnings_mod
+
+        from repro.analysis import parallel
+
+        monkeypatch.setattr(parallel, "_cpu_count", lambda: 2)
+        parallel._reset_warnings()
+        with pytest.warns(RuntimeWarning):
+            resolve_jobs(8)
+        with warnings_mod.catch_warnings():
+            warnings_mod.simplefilter("error")
+            assert resolve_jobs(8) == 2  # second call: capped, silent
+
+    def test_within_cap_no_warning(self, monkeypatch):
+        import warnings as warnings_mod
+
+        from repro.analysis import parallel
+
+        monkeypatch.setattr(parallel, "_cpu_count", lambda: 4)
+        parallel._reset_warnings()
+        with warnings_mod.catch_warnings():
+            warnings_mod.simplefilter("error")
+            assert resolve_jobs(4) == 4
+
 
 class TestParallelMap:
     def test_serial_path(self):
