@@ -6,6 +6,8 @@ Subcommands mirror the library workflow:
   synthetic generator and write it to ``.jsonl``/``.trc``.
 * ``repro trace info`` — print the statistics row (the E1 columns) of a
   trace file.
+* ``repro trace pack`` — convert a text trace to the memory-mapped binary
+  format (``.rtb``) consumed by the out-of-core streaming engine.
 * ``repro place`` — optimize a placement for a trace file and emit it as
   JSON (consumable by an SPM allocator / linker script).
 * ``repro simulate`` — run a trace against a placement on the device model
@@ -167,8 +169,21 @@ def _add_geometry_flags(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _load_trace_arg(path: str | Path):
+    """Load a trace file of any supported format.
+
+    ``.rtb`` opens as an out-of-core :class:`repro.trace.binio.StreamingTrace`
+    (nothing materialised); ``.jsonl``/``.trc`` load in memory.
+    """
+    from repro.trace import binio
+
+    if Path(path).suffix == binio.BINARY_SUFFIX:
+        return binio.open_binary(path)
+    return trace_io.load(path)
+
+
 # ---------------------------------------------------------------------------
-# trace generate / trace info
+# trace generate / trace info / trace pack
 # ---------------------------------------------------------------------------
 
 def cmd_trace_generate(args) -> int:
@@ -193,8 +208,50 @@ def cmd_trace_generate(args) -> int:
     return 0
 
 
+def cmd_trace_pack(args) -> int:
+    """Convert a text trace into the binary streaming format."""
+    from repro.trace import binio
+
+    header = trace_io.peek_header(args.trace)
+    count = binio.pack(
+        trace_io.iter_accesses(args.trace),
+        args.output,
+        name=args.name or header["name"],
+        metadata=header["metadata"],
+    )
+    size = Path(args.output).stat().st_size
+    print(
+        f"packed {count} accesses into {args.output} "
+        f"({size / 1024:.1f} KiB, {4} bytes/access + header/meta)"
+    )
+    return 0
+
+
 def cmd_trace_info(args) -> int:
-    trace = trace_io.load(args.trace)
+    trace = _load_trace_arg(args.trace)
+    from repro.trace.binio import StreamingTrace
+
+    if isinstance(trace, StreamingTrace):
+        # Header/meta only plus one bounded-memory pass for the R/W split;
+        # the affinity statistics would materialise the trace.
+        reads, writes = trace.read_write_counts()
+        total = len(trace)
+        rows = [
+            ("name", trace.name),
+            ("accesses", total),
+            ("items", trace.num_items),
+            ("reads", reads),
+            ("writes", writes),
+            ("write fraction", f"{writes / total:.3f}" if total else "n/a"),
+            ("fingerprint", trace.fingerprint()[:16] + "…"),
+            ("file size (KiB)", f"{trace.path.stat().st_size / 1024:.1f}"),
+        ]
+        print(
+            format_table(
+                ("metric", "value"), rows, title=f"binary trace {args.trace}"
+            )
+        )
+        return 0
     stats = compute_stats(trace)
     rows = [
         ("name", stats.name),
@@ -217,11 +274,19 @@ def cmd_trace_info(args) -> int:
 # ---------------------------------------------------------------------------
 
 def cmd_place(args) -> int:
-    trace = trace_io.load(args.trace)
+    trace = _load_trace_arg(args.trace)
     config = _config_from_args(args, trace.num_items)
     if args.export_ilp:
         from repro.core.ilp import build_minla_ilp
         from repro.trace.stats import affinity_graph
+        from repro.trace.binio import StreamingTrace
+
+        if isinstance(trace, StreamingTrace):
+            raise ReproError(
+                "--export-ilp needs an in-memory trace; pass the original "
+                ".jsonl/.trc file (the affinity graph materialises every "
+                "access)"
+            )
 
         model = build_minla_ilp(list(trace.items), affinity_graph(trace))
         Path(args.export_ilp).write_text(model.to_lp_format(), encoding="utf-8")
@@ -291,13 +356,19 @@ def load_placement_json(path: str | Path) -> tuple[Placement, DWMConfig]:
 
 
 def cmd_simulate(args) -> int:
-    trace = trace_io.load(args.trace)
+    trace = _load_trace_arg(args.trace)
     placement, config = load_placement_json(args.placement)
     spm = ScratchpadMemory(config, placement)
-    sim = spm.simulate(trace)
+    sim = spm.simulate(
+        trace,
+        engine=args.engine,
+        chunk_size=args.chunk_size,
+        jobs=args.jobs,
+    )
     breakdown = sim.energy(DWMEnergyModel())
     rows = [
         ("config", config.describe()),
+        ("engine", sim.details.get("engine", args.engine)),
         ("accesses", sim.accesses),
         ("shifts", sim.shifts),
         ("shifts/access", f"{sim.shifts_per_access:.3f}"),
@@ -647,11 +718,24 @@ def build_parser() -> argparse.ArgumentParser:
     generate.set_defaults(func=cmd_trace_generate)
 
     info = trace_sub.add_parser("info", help="print trace statistics")
-    info.add_argument("trace", help="trace file (.jsonl or .trc)")
+    info.add_argument("trace", help="trace file (.jsonl, .trc or .rtb)")
     info.set_defaults(func=cmd_trace_info)
 
+    pack = trace_sub.add_parser(
+        "pack",
+        help="convert a text trace to the mmap binary format (.rtb) "
+             "for out-of-core streaming simulation",
+    )
+    pack.add_argument("trace", help="input trace file (.jsonl or .trc)")
+    pack.add_argument("output", help="output path (conventionally .rtb)")
+    pack.add_argument("--name", default=None,
+                      help="override the trace name recorded in the file")
+    pack.set_defaults(func=cmd_trace_pack)
+
     place = sub.add_parser("place", help="optimize a placement for a trace")
-    place.add_argument("trace", help="trace file (.jsonl or .trc)")
+    place.add_argument("trace",
+                       help="trace file (.jsonl, .trc or .rtb; binary traces "
+                            "are placed from a bounded-size sample)")
     place.add_argument("--method", default="heuristic",
                        choices=sorted(ALGORITHMS),
                        help="placement algorithm (default: heuristic)")
@@ -663,8 +747,22 @@ def build_parser() -> argparse.ArgumentParser:
     place.set_defaults(func=cmd_place)
 
     simulate = sub.add_parser("simulate", help="simulate a trace on a placement")
-    simulate.add_argument("trace", help="trace file (.jsonl or .trc)")
+    simulate.add_argument("trace", help="trace file (.jsonl, .trc or .rtb)")
     simulate.add_argument("placement", help="placement JSON from 'repro place'")
+    simulate.add_argument(
+        "--engine", default="auto",
+        choices=("auto", "scalar", "vectorized", "streaming"),
+        help="simulation engine (default: auto; .rtb traces stream)",
+    )
+    simulate.add_argument(
+        "--chunk-size", type=int, default=None, metavar="N",
+        help="streaming window length in accesses "
+             "(default: 262144; streaming engine only)",
+    )
+    simulate.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="scan streaming chunks in parallel on N pool workers",
+    )
     simulate.set_defaults(func=cmd_simulate)
 
     experiments = sub.add_parser("experiments", help="regenerate evaluation artifacts")

@@ -185,6 +185,18 @@ def optimize_placement(
         raise OptimizationError(
             f"unknown method {method!r}; available: {sorted(ALGORITHMS)}"
         )
+    if not isinstance(trace, AccessTrace) and hasattr(trace, "sample_trace"):
+        # Out-of-core traces (repro.trace.binio.StreamingTrace) are placed
+        # from a bounded-size sample: the sample covers every item (so the
+        # placement is complete) and approximates the affinity statistics;
+        # the placement's true cost is then evaluated exactly by whichever
+        # engine replays the full trace.
+        sampled = trace.sample_trace()
+        result = optimize_placement(sampled, config, method=method, **kwargs)
+        result.details["sampled_from"] = trace.name
+        result.details["sampled_accesses"] = len(sampled)
+        result.details["full_accesses"] = len(trace)
+        return result
     from repro.obs.metrics import get_registry
     from repro.obs.tracing import trace_span
 

@@ -20,6 +20,13 @@ from repro.memory.hierarchy import (
 )
 from repro.memory.result import SimulationResult
 from repro.memory.spm import ScratchpadMemory, simulate_placement
+from repro.memory.stream_sim import (
+    ChunkState,
+    finalize_state,
+    merge_states,
+    scan_chunk,
+    simulate_streaming,
+)
 from repro.memory.sram import SRAMScratchpad
 from repro.memory.timing import (
     TimingParams,
@@ -30,6 +37,11 @@ from repro.memory.timing import (
 
 __all__ = [
     "BatchSimulator",
+    "ChunkState",
+    "finalize_state",
+    "merge_states",
+    "scan_chunk",
+    "simulate_streaming",
     "CacheGeometry",
     "CacheResult",
     "DWMCache",

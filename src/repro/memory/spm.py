@@ -87,14 +87,21 @@ class ScratchpadMemory:
         trace: AccessTrace,
         engine: str = "auto",
         fault_model=None,
+        chunk_size: int | None = None,
+        jobs: int | None = None,
     ) -> SimulationResult:
         """Run ``trace`` on the counters-only engine.
 
         ``engine`` selects the implementation: ``"scalar"`` replays access
         by access through :class:`DWMArrayModel`, ``"vectorized"`` uses the
         numpy engine of :mod:`repro.memory.batch_sim` (bit-identical
-        counts), and ``"auto"`` picks vectorized for traces of at least
-        :data:`VECTORIZED_MIN_ACCESSES` accesses.
+        counts), ``"streaming"`` scans fixed-size windows through
+        :mod:`repro.memory.stream_sim` in bounded memory (``chunk_size``
+        accesses per window; ``jobs > 1`` fans chunk scans over the
+        persistent worker pool), and ``"auto"`` picks vectorized for
+        in-memory traces of at least :data:`VECTORIZED_MIN_ACCESSES`
+        accesses — or streaming when ``trace`` is a
+        :class:`~repro.trace.binio.StreamingTrace`.
 
         ``fault_model`` (a :class:`repro.dwm.faults.FaultModel`) switches on
         Monte-Carlo shift-fault injection: a seeded fault schedule is drawn
@@ -102,13 +109,51 @@ class ScratchpadMemory:
         correction model, and the resulting counters land in
         ``details["faults"]``.  The schedule is a pure function of (seed,
         trace, config) and the bit-identical cost stream, so both engines
-        report the same faults.
+        report the same faults.  Fault injection needs the materialised
+        per-access cost stream, so it is not available on the streaming
+        engine.
         """
-        if engine not in ("auto", "scalar", "vectorized"):
+        from repro.trace.binio import StreamingTrace
+
+        if engine not in ("auto", "scalar", "vectorized", "streaming"):
             raise SimulationError(
                 f"unknown simulation engine {engine!r}; "
-                "expected 'auto', 'scalar' or 'vectorized'"
+                "expected 'auto', 'scalar', 'vectorized' or 'streaming'"
             )
+        if isinstance(trace, StreamingTrace):
+            if engine == "auto":
+                engine = "streaming"
+            elif engine != "streaming":
+                raise SimulationError(
+                    f"engine {engine!r} needs an in-memory trace; "
+                    "use engine='streaming' (or materialise with "
+                    "trace.to_trace())"
+                )
+        if engine == "streaming":
+            if fault_model is not None:
+                raise SimulationError(
+                    "fault injection is not supported on the streaming "
+                    "engine; use engine='vectorized' (per-access cost "
+                    "streams need the materialised trace)"
+                )
+            from repro.memory.stream_sim import (
+                DEFAULT_CHUNK_SIZE,
+                simulate_streaming,
+            )
+
+            registry = get_registry()
+            registry.inc("sim.runs", engine="streaming")
+            registry.inc("sim.accesses", len(trace), engine="streaming")
+            with trace_span("simulate", engine="streaming"):
+                self._ensure_validated(trace)
+                return simulate_streaming(
+                    trace,
+                    self.config,
+                    self.placement,
+                    chunk_size=chunk_size or DEFAULT_CHUNK_SIZE,
+                    jobs=jobs,
+                    validate=False,
+                )
         if engine == "auto":
             engine = (
                 "vectorized"

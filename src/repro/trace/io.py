@@ -13,12 +13,34 @@ Both round-trip exactly (tests assert this property with hypothesis).
 from __future__ import annotations
 
 import json
+import warnings
 from pathlib import Path
+from typing import Iterator
 
 from repro.errors import TraceError
 from repro.trace.model import Access, AccessKind, AccessTrace
 
 _JSONL_VERSION = 1
+
+#: Text-format traces past this many accesses trigger a one-time hint to
+#: repack them into the binary format (``repro trace pack``).
+LARGE_TEXT_TRACE_ACCESSES = 1_000_000
+
+_large_trace_warned = False
+
+
+def _maybe_warn_large_trace(path: Path, num_accesses: int) -> None:
+    """One-time (per process) nudge towards the binary format."""
+    global _large_trace_warned
+    if _large_trace_warned or num_accesses <= LARGE_TEXT_TRACE_ACCESSES:
+        return
+    _large_trace_warned = True
+    warnings.warn(
+        f"{path}: text-format trace holds {num_accesses:,} accesses; "
+        f"convert it with 'repro trace pack' and simulate with "
+        f"--engine streaming to avoid materialising it in RAM",
+        stacklevel=3,
+    )
 
 
 def save_jsonl(trace: AccessTrace, path: str | Path) -> None:
@@ -44,40 +66,66 @@ def save_jsonl(trace: AccessTrace, path: str | Path) -> None:
             )
 
 
-def load_jsonl(path: str | Path) -> AccessTrace:
-    """Read a trace written by :func:`save_jsonl`."""
+def _read_jsonl_header(handle, path: Path) -> dict:
+    """Parse and validate the JSONL header object from an open file."""
+    header_line = handle.readline()
+    if not header_line:
+        raise TraceError(f"{path}: empty trace file")
+    try:
+        header = json.loads(header_line)
+    except json.JSONDecodeError as exc:
+        raise TraceError(f"{path}: invalid JSONL header: {exc}") from exc
+    if header.get("format") != "repro-trace":
+        raise TraceError(f"{path}: not a repro trace file")
+    if header.get("version") != _JSONL_VERSION:
+        raise TraceError(
+            f"{path}: unsupported trace version {header.get('version')}"
+        )
+    return header
+
+
+def iter_jsonl(path: str | Path) -> Iterator[tuple[str, str]]:
+    """Stream ``(item, kind)`` pairs from a JSONL trace, line by line.
+
+    Bounded memory regardless of trace length: this is the feed of the
+    binary-format converter (:func:`repro.trace.binio.pack`) and the
+    loop underneath :func:`load_jsonl`.  Raises the same
+    :class:`TraceError`\\ s as the loader, including the header
+    access-count cross-check once the stream is exhausted.
+    """
     path = Path(path)
+    count = 0
     with path.open("r", encoding="utf-8") as handle:
-        header_line = handle.readline()
-        if not header_line:
-            raise TraceError(f"{path}: empty trace file")
-        try:
-            header = json.loads(header_line)
-        except json.JSONDecodeError as exc:
-            raise TraceError(f"{path}: invalid JSONL header: {exc}") from exc
-        if header.get("format") != "repro-trace":
-            raise TraceError(f"{path}: not a repro trace file")
-        if header.get("version") != _JSONL_VERSION:
-            raise TraceError(
-                f"{path}: unsupported trace version {header.get('version')}"
-            )
-        accesses = []
+        header = _read_jsonl_header(handle, path)
         for line_number, line in enumerate(handle, start=2):
             line = line.strip()
             if not line:
                 continue
             try:
                 record = json.loads(line)
-                accesses.append(Access(record["i"], AccessKind.parse(record["k"])))
+                pair = (record["i"], record["k"])
             except (json.JSONDecodeError, KeyError) as exc:
                 raise TraceError(
                     f"{path}:{line_number}: malformed access record"
                 ) from exc
+            count += 1
+            yield pair
     expected = header.get("num_accesses")
-    if expected is not None and expected != len(accesses):
+    if expected is not None and expected != count:
         raise TraceError(
-            f"{path}: header declares {expected} accesses, found {len(accesses)}"
+            f"{path}: header declares {expected} accesses, found {count}"
         )
+
+
+def load_jsonl(path: str | Path) -> AccessTrace:
+    """Read a trace written by :func:`save_jsonl`."""
+    path = Path(path)
+    with path.open("r", encoding="utf-8") as handle:
+        header = _read_jsonl_header(handle, path)
+    accesses = [
+        Access(item, AccessKind.parse(kind)) for item, kind in iter_jsonl(path)
+    ]
+    _maybe_warn_large_trace(path, len(accesses))
     return AccessTrace(
         accesses, name=header.get("name", path.stem), metadata=header.get("metadata")
     )
@@ -96,6 +144,25 @@ def save_text(trace: AccessTrace, path: str | Path) -> None:
                     "use the JSONL format instead"
                 )
             handle.write(f"{access.kind.value} {access.item}\n")
+
+
+def iter_text(path: str | Path) -> Iterator[tuple[str, str]]:
+    """Stream ``(item, kind)`` pairs from a compact text trace.
+
+    Line-by-line with bounded memory; comment lines are skipped (use
+    :func:`peek_header` for the declared trace name).
+    """
+    path = Path(path)
+    with path.open("r", encoding="utf-8") as handle:
+        for line_number, raw in enumerate(handle, start=1):
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split(None, 1)
+            if len(parts) != 2:
+                raise TraceError(f"{path}:{line_number}: expected 'R|W item'")
+            kind, item = parts
+            yield item, kind
 
 
 def load_text(path: str | Path) -> AccessTrace:
@@ -120,7 +187,56 @@ def load_text(path: str | Path) -> AccessTrace:
                 accesses.append(Access(item, AccessKind.parse(kind)))
             except TraceError as exc:
                 raise TraceError(f"{path}:{line_number}: {exc}") from exc
+    _maybe_warn_large_trace(path, len(accesses))
     return AccessTrace(accesses, name=name)
+
+
+def iter_accesses(path: str | Path) -> Iterator[tuple[str, str]]:
+    """Stream ``(item, kind)`` pairs from any text trace format.
+
+    Dispatches on the file extension like :func:`load`, but never builds
+    the in-memory trace — the right feed for ``repro trace pack``.
+    """
+    path = Path(path)
+    if path.suffix == ".jsonl":
+        return iter_jsonl(path)
+    if path.suffix == ".trc":
+        return iter_text(path)
+    raise TraceError(
+        f"unknown trace extension {path.suffix!r}; use .jsonl or .trc"
+    )
+
+
+def peek_header(path: str | Path) -> dict:
+    """Read just the name/metadata of a text trace without its accesses.
+
+    For JSONL this is the header object; for ``.trc`` it scans the leading
+    comment block for the ``# trace:`` line.  Returns a dict with at least
+    ``"name"`` (defaulting to the file stem) and ``"metadata"``.
+    """
+    path = Path(path)
+    if path.suffix == ".jsonl":
+        with path.open("r", encoding="utf-8") as handle:
+            header = _read_jsonl_header(handle, path)
+        return {
+            "name": header.get("name", path.stem),
+            "metadata": header.get("metadata") or {},
+        }
+    if path.suffix == ".trc":
+        name = path.stem
+        with path.open("r", encoding="utf-8") as handle:
+            for raw in handle:
+                line = raw.strip()
+                if not line:
+                    continue
+                if not line.startswith("#"):
+                    break
+                if line.startswith("# trace:"):
+                    name = line.split(":", 1)[1].strip()
+        return {"name": name, "metadata": {}}
+    raise TraceError(
+        f"unknown trace extension {path.suffix!r}; use .jsonl or .trc"
+    )
 
 
 def save(trace: AccessTrace, path: str | Path) -> None:

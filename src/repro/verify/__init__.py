@@ -34,6 +34,7 @@ from repro.verify.oracles import (
     check_engine_agreement,
     check_fault_determinism,
     check_round_trip,
+    check_streaming_agreement,
 )
 from repro.verify.shrink import ShrinkStats, shrink_case
 
@@ -54,6 +55,7 @@ __all__ = [
     "check_engine_agreement",
     "check_fault_determinism",
     "check_round_trip",
+    "check_streaming_agreement",
     "generate_case",
     "regression_snippet",
     "run_fuzz",

@@ -23,7 +23,13 @@ five oracle families and returns the (hopefully empty) list of
 * **kernel parity** — the compiled lazy-cost kernels (numba or cc, when
   selected) must match the pure-numpy reference implementations
   bit-for-bit on per-access costs, fused chain walks and merge walks,
-  across single-port, two-port and the case's own port geometry.
+  across single-port, two-port and the case's own port geometry;
+* **streaming agreement** — the chunked out-of-core engine
+  (:mod:`repro.memory.stream_sim`) must match the vectorized engine on
+  totals, per-DBC decompositions and the per-access maximum, for
+  degenerate and random chunk sizes (1, a seeded random size, and larger
+  than the trace), on both the head-carrying sequential path and the
+  ChunkState map+merge path.
 
 Each family is guarded: an exception inside a check becomes a
 ``crash:<family>`` violation instead of aborting the sweep.
@@ -563,6 +569,79 @@ def check_kernel_parity(
     return violations
 
 
+def check_streaming_agreement(
+    case: FuzzCase,
+    problem: PlacementProblem,
+    placement: Placement,
+) -> list[Violation]:
+    """Streaming engine must be bit-identical to the vectorized engine.
+
+    Sweeps chunk sizes covering the degenerate corners — one access per
+    chunk, a seeded random interior size, and a single chunk larger than
+    the trace — and runs each size through both scan paths: the
+    sequential head-carrying fold and the ChunkState map+merge stitch
+    (the path the pool workers execute).
+    """
+    from repro.memory.batch_sim import simulate_vectorized
+    from repro.memory.stream_sim import simulate_streaming
+
+    violations: list[Violation] = []
+    trace, config = problem.trace, problem.config
+    reference = simulate_vectorized(trace, config, placement, validate=False)
+    rng = random.Random(case.seed ^ 0x57BEA)
+    total = len(trace)
+    chunk_sizes = sorted({1, rng.randint(1, max(1, total)), total + 7})
+    for chunk_size in chunk_sizes:
+        for force_merge in (False, True):
+            result = simulate_streaming(
+                trace,
+                config,
+                placement,
+                chunk_size=chunk_size,
+                validate=False,
+                force_merge=force_merge,
+            )
+            mode = result.details["mode"]
+            mismatches = []
+            if result.shifts != reference.shifts:
+                mismatches.append(
+                    f"total {result.shifts} != {reference.shifts}"
+                )
+            if result.per_dbc_shifts != reference.per_dbc_shifts:
+                mismatches.append(
+                    f"per-DBC {list(result.per_dbc_shifts)} != "
+                    f"{list(reference.per_dbc_shifts)}"
+                )
+            if result.max_access_shifts != reference.max_access_shifts:
+                mismatches.append(
+                    f"max-access {result.max_access_shifts} != "
+                    f"{reference.max_access_shifts}"
+                )
+            if (result.reads, result.writes) != (
+                reference.reads,
+                reference.writes,
+            ):
+                mismatches.append("read/write counts differ")
+            if mismatches:
+                violations.append(
+                    Violation(
+                        kind="streaming_engine_mismatch",
+                        detail=(
+                            f"streaming ({mode}, chunk_size={chunk_size}) "
+                            f"diverges from vectorized: "
+                            + "; ".join(mismatches)
+                        ),
+                        data={
+                            "chunk_size": chunk_size,
+                            "mode": mode,
+                            "shifts": int(result.shifts),
+                            "reference": int(reference.shifts),
+                        },
+                    )
+                )
+    return violations
+
+
 def check_case(
     case: FuzzCase,
     brute_force_limit: int = DEFAULT_BRUTE_FORCE_LIMIT,
@@ -605,6 +684,10 @@ def check_case(
         (
             "kernels",
             lambda: check_kernel_parity(case, problem, placement),
+        ),
+        (
+            "streaming",
+            lambda: check_streaming_agreement(case, problem, placement),
         ),
     )
     for name, run in checks:

@@ -517,3 +517,88 @@ class TestMetricsOutFlag:
         assert any(
             name.startswith("counter.optimize.runs") for name in manifest.metrics
         )
+
+
+class TestTracePackAndStreaming:
+    @pytest.fixture
+    def text_trace(self, tmp_path, capsys):
+        path = tmp_path / "t.jsonl"
+        run_cli(capsys, "trace", "generate", "markov",
+                "--items", "12", "--accesses", "400", "--seed", "4",
+                "-o", str(path))
+        capsys.readouterr()
+        return path
+
+    @pytest.fixture
+    def packed(self, text_trace, tmp_path, capsys):
+        out = tmp_path / "t.rtb"
+        code, stdout, _err = run_cli(
+            capsys, "trace", "pack", str(text_trace), str(out)
+        )
+        assert code == 0
+        assert "packed 400 accesses" in stdout
+        return out
+
+    def test_pack_round_trips(self, text_trace, packed):
+        from repro.trace import io as trace_io
+        from repro.trace.binio import open_binary
+
+        original = trace_io.load(text_trace)
+        stream = open_binary(packed)
+        assert stream.fingerprint() == original.fingerprint()
+        assert len(stream) == len(original)
+
+    def test_info_on_binary(self, packed, capsys):
+        code, out, _err = run_cli(capsys, "trace", "info", str(packed))
+        assert code == 0
+        assert "binary trace" in out
+        assert "fingerprint" in out
+        assert "400" in out
+
+    def test_place_and_simulate_streaming(self, packed, tmp_path, capsys):
+        placement = tmp_path / "p.json"
+        code, _out, err = run_cli(
+            capsys, "place", str(packed), "-o", str(placement),
+            "--words-per-dbc", "8",
+        )
+        assert code == 0
+        assert "vs declaration" in err
+        code, out, _err = run_cli(
+            capsys, "simulate", str(packed), str(placement),
+            "--chunk-size", "64",
+        )
+        assert code == 0
+        assert "streaming" in out
+        code, out2, _err = run_cli(
+            capsys, "simulate", str(packed), str(placement),
+            "--engine", "streaming", "--jobs", "1",
+        )
+        assert code == 0
+        assert "streaming" in out2
+
+    def test_streaming_matches_text_simulation(
+        self, text_trace, packed, tmp_path, capsys
+    ):
+        placement = tmp_path / "p.json"
+        run_cli(capsys, "place", str(text_trace), "-o", str(placement),
+                "--words-per-dbc", "8")
+        capsys.readouterr()
+        _code, binary_out, _err = run_cli(
+            capsys, "simulate", str(packed), str(placement)
+        )
+        _code, text_out, _err = run_cli(
+            capsys, "simulate", str(text_trace), str(placement),
+            "--engine", "vectorized",
+        )
+        pick = lambda out: next(  # noqa: E731
+            line for line in out.splitlines() if line.strip().startswith("shifts ")
+        ).split()[-1]
+        assert pick(binary_out) == pick(text_out)
+
+    def test_export_ilp_rejects_binary(self, packed, tmp_path, capsys):
+        code, _out, err = run_cli(
+            capsys, "place", str(packed),
+            "--export-ilp", str(tmp_path / "m.lp"),
+        )
+        assert code == 1
+        assert "error" in err

@@ -1,5 +1,7 @@
 """Unit tests for repro.trace.io (JSONL and compact text formats)."""
 
+import warnings
+
 import pytest
 
 from repro.errors import TraceError
@@ -128,3 +130,105 @@ class TestDispatch:
             trace_io.save(tiny_trace, tmp_path / "x.csv")
         with pytest.raises(TraceError, match="extension"):
             trace_io.load(tmp_path / "x.csv")
+
+
+class TestStreamingReaders:
+    """Line-by-line iterators that never materialise the trace."""
+
+    def _pairs(self, trace):
+        return [(a.item, a.kind.value) for a in trace]
+
+    def test_iter_jsonl_matches_load(self, tmp_path):
+        trace = markov_trace(10, 300, seed=4)
+        path = tmp_path / "s.jsonl"
+        trace_io.save_jsonl(trace, path)
+        assert list(trace_io.iter_jsonl(path)) == self._pairs(trace)
+
+    def test_iter_text_matches_load(self, tmp_path):
+        trace = markov_trace(10, 300, seed=4)
+        path = tmp_path / "s.trc"
+        trace_io.save_text(trace, path)
+        assert list(trace_io.iter_text(path)) == self._pairs(trace)
+
+    def test_iter_jsonl_count_cross_check(self, tmp_path, tiny_trace):
+        path = tmp_path / "short.jsonl"
+        trace_io.save_jsonl(tiny_trace, path)
+        lines = path.read_text().splitlines()
+        path.write_text("\n".join(lines[:-1]) + "\n")  # drop one access
+        with pytest.raises(TraceError, match="declares"):
+            list(trace_io.iter_jsonl(path))
+
+    def test_iter_jsonl_malformed_record(self, tmp_path, tiny_trace):
+        path = tmp_path / "bad.jsonl"
+        trace_io.save_jsonl(tiny_trace, path)
+        lines = path.read_text().splitlines()
+        lines[1] = '{"no-item-key": 1}'
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(TraceError, match=":2.*malformed"):
+            list(trace_io.iter_jsonl(path))
+
+    def test_iter_text_malformed_line(self, tmp_path):
+        path = tmp_path / "bad.trc"
+        path.write_text("R ok\nNOPE\n")
+        with pytest.raises(TraceError, match=":2"):
+            list(trace_io.iter_text(path))
+
+    def test_iter_accesses_dispatches(self, tmp_path, tiny_trace):
+        jl = tmp_path / "d.jsonl"
+        tr = tmp_path / "d.trc"
+        trace_io.save_jsonl(tiny_trace, jl)
+        trace_io.save_text(tiny_trace, tr)
+        expected = self._pairs(tiny_trace)
+        assert list(trace_io.iter_accesses(jl)) == expected
+        assert list(trace_io.iter_accesses(tr)) == expected
+        with pytest.raises(TraceError, match="extension"):
+            trace_io.iter_accesses(tmp_path / "d.csv")
+
+    def test_peek_header_jsonl(self, tmp_path):
+        trace = AccessTrace(["a"], name="peeked", metadata={"seed": 7})
+        path = tmp_path / "p.jsonl"
+        trace_io.save_jsonl(trace, path)
+        header = trace_io.peek_header(path)
+        assert header["name"] == "peeked"
+        assert header["metadata"] == {"seed": 7}
+
+    def test_peek_header_trc(self, tmp_path):
+        path = tmp_path / "p.trc"
+        path.write_text("# trace: from-comment\n# accesses: 1\nR x\n")
+        assert trace_io.peek_header(path)["name"] == "from-comment"
+        bare = tmp_path / "bare.trc"
+        bare.write_text("R x\n")
+        assert trace_io.peek_header(bare)["name"] == "bare"
+
+
+class TestLargeTraceWarning:
+    @pytest.fixture
+    def low_threshold(self, monkeypatch):
+        monkeypatch.setattr(trace_io, "LARGE_TEXT_TRACE_ACCESSES", 5)
+        monkeypatch.setattr(trace_io, "_large_trace_warned", False)
+
+    def test_warns_once_and_points_at_pack(self, tmp_path, low_threshold):
+        trace = markov_trace(4, 20, seed=1)
+        path = tmp_path / "big.jsonl"
+        trace_io.save_jsonl(trace, path)
+        with pytest.warns(UserWarning, match="repro trace pack"):
+            trace_io.load_jsonl(path)
+        # Second load in the same process stays silent.
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            trace_io.load_jsonl(path)
+
+    def test_text_loader_warns_too(self, tmp_path, low_threshold):
+        trace = markov_trace(4, 20, seed=1)
+        path = tmp_path / "big.trc"
+        trace_io.save_text(trace, path)
+        with pytest.warns(UserWarning, match="streaming"):
+            trace_io.load_text(path)
+
+    def test_small_trace_stays_silent(self, tmp_path, low_threshold):
+        trace = markov_trace(2, 3, seed=1)
+        path = tmp_path / "small.jsonl"
+        trace_io.save_jsonl(trace, path)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            trace_io.load_jsonl(path)
