@@ -26,8 +26,10 @@ def record_artifact(results_dir):
     """Persist an experiment's rendered output and echo it to stdout."""
 
     def _record(output) -> None:
+        from repro.util import atomic_write_text
+
         path = results_dir / f"{output.experiment_id}.txt"
-        path.write_text(output.rendered + "\n", encoding="utf-8")
+        atomic_write_text(path, output.rendered + "\n")
         print("\n" + output.rendered)
 
     return _record

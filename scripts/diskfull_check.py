@@ -1,0 +1,193 @@
+#!/usr/bin/env python3
+"""CI disk-full leg: prove writes abort typed and leave no partial artifact.
+
+Caps the maximum file size this process may create (``RLIMIT_FSIZE``) so
+any write past the cap fails with ``EFBIG`` (``SIGXFSZ`` is ignored so
+the failure surfaces as ``OSError``), then drives every persisted
+artifact family into the wall:
+
+1. **Atomic writes** (``repro.util.atomic_write``) — must raise
+   ``OSError``, leave the original file untouched, and leave no ``*.tmp``
+   stray behind.
+2. **Result cache** (``ResultCache.put``) — must swallow the failure (a
+   cache that cannot persist degrades to a cache that never hits), leave
+   no partial shard, and keep ``get`` returning ``None`` cleanly.
+3. **Binary trace pack** (``repro.trace.binio.pack``) — must raise
+   ``OSError``; the torn output must then be diagnosed by ``repro.fsck``
+   (salvageable or unrecoverable, never misread as healthy).
+4. **Checkpoint journal append** — must raise ``OSError``; the journal
+   must still scan to a clean record boundary after fsck repair.
+5. **CLI** (``repro place -o``) — must exit 1 with a one-line typed
+   ``error:`` message (no traceback) and write no partial output file.
+
+Exit code 0 iff all five hold.  POSIX-only (``RLIMIT_FSIZE``); prints a
+skip message and exits 0 elsewhere.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+#: Writes under the cap succeed; the big payloads below blow past it.
+CAP_BYTES = 64 * 1024
+BIG = "x" * (CAP_BYTES + 4096)
+
+CHECKS = []
+
+
+def check(name):
+    def decorate(fn):
+        CHECKS.append((name, fn))
+        return fn
+
+    return decorate
+
+
+def no_temps(root: Path) -> bool:
+    return not list(root.rglob("*.tmp"))
+
+
+@check("atomic_write aborts typed, original intact, no temp stray")
+def check_atomic_write(root: Path) -> None:
+    from repro.util import atomic_write_text
+
+    target = root / "atomic" / "out.txt"
+    target.parent.mkdir(parents=True)
+    target.write_text("original")
+    try:
+        atomic_write_text(target, BIG)
+    except OSError:
+        pass
+    else:
+        raise AssertionError("oversized atomic write did not raise OSError")
+    assert target.read_text() == "original", "original was clobbered"
+    assert no_temps(root), "atomic_write leaked a temp file"
+
+
+@check("cache.put degrades to never-hits, no partial shard")
+def check_cache_put(root: Path) -> None:
+    from repro.analysis.cache import ResultCache
+
+    cache = ResultCache(root / "cache")
+    key = "ab" + "0" * 62
+    cache.put(key, {"blob": BIG})  # must not raise
+    assert cache.get(key) is None, "partial shard served as a hit"
+    shards = list((root / "cache").rglob("*.json"))
+    assert shards == [], f"partial shard survived: {shards}"
+    assert no_temps(root / "cache"), "cache leaked a temp file"
+
+
+@check("pack aborts typed; fsck diagnoses the torn file")
+def check_pack(root: Path) -> None:
+    from repro.fsck import fsck_rtb
+
+    path = root / "big.rtb"
+    from repro.trace.binio import pack
+
+    try:
+        pack(
+            ((f"item{i % 64}", "R") for i in range(CAP_BYTES)),
+            path,
+            name="diskfull",
+        )
+    except OSError:
+        pass
+    else:
+        raise AssertionError("oversized pack did not raise OSError")
+    report = fsck_rtb(path, repair=True)
+    assert report.status in ("repaired", "unrecoverable"), report.render()
+
+
+@check("journal append aborts typed; fsck repair restores a clean tail")
+def check_journal(root: Path) -> None:
+    from repro.analysis.checkpoint import CheckpointJournal, scan_journal
+    from repro.fsck import fsck_journal
+
+    path = root / "run.journal"
+    journal = CheckpointJournal(path)
+    journal.record("small", {"ok": True})
+    try:
+        journal.record("huge", {"blob": BIG})
+    except OSError:
+        pass
+    else:
+        raise AssertionError("oversized journal append did not raise OSError")
+    journal.close()
+    fsck_journal(path, repair=True)
+    entries, good_offset, corrupt = scan_journal(path)
+    assert list(entries) == ["small"] and corrupt == 0
+    assert path.stat().st_size == good_offset, "torn tail survived repair"
+
+
+@check("CLI exits 1 with a typed one-line error, no partial output")
+def check_cli(root: Path) -> None:
+    # A fresh interpreter so the child (not this capped process) owns the
+    # limit; the trace JSON itself stays under the cap, the report doesn't.
+    trace_path = root / "t.jsonl"
+    from repro.trace.synthetic import zipf_trace
+    from repro.trace import io as trace_io
+
+    trace_io.save_jsonl(
+        zipf_trace(num_items=24, num_accesses=2000, seed=3), trace_path
+    )
+    out = root / "placement.json"
+    child = (
+        "import resource, signal, sys\n"
+        "signal.signal(signal.SIGXFSZ, signal.SIG_IGN)\n"
+        f"resource.setrlimit(resource.RLIMIT_FSIZE, ({CAP_BYTES // 64}, "
+        f"{CAP_BYTES // 64}))\n"
+        "from repro.cli import main\n"
+        f"sys.exit(main(['place', {str(trace_path)!r}, '-o', {str(out)!r}]))\n"
+    )
+    proc = subprocess.run(
+        [sys.executable, "-c", child],
+        capture_output=True,
+        text=True,
+        env=dict(os.environ, PYTHONPATH="src"),
+        cwd=Path(__file__).resolve().parents[1],
+    )
+    assert proc.returncode == 1, (proc.returncode, proc.stderr)
+    assert "error:" in proc.stderr, proc.stderr
+    assert "Traceback" not in proc.stderr, proc.stderr
+    assert not out.exists(), "partial placement JSON survived"
+    assert no_temps(root), "CLI write leaked a temp file"
+
+
+def main() -> int:
+    if not hasattr(signal, "SIGXFSZ") or not sys.platform.startswith(
+        ("linux", "darwin")
+    ):
+        print("diskfull check: RLIMIT_FSIZE semantics need POSIX; skipping")
+        return 0
+    import resource
+
+    signal.signal(signal.SIGXFSZ, signal.SIG_IGN)
+    resource.setrlimit(resource.RLIMIT_FSIZE, (CAP_BYTES, CAP_BYTES))
+    failures = 0
+    with tempfile.TemporaryDirectory(prefix="diskfull-") as tmp:
+        for name, fn in CHECKS:
+            root = Path(tmp) / fn.__name__
+            root.mkdir()
+            try:
+                fn(root)
+            except AssertionError as exc:
+                failures += 1
+                print(f"FAIL {name}: {exc}")
+            except Exception as exc:  # noqa: BLE001 - report, don't crash
+                failures += 1
+                print(f"FAIL {name}: unexpected {type(exc).__name__}: {exc}")
+            else:
+                print(f"ok   {name}")
+    print(
+        "diskfull check:"
+        f" {len(CHECKS) - failures}/{len(CHECKS)} guarantees hold"
+    )
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

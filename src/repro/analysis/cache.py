@@ -38,12 +38,13 @@ from __future__ import annotations
 import hashlib
 import json
 import os
-import tempfile
 from contextlib import contextmanager
 from pathlib import Path
 
 from repro import __version__
+from repro.chaos import failpoint
 from repro.core.api import get_placement_cache, set_placement_cache
+from repro.util import atomic_write
 from repro.core.placement import Placement
 from repro.core.problem import PlacementResult
 from repro.dwm.config import DWMConfig
@@ -151,6 +152,15 @@ class ResultCache:
             os.replace(path, path.with_suffix(".corrupt"))
             self.quarantined += 1
             get_registry().inc("cache.placement.quarantined")
+            from repro.robust import record_degradation
+
+            record_degradation(
+                "cache",
+                "entry",
+                "quarantine+recompute",
+                f"corrupt shard {path.name}",
+                warn=False,
+            )
         except OSError:
             return
 
@@ -163,6 +173,7 @@ class ResultCache:
         """
         path = self._path(key)
         try:
+            failpoint("cache.read")
             with open(path, "r", encoding="utf-8") as handle:
                 return json.load(handle)
         except ValueError:
@@ -179,18 +190,9 @@ class ResultCache:
         """
         path = self._path(key)
         try:
-            path.parent.mkdir(parents=True, exist_ok=True)
-            handle = tempfile.NamedTemporaryFile(
-                "w",
-                encoding="utf-8",
-                dir=path.parent,
-                prefix=f".{key[:8]}.",
-                suffix=".tmp",
-                delete=False,
-            )
-            with handle:
+            failpoint("cache.write")
+            with atomic_write(path, fsync=False) as handle:
                 json.dump(payload, handle, sort_keys=True)
-            os.replace(handle.name, path)
         except OSError:
             return
 

@@ -12,9 +12,13 @@ the moment it lands.
 Journal properties:
 
 * **Atomic appends** — each record is one ``write()`` of a single
-  newline-terminated JSON object, flushed immediately; a kill mid-write
-  can only truncate the *last* line, which :meth:`CheckpointJournal.load`
-  skips (and counts) on resume.
+  newline-terminated JSON object, flushed immediately.  A kill mid-write
+  (or a lost OS buffer on power failure) can tear the *tail* of the file
+  — possibly several partially flushed records, not just one line.
+  :func:`scan_journal` finds the byte offset after the last fully valid
+  line; resume counts the torn records and **truncates the file back to
+  that offset** before appending, so a fresh record can never concatenate
+  onto torn bytes (which would corrupt both records).
 * **Content-keyed** — keys are sha256 hashes over canonical JSON documents
   of the task inputs (trace fingerprint, geometry, method, kwargs, code
   version), so a resumed run only reuses a cell if its inputs are
@@ -37,6 +41,8 @@ from pathlib import Path
 
 from repro import __version__
 from repro.analysis.cache import _canonical
+from repro.chaos import failpoint
+from repro.errors import InjectedFaultError
 from repro.obs import get_registry
 
 #: Bump when the journal line layout changes.
@@ -66,14 +72,60 @@ def task_key(kind: str, document: dict) -> str:
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
 
+def scan_journal(
+    path: str | os.PathLike,
+) -> tuple[dict[str, object], int, int]:
+    """Scan a journal file tolerating a torn multi-record tail.
+
+    Returns ``(entries, good_offset, corrupt_lines)`` where
+    ``good_offset`` is the byte offset just after the last fully valid
+    (parseable **and** newline-terminated) line.  Corrupt lines *between*
+    valid lines are skipped and counted, matching the historical
+    behaviour; everything after the last valid line is torn tail that a
+    resume must truncate before appending.  A final line that parses but
+    lacks its newline is treated as torn too — its trailing bytes may
+    still be missing, and appending after it would merge two records.
+    """
+    entries: dict[str, object] = {}
+    good_offset = 0
+    corrupt = 0
+    offset = 0
+    try:
+        with open(path, "rb") as handle:
+            for raw in handle:
+                length = len(raw)
+                terminated = raw.endswith(b"\n")
+                stripped = raw.strip()
+                if stripped:
+                    try:
+                        record = json.loads(stripped.decode("utf-8"))
+                        key = record["key"]
+                        payload = record["payload"]
+                    except (ValueError, TypeError, KeyError):
+                        corrupt += 1
+                    else:
+                        if terminated:
+                            entries[key] = payload
+                            good_offset = offset + length
+                        else:
+                            corrupt += 1
+                elif terminated:
+                    good_offset = offset + length
+                offset += length
+    except FileNotFoundError:
+        pass
+    return entries, good_offset, corrupt
+
+
 class CheckpointJournal:
     """Append-only JSONL store of completed task payloads.
 
     ``resume=True`` loads any existing journal at ``path`` before opening
     it for append; ``resume=False`` truncates it (a fresh run must not mix
-    with stale state).  ``restored`` counts entries recovered on open and
-    ``corrupt_lines`` the unparseable lines skipped (typically the one
-    truncated by a kill mid-write).
+    with stale state).  ``restored`` counts entries recovered on open,
+    ``corrupt_lines`` the unparseable lines skipped, and
+    ``truncated_bytes`` the torn tail cut off before reopening for append
+    (a kill mid-flush can tear several trailing records, not just one).
     """
 
     def __init__(self, path: str | os.PathLike, resume: bool = False) -> None:
@@ -81,8 +133,10 @@ class CheckpointJournal:
         self._entries: dict[str, object] = {}
         self.corrupt_lines = 0
         self.recorded = 0
+        self.truncated_bytes = 0
         if resume:
             self.load()
+            self._truncate_torn_tail()
         self.restored = len(self._entries)
         registry = get_registry()
         registry.inc("checkpoint.journals")
@@ -101,23 +155,25 @@ class CheckpointJournal:
     # ------------------------------------------------------------------
     def load(self) -> int:
         """Read the journal from disk; returns the number of entries."""
-        try:
-            with open(self.path, "r", encoding="utf-8") as handle:
-                for line in handle:
-                    line = line.strip()
-                    if not line:
-                        continue
-                    try:
-                        record = json.loads(line)
-                        key = record["key"]
-                        payload = record["payload"]
-                    except (ValueError, TypeError, KeyError):
-                        self.corrupt_lines += 1
-                        continue
-                    self._entries[key] = payload
-        except FileNotFoundError:
-            pass
+        entries, good_offset, corrupt = scan_journal(self.path)
+        self._entries.update(entries)
+        self.corrupt_lines += corrupt
+        self._good_offset = good_offset
         return len(self._entries)
+
+    def _truncate_torn_tail(self) -> None:
+        """Cut torn trailing bytes so appends start on a line boundary."""
+        good_offset = getattr(self, "_good_offset", 0)
+        try:
+            size = self.path.stat().st_size
+        except OSError:
+            return
+        if good_offset >= size:
+            return
+        with open(self.path, "r+b") as handle:
+            handle.truncate(good_offset)
+        self.truncated_bytes = size - good_offset
+        get_registry().inc("checkpoint.torn_bytes", self.truncated_bytes)
 
     def record(self, key: str, payload) -> None:
         """Append one completed result; flushed before returning."""
@@ -125,8 +181,18 @@ class CheckpointJournal:
             {"key": key, "payload": payload},
             separators=(",", ":"),
             default=str,
-        )
-        self._handle.write(line + "\n")
+        ) + "\n"
+        action = failpoint("journal.append")
+        if action is not None and action.kind == "truncate":
+            # Torn-write simulation: part of the line reaches the file,
+            # then a typed error aborts — resume must truncate this tail.
+            self._handle.write(line[: action.keep_bytes])
+            self._handle.flush()
+            raise InjectedFaultError(
+                f"chaos torn journal append: kept {action.keep_bytes} of "
+                f"{len(line)} bytes"
+            )
+        self._handle.write(line)
         self._handle.flush()
         self._entries[key] = payload
         self.recorded += 1

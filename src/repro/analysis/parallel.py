@@ -43,6 +43,7 @@ import warnings
 from dataclasses import dataclass
 from typing import Callable, Iterable, Sequence, TypeVar
 
+from repro.errors import InjectedFaultError
 from repro.obs import get_registry, trace_span
 
 #: Environment variable consulted when no explicit ``jobs`` is given.
@@ -167,8 +168,10 @@ def _worker_init() -> None:
     """
     os.environ[JOBS_ENV] = "1"
     from repro.analysis.cache import ensure_configured_from_env
+    from repro.chaos import ensure_installed_from_env
 
     ensure_configured_from_env()
+    ensure_installed_from_env()
 
 
 def parallel_map(
@@ -205,6 +208,7 @@ def parallel_map(
         return results
     except (
         OSError,
+        InjectedFaultError,
         pool_mod.PoolDispatchError,
         pool_mod.PoolCrashError,
     ) as exc:
@@ -212,6 +216,12 @@ def parallel_map(
             "parallel-map-fallback",
             "parallel_map: process pool unavailable "
             f"({type(exc).__name__}: {exc}); falling back to serial execution",
+        )
+        from repro.robust import record_degradation
+
+        record_degradation(
+            "map", "pooled", "serial",
+            f"{type(exc).__name__}: {exc}", warn=False,
         )
         registry.inc("parallel.fallbacks")
         registry.inc("parallel.tasks", len(tasks), mode="serial")
@@ -314,6 +324,11 @@ def resilient_map(
                 "resilient_map: cannot ship tasks to pool workers "
                 f"({exc}); falling back to serial execution without "
                 "timeout enforcement",
+            )
+            from repro.robust import record_degradation
+
+            record_degradation(
+                "map", "pooled", "serial", str(exc), warn=False
             )
             get_registry().inc("parallel.fallbacks")
             return _run_serial_with_retries(

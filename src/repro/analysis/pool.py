@@ -38,6 +38,7 @@ import pickle
 import time
 from collections import deque
 
+from repro.chaos import failpoint
 from repro.obs import get_registry
 
 #: Grace period when retiring workers before escalating to SIGKILL.
@@ -75,6 +76,7 @@ def _pool_worker_main(conn) -> None:
             break
         index, fn, task = message
         try:
+            failpoint("pool.task")
             payload = ("ok", index, fn(task))
         except BaseException as exc:  # noqa: BLE001 - reported to parent
             payload = ("err", index, _encode_error(exc))
@@ -128,10 +130,19 @@ class WorkerPool:
 
     def _spawn(self) -> int:
         parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        # Stamp the chaos generation before creating the process so the
+        # child (fork or spawn) sees its own spawn index — kill failpoints
+        # use it to avoid crash-looping replacement workers.
+        import os as _os
+
+        from repro.chaos import GENERATION_ENV
+
+        _os.environ[GENERATION_ENV] = str(self._next_wid)
         proc = self._ctx.Process(
             target=_pool_worker_main, args=(child_conn,), daemon=True
         )
         proc.start()
+        _os.environ.pop(GENERATION_ENV, None)
         child_conn.close()
         wid = self._next_wid
         self._next_wid += 1
@@ -189,6 +200,7 @@ class WorkerPool:
         for attempt in range(2):
             worker = self._workers[wid]
             try:
+                failpoint("pool.dispatch")
                 worker.conn.send((index, fn, task))
                 worker.deadline = (
                     time.monotonic() + timeout if timeout is not None else None

@@ -31,10 +31,12 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from pathlib import Path
 
 from repro.analysis.cache import ResultCache, cache_scope
+from repro.util import atomic_write_text
 from repro.analysis.experiments import EXPERIMENTS, run_experiments
 from repro.analysis.report import format_table
 from repro.core.api import ALGORITHMS, optimize_placement
@@ -289,7 +291,7 @@ def cmd_place(args) -> int:
             )
 
         model = build_minla_ilp(list(trace.items), affinity_graph(trace))
-        Path(args.export_ilp).write_text(model.to_lp_format(), encoding="utf-8")
+        atomic_write_text(args.export_ilp, model.to_lp_format())
         print(f"wrote ILP ({len(model.variables)} vars, "
               f"{len(model.constraints)} constraints) to {args.export_ilp}",
               file=sys.stderr)
@@ -313,7 +315,7 @@ def cmd_place(args) -> int:
     }
     text = json.dumps(payload, indent=2)
     if args.output:
-        Path(args.output).write_text(text + "\n", encoding="utf-8")
+        atomic_write_text(args.output, text + "\n")
         print(f"wrote placement to {args.output}")
     else:
         print(text)
@@ -421,7 +423,7 @@ def cmd_experiments(args) -> int:
             "# repro — experiment report\n\n"
             "Regenerated by `repro experiments`.\n\n" + "\n".join(sections)
         )
-        Path(args.output).write_text(report, encoding="utf-8")
+        atomic_write_text(args.output, report)
         print(f"wrote report to {args.output}", file=sys.stderr)
     _write_metrics_manifest(args, "experiments", ",".join(targets))
     return 1 if failed else 0
@@ -496,7 +498,7 @@ def cmd_bench(args) -> int:
         manifest = normalize(payload, source)
         text = manifest.to_json()
         if args.output:
-            Path(args.output).write_text(text + "\n", encoding="utf-8")
+            atomic_write_text(args.output, text + "\n")
             print(f"wrote manifest ({len(manifest.metrics)} metrics) "
                   f"to {args.output}", file=sys.stderr)
         else:
@@ -649,6 +651,74 @@ def cmd_kernels(args) -> int:
         return 0
     rows = [(key, str(value)) for key, value in sorted(info.items())]
     print(format_table(("field", "value"), rows, title="lazy-cost kernel backend"))
+    return 0
+
+
+def cmd_fsck(args) -> int:
+    """Verify (and optionally repair) on-disk artifacts.
+
+    Handles the three artifact families the toolkit persists: binary
+    traces (``.rtb``), placement-cache directories, and checkpoint
+    journals.  Exit code 0 means every artifact is healthy (or was
+    repaired); 1 means at least one needs ``--repair`` or is beyond
+    salvage.
+    """
+    from repro.fsck import fsck_path
+
+    reports = [fsck_path(path, repair=args.repair) for path in args.paths]
+    if args.json:
+        print(json.dumps([r.to_json() for r in reports], indent=2,
+                         sort_keys=True))
+    else:
+        for report in reports:
+            print(report.render())
+        if any(r.status == "salvageable" for r in reports) and not args.repair:
+            print("# rerun with --repair to salvage", file=sys.stderr)
+    return 0 if all(r.ok for r in reports) else 1
+
+
+def cmd_chaos(args) -> int:
+    """Chaos soak: randomized failpoint schedules over real workloads."""
+    from repro.chaos.soak import run_soak
+
+    def progress(message: str) -> None:
+        print(message, file=sys.stderr)
+
+    report = run_soak(
+        seed=args.seed,
+        schedules=args.schedules,
+        workdir=args.workdir,
+        out=args.out,
+        progress=None if args.quiet else progress,
+    )
+    outcomes = ", ".join(
+        f"{count} {name}" for name, count in sorted(report.outcome_counts().items())
+    )
+    repaired = sum(1 for entry in report.fsck if entry["ok"])
+    print(
+        f"chaos soak seed={report.seed}: {len(report.runs)} schedule(s) "
+        f"({outcomes}); fsck repaired {repaired}/{len(report.fsck)} "
+        f"artifact(s); {report.elapsed_seconds:.1f}s"
+    )
+    if report.degradations:
+        for edge, count in sorted(report.degradations.items()):
+            print(f"  degradation {edge}: {count}")
+    if not report.ok:
+        for run in report.runs:
+            if not run.ok:
+                print(
+                    f"VIOLATION schedule {run.index}: {run.outcome} "
+                    f"{run.error} leaks={run.leaks} spec={run.spec}",
+                    file=sys.stderr,
+                )
+        for entry in report.fsck:
+            if not entry["ok"]:
+                print(
+                    f"VIOLATION fsck {entry['artifact']}: {entry['status']} "
+                    f"({entry['detail']})",
+                    file=sys.stderr,
+                )
+        return 1
     return 0
 
 
@@ -883,6 +953,43 @@ def build_parser() -> argparse.ArgumentParser:
     system.add_argument("--ports", type=int, default=1, metavar="P")
     system.set_defaults(func=cmd_system)
 
+    fsck = sub.add_parser(
+        "fsck",
+        help="verify/repair binary traces, cache dirs and checkpoint "
+             "journals",
+    )
+    fsck.add_argument("paths", nargs="+", metavar="PATH",
+                      help=".rtb file, cache directory, or journal file")
+    fsck.add_argument("--repair", action="store_true",
+                      help="salvage what the artifact still holds (torn "
+                           "tails truncated, corrupt cache shards "
+                           "quarantined, readable trace prefixes re-packed)")
+    fsck.add_argument("--json", action="store_true",
+                      help="emit machine-readable reports")
+    fsck.set_defaults(func=cmd_fsck)
+
+    chaos = sub.add_parser(
+        "chaos", help="fault-injection tooling (see docs/CHAOS.md)"
+    )
+    chaos_sub = chaos.add_subparsers(dest="chaos_command", required=True)
+    soak = chaos_sub.add_parser(
+        "soak",
+        help="run workloads under randomized failpoint schedules and "
+             "assert byte-identical results or typed clean aborts",
+    )
+    soak.add_argument("--seed", type=int, default=2015,
+                      help="soak seed; every schedule derives from it")
+    soak.add_argument("--schedules", type=int, default=25,
+                      help="number of random failpoint schedules")
+    soak.add_argument("--workdir", default=None, metavar="DIR",
+                      help="keep run artifacts here (default: temp dir, "
+                           "removed afterwards)")
+    soak.add_argument("--out", default=None, metavar="FILE",
+                      help="write the JSON soak report here")
+    soak.add_argument("--quiet", action="store_true",
+                      help="suppress per-schedule progress lines")
+    soak.set_defaults(func=cmd_chaos)
+
     return parser
 
 
@@ -890,7 +997,16 @@ def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    from repro import robust
+    from repro.chaos import ensure_installed_from_env
+
+    # SIGTERM lands in the KeyboardInterrupt handler below, so a `kill`
+    # (or a batch-scheduler timeout) gets the same journal-flush/pool/shm
+    # teardown as Ctrl-C.  REPRO_CHAOS activates the failpoint plan for
+    # this process and every pool worker it spawns.
+    robust.install_sigterm_handler()
     try:
+        ensure_installed_from_env()
         return args.func(args)
     except KeyboardInterrupt:
         # Flush any open checkpoint journals so an interrupted sweep can be
@@ -917,7 +1033,16 @@ def main(argv: list[str] | None = None) -> int:
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
-    except FileNotFoundError as exc:
+    except BrokenPipeError:
+        # Downstream reader (e.g. ``| head``) closed early — not an error.
+        # Detach stdout so the interpreter's shutdown flush can't re-raise.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
+    except OSError as exc:
+        # Covers FileNotFoundError as before, plus environmental failures
+        # like ENOSPC (disk full): a typed one-line abort, not a traceback.
+        # Atomic writes guarantee no partial artifact survives the failure.
         print(f"error: {exc}", file=sys.stderr)
         return 1
 

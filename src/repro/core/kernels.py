@@ -541,7 +541,24 @@ def compiled() -> CompiledKernels | None:
     if _BACKEND_NAME is None:
         with _LOCK:
             if _BACKEND_NAME is None:
-                backend, name, note = _select()
+                try:
+                    from repro.chaos import failpoint
+
+                    failpoint("kernel.compile")
+                    backend, name, note = _select()
+                except Exception as exc:  # noqa: BLE001 - degrade to numpy
+                    from repro.robust import is_recoverable, record_degradation
+
+                    if not is_recoverable(exc):
+                        raise
+                    backend, name = None, "numpy"
+                    note = (
+                        f"kernel selection failed "
+                        f"({type(exc).__name__}: {exc})"
+                    )
+                    record_degradation(
+                        "kernel", "compiled", "numpy", note, warn=False
+                    )
                 _BACKEND = backend
                 _SELECTION_NOTE = note
                 from repro.obs import get_registry

@@ -12,6 +12,17 @@ subsystem:
   memory.
 * :class:`SimulationError` — runtime failures of the trace-driven simulator.
 * :class:`OptimizationError` — failures inside placement algorithms.
+* :class:`ArtifactError` — a persisted artifact (binary trace, cache shard,
+  checkpoint journal) is corrupt, torn, or unreadable.
+* :class:`InjectedFaultError` — a failure deliberately raised by the chaos
+  failpoint framework (:mod:`repro.chaos`).
+
+The split between *semantic* and *infrastructure* failures drives the
+graceful-degradation layer (:mod:`repro.robust`): infrastructure failures
+(I/O errors, memory pressure, dead workers, injected faults) may be
+recovered by falling back along a degradation chain, while semantic errors
+(bad config, invalid placement, inconsistent simulator state) must
+propagate — recomputing would reproduce them.
 """
 
 from __future__ import annotations
@@ -47,3 +58,57 @@ class SimulationError(ReproError, RuntimeError):
 
 class OptimizationError(ReproError, RuntimeError):
     """A placement algorithm failed or was asked for an unsupported mode."""
+
+
+class ArtifactError(ReproError, RuntimeError):
+    """A persisted artifact is corrupt, torn, or unreadable.
+
+    Base class for the on-disk failure taxonomy consumed by ``repro fsck``
+    (:mod:`repro.fsck`): every subclass names the artifact kind and, where
+    known, how much of it is salvageable.
+    """
+
+
+class TraceFormatError(TraceError, ArtifactError):
+    """A binary trace file (``.rtb``) violates its on-disk format.
+
+    Unifies the previously ad-hoc corruption errors of
+    :mod:`repro.trace.binio` — bad magic, unsupported version, short
+    reads, truncated record/meta regions — under one type carrying
+    forensics for ``repro fsck``:
+
+    * ``byte_offset`` — where in the file the format breaks down
+      (``None`` when unknown);
+    * ``salvageable_records`` — how many leading records are intact and
+      recoverable by the salvage path (``None`` when not yet computed).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        path=None,
+        byte_offset: int | None = None,
+        salvageable_records: int | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.path = path
+        self.byte_offset = byte_offset
+        self.salvageable_records = salvageable_records
+
+
+class CacheArtifactError(ArtifactError):
+    """A result-cache shard is corrupt (normally quarantined, not raised)."""
+
+
+class JournalArtifactError(ArtifactError):
+    """A checkpoint journal is torn beyond the tolerated trailing records."""
+
+
+class InjectedFaultError(ReproError, RuntimeError):
+    """Default error raised by a firing chaos failpoint.
+
+    Deliberately part of the public taxonomy: a chaos soak asserts that
+    every aborted run died with a *typed* error, and this is the type an
+    unannotated ``raise`` action produces.
+    """

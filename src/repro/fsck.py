@@ -1,0 +1,445 @@
+"""Verify and repair persisted artifacts (``repro fsck``).
+
+Three artifact families survive a run: packed binary traces (``.rtb``),
+result-cache shards, and checkpoint journals.  All three are written
+crash-safely (atomic writes, append-with-flush), but external corruption
+— a died-mid-``pack`` process, a truncating filesystem, bit rot, a chaos
+soak — still produces torn files.  This module is the offline
+doctor: :func:`fsck_path` classifies an artifact, reports exactly what is
+wrong (reusing the byte-offset forensics carried by
+:class:`~repro.errors.TraceFormatError`), and optionally repairs it.
+
+Repair semantics per family:
+
+* **Binary traces** — salvage the longest valid record prefix.  Three
+  torn shapes exist (records are written first, meta second, the header
+  is patched last — see :mod:`repro.trace.binio`):
+
+  1. *All-zero header*: ``pack()`` died before patching.  The record
+     count is unknown (trailing zero bytes are valid records), item names
+     are gone — unrecoverable, reported as such.
+  2. *Valid header, file truncated inside the records*: the meta block —
+     and with it every item name — is lost.  The intact leading records
+     are rewritten with placeholder names (``item00000``, …); access
+     *structure* survives even though names do not.
+  3. *Valid header, truncated inside the meta block*: all records are
+     intact.  The item-name prefix is recovered from the partial JSON;
+     because items are indexed in first-touch order, the longest record
+     prefix referencing only recovered names is exact — real names, real
+     kinds, byte-identical to the same prefix of the original.
+
+  Salvaged output is re-packed (fresh fingerprint, valid by
+  construction) to ``<name>.salvaged.rtb`` — or over the original with
+  ``repair=True`` — with ``metadata["salvaged"]`` recording provenance.
+
+* **Cache shards** — a shard that fails to parse is quarantined
+  (``*.corrupt``), exactly as a live lookup would; stray ``*.tmp`` files
+  (none should survive :func:`repro.util.atomic_write`) are removed.
+  Quarantined entries need no further repair: the cache recomputes.
+
+* **Checkpoint journals** — torn trailing bytes after the last fully
+  valid line are truncated away (the same salvage a ``resume=True`` open
+  performs), preserving every intact record.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.errors import TraceFormatError
+from repro.trace.binio import (
+    _ITEM_MASK,
+    _WRITE_BIT,
+    BINARY_SUFFIX,
+    HEADER_SIZE,
+    MAGIC,
+    _HEADER_STRUCT,
+    pack,
+)
+from repro.util import TMP_SUFFIX
+
+__all__ = [
+    "FsckReport",
+    "fsck_cache",
+    "fsck_journal",
+    "fsck_path",
+    "fsck_rtb",
+]
+
+
+@dataclass
+class FsckReport:
+    """Outcome of checking (and maybe repairing) one artifact.
+
+    ``status`` is one of ``"ok"`` (intact), ``"repaired"`` (damage found
+    and fixed/salvaged), ``"salvageable"`` (damage found, ``repair`` was
+    off), or ``"unrecoverable"`` (nothing usable remains).
+    """
+
+    path: str
+    kind: str
+    status: str
+    detail: str = ""
+    salvaged_records: int = 0
+    salvaged_path: str | None = None
+    actions: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return self.status in ("ok", "repaired")
+
+    def to_json(self) -> dict:
+        payload = {
+            "path": self.path,
+            "kind": self.kind,
+            "status": self.status,
+            "detail": self.detail,
+            "actions": list(self.actions),
+        }
+        if self.salvaged_records:
+            payload["salvaged_records"] = self.salvaged_records
+        if self.salvaged_path:
+            payload["salvaged_path"] = self.salvaged_path
+        return payload
+
+    def render(self) -> str:
+        line = f"{self.path}: {self.kind} {self.status}"
+        if self.detail:
+            line += f" — {self.detail}"
+        for action in self.actions:
+            line += f"\n  * {action}"
+        return line
+
+
+# ---------------------------------------------------------------------------
+# Binary traces
+# ---------------------------------------------------------------------------
+
+def _recover_item_prefix(raw_meta: bytes) -> list[str]:
+    """Longest recoverable prefix of the ``items`` array in torn JSON.
+
+    The meta block is ``{"name": ..., "metadata": ..., "items": [...]}``;
+    a truncation mid-array leaves a parseable prefix of complete string
+    elements.  Parsing the fragment with :func:`json.JSONDecoder.raw_decode`
+    element by element recovers every fully written name.
+    """
+    try:
+        text = raw_meta.decode("utf-8", errors="ignore")
+    except Exception:  # pragma: no cover - decode with ignore cannot fail
+        return []
+    marker = '"items"'
+    start = text.find(marker)
+    if start < 0:
+        return []
+    bracket = text.find("[", start)
+    if bracket < 0:
+        return []
+    decoder = json.JSONDecoder()
+    items: list[str] = []
+    position = bracket + 1
+    while True:
+        while position < len(text) and text[position] in ", \t\r\n":
+            position += 1
+        if position >= len(text) or text[position] == "]":
+            break
+        try:
+            value, end = decoder.raw_decode(text, position)
+        except ValueError:
+            break
+        if not isinstance(value, str):
+            break
+        items.append(value)
+        position = end
+    return items
+
+
+def _iter_records(data: bytes):
+    """Decode raw record words into ``(item_index, kind)`` pairs."""
+    for offset in range(0, len(data) - len(data) % 4, 4):
+        word = int.from_bytes(data[offset : offset + 4], "little")
+        yield word & _ITEM_MASK, "W" if word & _WRITE_BIT else "R"
+
+
+def fsck_rtb(path: str | Path, *, repair: bool = False) -> FsckReport:
+    """Check one binary trace; salvage the longest valid prefix if torn.
+
+    Without ``repair`` the salvaged trace is written next to the original
+    as ``<name>.salvaged.rtb`` (the damaged original is evidence and is
+    left untouched); with ``repair`` the original is replaced.
+    """
+    path = Path(path)
+    report = FsckReport(path=str(path), kind="rtb", status="ok")
+    from repro.trace.binio import open_binary
+
+    try:
+        trace = open_binary(path)
+        # Force a full record decode so torn record bytes surface too.
+        trace.read_write_counts()
+        report.detail = (
+            f"{len(trace)} accesses, {trace.num_items} items, "
+            f"fingerprint {trace.fingerprint()[:12]}…"
+        )
+        return report
+    except TraceFormatError as exc:
+        report.status = "salvageable"
+        report.detail = str(exc)
+        format_error = exc
+    except Exception as exc:  # noqa: BLE001 - any read failure is damage
+        report.status = "salvageable"
+        report.detail = f"{type(exc).__name__}: {exc}"
+        format_error = None
+
+    try:
+        raw = path.read_bytes()
+    except OSError as exc:
+        report.status = "unrecoverable"
+        report.actions.append(f"cannot read file: {exc}")
+        return report
+    size = len(raw)
+
+    if size < HEADER_SIZE or raw[:HEADER_SIZE] == b"\x00" * HEADER_SIZE:
+        # Shape 1: pack() never patched the header.  Record count and item
+        # names are both unknown — zero words are themselves valid records,
+        # so even the record boundary is ambiguous.  Nothing to salvage.
+        report.status = "unrecoverable"
+        report.actions.append(
+            "header missing or all-zero (pack() died before finishing); "
+            "records are indistinguishable from padding — re-pack from "
+            "the source trace"
+        )
+        return report
+
+    try:
+        magic, version, _flags, num_accesses, num_items, records_offset, \
+            meta_offset, meta_size, _fp = _HEADER_STRUCT.unpack(
+                raw[: _HEADER_STRUCT.size]
+            )
+    except Exception:  # pragma: no cover - HEADER_SIZE bytes always unpack
+        report.status = "unrecoverable"
+        return report
+    if magic != MAGIC or version != 1 or records_offset != HEADER_SIZE:
+        report.status = "unrecoverable"
+        report.actions.append(
+            "header is present but invalid (bad magic/version/layout); "
+            "not salvageable without the original format"
+        )
+        return report
+
+    records_end = records_offset + 4 * num_accesses
+    record_bytes = raw[records_offset : min(records_end, size)]
+    available = len(record_bytes) // 4
+
+    if records_end > size:
+        # Shape 2: truncated inside the records; the meta block (item
+        # names) is gone.  Salvage structure under placeholder names.
+        items = [f"item{i:05d}" for i in range(num_items)]
+        salvage_count = available
+        note = (
+            f"meta block lost; {salvage_count} of {num_accesses} records "
+            f"salvaged under placeholder item names"
+        )
+    else:
+        # Shape 3: records intact, truncated inside the meta block.
+        # Recover the item-name prefix; items are first-touch ordered, so
+        # the record prefix referencing only recovered names is exact.
+        raw_meta = raw[meta_offset : min(meta_offset + meta_size, size)]
+        recovered = _recover_item_prefix(raw_meta)
+        if len(recovered) >= num_items:
+            recovered = recovered[:num_items]
+            items = recovered
+            salvage_count = available
+            note = f"meta tail lost but all {num_items} item names recovered"
+        elif recovered:
+            items = recovered
+            known = len(recovered)
+            salvage_count = 0
+            for index, (item_index, _kind) in enumerate(
+                _iter_records(record_bytes)
+            ):
+                if item_index >= known:
+                    break
+                salvage_count = index + 1
+            note = (
+                f"{known} of {num_items} item names recovered; "
+                f"{salvage_count} of {num_accesses} records reference "
+                f"only those and are salvaged exactly"
+            )
+        else:
+            items = [f"item{i:05d}" for i in range(num_items)]
+            salvage_count = available
+            note = (
+                f"no item names recovered; {salvage_count} records "
+                f"salvaged under placeholder item names"
+            )
+
+    if salvage_count == 0:
+        report.status = "unrecoverable"
+        report.actions.append(note)
+        report.actions.append("no leading records are salvageable")
+        return report
+
+    salvaged = []
+    for index, (item_index, kind) in enumerate(_iter_records(record_bytes)):
+        if index >= salvage_count:
+            break
+        if item_index >= len(items):  # pragma: no cover - defensive
+            break
+        salvaged.append((items[item_index], kind))
+
+    target = path if repair else path.with_suffix(f".salvaged{BINARY_SUFFIX}")
+    written = pack(
+        salvaged,
+        target,
+        name=f"{path.stem}|salvaged",
+        metadata={
+            "salvaged": True,
+            "salvaged_from": str(path),
+            "original_records": int(num_accesses),
+            "salvaged_records": int(len(salvaged)),
+        },
+    )
+    # Verify-only runs still get the side-car salvage file (it is cheap
+    # and non-destructive), but the artifact itself stays damaged, so the
+    # status — and the exit code — says "salvageable" until --repair.
+    report.status = "repaired" if repair else "salvageable"
+    report.salvaged_records = written
+    report.salvaged_path = str(target)
+    report.actions.append(note)
+    report.actions.append(
+        f"wrote {written} salvaged records to {target}"
+        + (" (replaced original)" if repair else "")
+    )
+    return report
+
+
+# ---------------------------------------------------------------------------
+# Cache directories
+# ---------------------------------------------------------------------------
+
+def fsck_cache(root: str | Path, *, repair: bool = False) -> FsckReport:
+    """Check a result-cache directory: parse shards, sweep strays.
+
+    Corrupt shards are quarantined (with ``repair=True``) exactly as a
+    live lookup would — renamed ``*.corrupt`` so the key recomputes; stray
+    temp files are removed.  Without ``repair`` problems are only listed.
+    """
+    root = Path(root)
+    report = FsckReport(path=str(root), kind="cache", status="ok")
+    if not root.is_dir():
+        report.status = "unrecoverable"
+        report.detail = "not a directory"
+        return report
+    good = 0
+    bad = 0
+    for shard in sorted(root.glob("??/*.json")):
+        try:
+            with open(shard, "r", encoding="utf-8") as handle:
+                json.load(handle)
+            good += 1
+        except ValueError:
+            bad += 1
+            if repair:
+                try:
+                    shard.replace(shard.with_suffix(".corrupt"))
+                    report.actions.append(f"quarantined {shard.name}")
+                except OSError as exc:
+                    report.actions.append(
+                        f"cannot quarantine {shard.name}: {exc}"
+                    )
+            else:
+                report.actions.append(f"corrupt shard {shard.name}")
+        except OSError as exc:
+            bad += 1
+            report.actions.append(f"unreadable shard {shard.name}: {exc}")
+    strays = sorted(root.glob(f"**/*{TMP_SUFFIX}"))
+    for stray in strays:
+        if repair:
+            try:
+                stray.unlink()
+                report.actions.append(f"removed stray temp {stray.name}")
+            except OSError as exc:
+                report.actions.append(f"cannot remove {stray.name}: {exc}")
+        else:
+            report.actions.append(f"stray temp file {stray.name}")
+    quarantined = sum(1 for _ in root.glob("??/*.corrupt"))
+    report.detail = (
+        f"{good} shard(s) ok, {bad} corrupt/unreadable, "
+        f"{len(strays)} stray temp(s), {quarantined} quarantined"
+    )
+    if bad or strays:
+        report.status = "repaired" if repair else "salvageable"
+    return report
+
+
+# ---------------------------------------------------------------------------
+# Checkpoint journals
+# ---------------------------------------------------------------------------
+
+def fsck_journal(path: str | Path, *, repair: bool = False) -> FsckReport:
+    """Check one checkpoint journal; truncate a torn tail if asked.
+
+    Reuses :func:`repro.analysis.checkpoint.scan_journal` — the same
+    byte-offset salvage a ``resume=True`` open performs.
+    """
+    from repro.analysis.checkpoint import scan_journal
+
+    path = Path(path)
+    report = FsckReport(path=str(path), kind="journal", status="ok")
+    if not path.is_file():
+        report.status = "unrecoverable"
+        report.detail = "no such file"
+        return report
+    entries, good_offset, corrupt = scan_journal(path)
+    size = path.stat().st_size
+    torn = size - good_offset
+    report.detail = (
+        f"{len(entries)} entries, {corrupt} corrupt line(s), "
+        f"{torn} torn trailing byte(s)"
+    )
+    report.salvaged_records = len(entries)
+    if torn <= 0:
+        if corrupt:
+            report.status = "salvageable"
+            report.actions.append(
+                f"{corrupt} corrupt interior line(s) are skipped on load; "
+                "entries after them are intact"
+            )
+        return report
+    if repair:
+        with open(path, "r+b") as handle:
+            handle.truncate(good_offset)
+        report.status = "repaired"
+        report.actions.append(
+            f"truncated {torn} torn byte(s); journal now ends on a "
+            "record boundary"
+        )
+    else:
+        report.status = "salvageable"
+        report.actions.append(
+            f"{torn} torn byte(s) after the last valid record "
+            "(resume would truncate them; --repair does it now)"
+        )
+    return report
+
+
+# ---------------------------------------------------------------------------
+# Dispatch
+# ---------------------------------------------------------------------------
+
+def fsck_path(path: str | Path, *, repair: bool = False) -> FsckReport:
+    """Classify ``path`` by shape and run the matching checker.
+
+    ``.rtb`` files go to :func:`fsck_rtb`, directories to
+    :func:`fsck_cache`, anything else line-oriented to
+    :func:`fsck_journal`.
+    """
+    path = Path(path)
+    if path.is_dir():
+        return fsck_cache(path, repair=repair)
+    if path.suffix == BINARY_SUFFIX or path.name.endswith(
+        f".salvaged{BINARY_SUFFIX}"
+    ):
+        return fsck_rtb(path, repair=repair)
+    return fsck_journal(path, repair=repair)

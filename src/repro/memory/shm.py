@@ -43,6 +43,7 @@ from collections import OrderedDict
 from contextlib import contextmanager
 from typing import Iterator, Sequence
 
+from repro.chaos import failpoint
 from repro.memory.batch_sim import ResolvedTrace, resolve_trace, seed_resolved
 from repro.obs import get_registry
 from repro.trace.model import AccessTrace
@@ -165,6 +166,7 @@ def publish(trace: AccessTrace) -> TraceHandle:
 
     import numpy as np
 
+    failpoint("shm.publish")
     entry = _BY_TRACE.get(id(trace))
     if entry is not None and entry[0]() is trace:
         name = entry[1]
@@ -291,6 +293,7 @@ def _attach(handle: TraceHandle):
     if cached is not None:
         _ATTACHED.move_to_end(handle.shm_name)
         return cached
+    failpoint("shm.attach")
     shm = shared_memory.SharedMemory(name=handle.shm_name)
     try:
         # CPython ≤ 3.12 registers attachments with the resource tracker,

@@ -120,6 +120,12 @@ class ScratchpadMemory:
                 f"unknown simulation engine {engine!r}; "
                 "expected 'auto', 'scalar', 'vectorized' or 'streaming'"
             )
+        # The degradation chain streaming -> vectorized -> scalar engages
+        # only for the policy-driven "auto" selection: an explicitly
+        # requested engine is a user override the library must not
+        # second-guess (e.g. streaming may be the only engine whose memory
+        # footprint fits the box).
+        auto_selected = engine == "auto"
         if isinstance(trace, StreamingTrace):
             if engine == "auto":
                 engine = "streaming"
@@ -144,16 +150,34 @@ class ScratchpadMemory:
             registry = get_registry()
             registry.inc("sim.runs", engine="streaming")
             registry.inc("sim.accesses", len(trace), engine="streaming")
-            with trace_span("simulate", engine="streaming"):
-                self._ensure_validated(trace)
-                return simulate_streaming(
-                    trace,
-                    self.config,
-                    self.placement,
-                    chunk_size=chunk_size or DEFAULT_CHUNK_SIZE,
-                    jobs=jobs,
-                    validate=False,
+            try:
+                with trace_span("simulate", engine="streaming"):
+                    self._ensure_validated(trace)
+                    return simulate_streaming(
+                        trace,
+                        self.config,
+                        self.placement,
+                        chunk_size=chunk_size or DEFAULT_CHUNK_SIZE,
+                        jobs=jobs,
+                        validate=False,
+                    )
+            except Exception as exc:
+                from repro.robust import is_recoverable, record_degradation
+
+                if not auto_selected or not is_recoverable(exc):
+                    raise
+                record_degradation(
+                    "engine",
+                    "streaming",
+                    "vectorized",
+                    f"{type(exc).__name__}: {exc}",
                 )
+                # Materialising defeats streaming's memory bound, but the
+                # counters are bit-identical across engines, so the run
+                # still completes with the correct result.
+                if isinstance(trace, StreamingTrace):
+                    trace = trace.to_trace()
+                engine = "auto"
         if engine == "auto":
             engine = (
                 "vectorized"
@@ -164,20 +188,32 @@ class ScratchpadMemory:
         registry.inc("sim.runs", engine=engine)
         registry.inc("sim.accesses", len(trace), engine=engine)
         if engine == "vectorized":
-            with trace_span("simulate", engine="vectorized"):
-                self._ensure_validated(trace)
-                batch = self._batch_for(trace)
-                result = batch.simulate(
-                    self.config, self.placement, validate=False
-                )
-                if fault_model is not None:
-                    dbc_seq, cost_seq = batch.access_costs(
+            try:
+                with trace_span("simulate", engine="vectorized"):
+                    self._ensure_validated(trace)
+                    batch = self._batch_for(trace)
+                    result = batch.simulate(
                         self.config, self.placement, validate=False
                     )
-                    result.details["faults"] = self._inject_faults(
-                        trace, fault_model, dbc_seq, cost_seq
-                    )
-            return result
+                    if fault_model is not None:
+                        dbc_seq, cost_seq = batch.access_costs(
+                            self.config, self.placement, validate=False
+                        )
+                        result.details["faults"] = self._inject_faults(
+                            trace, fault_model, dbc_seq, cost_seq
+                        )
+                return result
+            except Exception as exc:
+                from repro.robust import is_recoverable, record_degradation
+
+                if not auto_selected or not is_recoverable(exc):
+                    raise
+                record_degradation(
+                    "engine",
+                    "vectorized",
+                    "scalar",
+                    f"{type(exc).__name__}: {exc}",
+                )
         with trace_span("simulate", engine="scalar") as span:
             slots = self._slots_for(trace)
             array = DWMArrayModel(self.config)

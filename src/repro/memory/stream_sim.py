@@ -128,6 +128,9 @@ def scan_chunk(item_at, is_write, config: DWMConfig, dbc_of, offset_of) -> Chunk
     """
     import numpy as np
 
+    from repro.chaos import failpoint
+
+    failpoint("stream.scan")
     ports = config.port_offsets
     state = ChunkState(
         policy=config.port_policy.value,
@@ -378,6 +381,9 @@ def simulate_streaming(
             else None
         )
         for start, stop in chunks:
+            from repro.chaos import failpoint
+
+            failpoint("stream.scan")
             item_at, is_write = _chunk_arrays(trace, start, stop)
             writes += int(is_write.sum())
             dbc_seq = dbc_of[item_at]
@@ -423,7 +429,32 @@ def simulate_streaming(
                     )
                     for start, stop in chunks
                 ]
-            states = get_pool(jobs).run(_scan_chunk_task, tasks, propagate=True)
+            try:
+                states = get_pool(jobs).run(
+                    _scan_chunk_task, tasks, propagate=True
+                )
+            except Exception as exc:
+                from repro.robust import is_recoverable, record_degradation
+
+                if not is_recoverable(exc):
+                    raise
+                # Pool infrastructure failed; the chunk algebra is pure, so
+                # rescanning in-process yields bit-identical results.
+                record_degradation(
+                    "stream",
+                    "parallel",
+                    "sequential",
+                    f"{type(exc).__name__}: {exc}",
+                )
+                states = [
+                    scan_chunk(
+                        *_chunk_arrays(trace, start, stop),
+                        config,
+                        dbc_of,
+                        offset_of,
+                    )
+                    for start, stop in chunks
+                ]
         else:
             states = [
                 scan_chunk(

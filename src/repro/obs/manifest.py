@@ -276,9 +276,10 @@ def collect_manifest(
 
 def write_manifest(manifest: RunManifest, path: str | os.PathLike) -> Path:
     """Serialize ``manifest`` to ``path`` (parent dirs created)."""
+    from repro.util import atomic_write_text
+
     target = Path(path)
-    target.parent.mkdir(parents=True, exist_ok=True)
-    target.write_text(manifest.to_json() + "\n", encoding="utf-8")
+    atomic_write_text(target, manifest.to_json() + "\n")
     return target
 
 

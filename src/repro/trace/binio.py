@@ -46,7 +46,8 @@ import struct
 from pathlib import Path
 from typing import Iterable, Iterator
 
-from repro.errors import TraceError
+from repro.chaos import failpoint
+from repro.errors import InjectedFaultError, TraceError, TraceFormatError
 from repro.trace.model import AccessTrace
 
 MAGIC = b"REPROTRC"
@@ -86,6 +87,24 @@ def _pack_header(
         fingerprint.encode("ascii"),
     )
     return header + b"\x00" * (HEADER_SIZE - len(header))
+
+
+def _chaos_write(handle, payload: bytes) -> None:
+    """Write ``payload``, honouring a ``binio.write`` truncate failpoint.
+
+    A truncate directive simulates a torn write: only ``keep_bytes`` of
+    the payload reach the file before a typed error aborts the pack —
+    exactly the artifact ``repro fsck`` must recognise and salvage.
+    """
+    action = failpoint("binio.write")
+    if action is not None and action.kind == "truncate":
+        handle.write(payload[: action.keep_bytes])
+        handle.flush()
+        raise InjectedFaultError(
+            f"chaos torn write: kept {action.keep_bytes} of "
+            f"{len(payload)} bytes"
+        )
+    handle.write(payload)
 
 
 def pack(
@@ -133,10 +152,10 @@ def pack(
             buffer += (position | flag).to_bytes(4, "little")
             count += 1
             if count % _PACK_BUFFER_RECORDS == 0:
-                handle.write(buffer)
+                _chaos_write(handle, bytes(buffer))
                 buffer.clear()
         if buffer:
-            handle.write(buffer)
+            _chaos_write(handle, bytes(buffer))
         meta = json.dumps(
             {
                 "name": name,
@@ -145,12 +164,13 @@ def pack(
             }
         ).encode("utf-8")
         meta_offset = HEADER_SIZE + 4 * count
-        handle.write(meta)
+        _chaos_write(handle, meta)
         handle.seek(0)
-        handle.write(
+        _chaos_write(
+            handle,
             _pack_header(
                 count, len(index), meta_offset, len(meta), digest.hexdigest()
-            )
+            ),
         )
     return count
 
@@ -171,43 +191,77 @@ def save_binary(trace: AccessTrace, path: str | Path) -> None:
 
 
 def _read_header(path: Path) -> tuple[int, int, int, int, int, str]:
-    """Parse and validate the fixed header; returns its decoded fields."""
+    """Parse and validate the fixed header; returns its decoded fields.
+
+    All format violations raise :class:`~repro.errors.TraceFormatError`
+    carrying the byte offset where the format breaks down and — for
+    truncated record/meta regions — how many leading records are still
+    salvageable (``repro fsck`` consumes both).
+    """
+    failpoint("binio.read")
     try:
         with path.open("rb") as handle:
             raw = handle.read(HEADER_SIZE)
     except OSError as exc:
-        raise TraceError(f"{path}: cannot read binary trace: {exc}") from exc
+        raise TraceFormatError(
+            f"{path}: cannot read binary trace: {exc}", path=path
+        ) from exc
     if len(raw) < HEADER_SIZE:
-        raise TraceError(
+        raise TraceFormatError(
             f"{path}: truncated binary trace header "
-            f"({len(raw)} bytes, need {HEADER_SIZE})"
+            f"({len(raw)} bytes, need {HEADER_SIZE})",
+            path=path,
+            byte_offset=len(raw),
+            salvageable_records=0,
         )
     magic, version, _flags, num_accesses, num_items, records_offset, \
         meta_offset, meta_size, fingerprint_raw = _HEADER_STRUCT.unpack(
             raw[: _HEADER_STRUCT.size]
         )
     if magic != MAGIC:
-        raise TraceError(f"{path}: not a repro binary trace (bad magic)")
+        detail = (
+            "all-zero header: pack() died before patching it"
+            if raw == b"\x00" * HEADER_SIZE
+            else "bad magic"
+        )
+        raise TraceFormatError(
+            f"{path}: not a repro binary trace ({detail})",
+            path=path,
+            byte_offset=0,
+            salvageable_records=0,
+        )
     if version != VERSION:
-        raise TraceError(
+        raise TraceFormatError(
             f"{path}: unsupported binary trace version {version} "
-            f"(this build reads version {VERSION})"
+            f"(this build reads version {VERSION})",
+            path=path,
+            byte_offset=8,
         )
     try:
         fingerprint = fingerprint_raw.decode("ascii")
     except UnicodeDecodeError as exc:
-        raise TraceError(f"{path}: corrupt fingerprint field") from exc
+        raise TraceFormatError(
+            f"{path}: corrupt fingerprint field", path=path, byte_offset=56
+        ) from exc
     size = path.stat().st_size
     records_end = records_offset + 4 * num_accesses
     if records_offset < HEADER_SIZE or records_end > size:
-        raise TraceError(
+        salvageable = max(0, (size - records_offset) // 4) \
+            if records_offset >= HEADER_SIZE else 0
+        raise TraceFormatError(
             f"{path}: record region [{records_offset}, {records_end}) "
-            f"outside the {size}-byte file (truncated?)"
+            f"outside the {size}-byte file (truncated?)",
+            path=path,
+            byte_offset=size,
+            salvageable_records=int(salvageable),
         )
     if meta_offset + meta_size > size:
-        raise TraceError(
+        raise TraceFormatError(
             f"{path}: meta region [{meta_offset}, {meta_offset + meta_size}) "
-            f"outside the {size}-byte file (truncated?)"
+            f"outside the {size}-byte file (truncated?)",
+            path=path,
+            byte_offset=size,
+            salvageable_records=int(num_accesses),
         )
     return (
         num_accesses,
@@ -248,12 +302,21 @@ class StreamingTrace:
         try:
             meta = json.loads(raw_meta.decode("utf-8"))
         except (UnicodeDecodeError, json.JSONDecodeError) as exc:
-            raise TraceError(f"{self.path}: corrupt meta block: {exc}") from exc
+            raise TraceFormatError(
+                f"{self.path}: corrupt meta block: {exc}",
+                path=self.path,
+                byte_offset=meta_offset,
+                salvageable_records=self._num_accesses,
+            ) from exc
         items = meta.get("items")
         if not isinstance(items, list) or len(items) != num_items:
-            raise TraceError(
-                f"{self.path}: meta lists {len(items) if isinstance(items, list) else 'no'} "
-                f"items, header declares {num_items}"
+            raise TraceFormatError(
+                f"{self.path}: meta lists "
+                f"{len(items) if isinstance(items, list) else 'no'} "
+                f"items, header declares {num_items}",
+                path=self.path,
+                byte_offset=meta_offset,
+                salvageable_records=self._num_accesses,
             )
         self._items: tuple[str, ...] = tuple(str(item) for item in items)
         self.name = str(meta.get("name", self.path.stem))
@@ -316,6 +379,7 @@ class StreamingTrace:
         """
         import numpy as np
 
+        failpoint("binio.read")
         if not 0 <= start <= stop <= self._num_accesses:
             raise TraceError(
                 f"window [{start}, {stop}) outside trace of "

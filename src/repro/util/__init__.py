@@ -1,0 +1,105 @@
+"""Small shared utilities with no dependencies on the rest of the package.
+
+Currently: the one true atomic-write idiom.  Cache shards, run manifests,
+benchmark JSON artifacts, fuzzer repro files and packed binary traces all
+used to hand-roll some variation of "write a temp file, maybe fsync,
+rename" — with different levels of crash safety.  :func:`atomic_write`
+is the single implementation they now share:
+
+* the temp file lives in the **same directory** as the target, so the
+  final ``os.replace`` is a same-filesystem rename (atomic on POSIX);
+* the temp file is **fsynced** before the rename (``fsync=False`` opts
+  out for throwaway data), so a crash immediately after the rename cannot
+  leave a zero-length or partially written target;
+* on any error the temp file is **unlinked** — a failed write leaves
+  neither a torn target nor a stray ``*.tmp``.
+
+A reader therefore sees either the complete old content or the complete
+new content, never a torn file — which is what lets ``repro fsck`` treat
+any torn artifact it *does* find as evidence of external corruption
+rather than a normal crash artifact.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from contextlib import contextmanager
+from pathlib import Path
+from typing import IO, Iterator
+
+__all__ = ["atomic_write", "atomic_write_bytes", "atomic_write_text"]
+
+#: Suffix of the same-directory temp files (fsck sweeps strays by it).
+TMP_SUFFIX = ".tmp"
+
+
+@contextmanager
+def atomic_write(
+    path: str | os.PathLike,
+    mode: str = "w",
+    *,
+    encoding: str | None = None,
+    fsync: bool = True,
+    mkdirs: bool = True,
+) -> Iterator[IO]:
+    """Yield a handle whose contents atomically replace ``path`` on success.
+
+    ``mode`` is ``"w"`` (text; ``encoding`` defaults to UTF-8) or ``"wb"``.
+    The handle is a same-directory temp file; when the ``with`` body exits
+    cleanly it is flushed, fsynced (unless ``fsync=False``) and renamed
+    over ``path`` via ``os.replace``.  If the body raises — including on
+    disk-full, where the *write* fails rather than the rename — the temp
+    file is removed and the original ``path`` is untouched.
+    """
+    if mode not in ("w", "wb"):
+        raise ValueError(f"atomic_write mode must be 'w' or 'wb', got {mode!r}")
+    if mode == "w" and encoding is None:
+        encoding = "utf-8"
+    target = Path(path)
+    if mkdirs:
+        target.parent.mkdir(parents=True, exist_ok=True)
+    handle = tempfile.NamedTemporaryFile(
+        mode,
+        encoding=encoding,
+        dir=target.parent,
+        prefix=f".{target.name}.",
+        suffix=TMP_SUFFIX,
+        delete=False,
+    )
+    try:
+        yield handle
+        handle.flush()
+        if fsync:
+            os.fsync(handle.fileno())
+        handle.close()
+        os.replace(handle.name, target)
+    except BaseException:
+        try:
+            handle.close()
+        finally:
+            try:
+                os.unlink(handle.name)
+            except OSError:
+                pass
+        raise
+
+
+def atomic_write_text(
+    path: str | os.PathLike,
+    text: str,
+    *,
+    encoding: str = "utf-8",
+    fsync: bool = True,
+) -> None:
+    """Atomically replace ``path`` with ``text`` (see :func:`atomic_write`)."""
+    with atomic_write(path, "w", encoding=encoding, fsync=fsync) as handle:
+        handle.write(text)
+
+
+def atomic_write_bytes(
+    path: str | os.PathLike, data: bytes, *, fsync: bool = True
+) -> None:
+    """Atomically replace ``path`` with ``data`` (see :func:`atomic_write`)."""
+    with atomic_write(path, "wb", fsync=fsync) as handle:
+        handle.write(data)

@@ -1,0 +1,73 @@
+"""Tests for the shared atomic-write helper (``repro.util``)."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.util import (
+    TMP_SUFFIX,
+    atomic_write,
+    atomic_write_bytes,
+    atomic_write_text,
+)
+
+
+def _no_temps(directory) -> bool:
+    return not any(name.endswith(TMP_SUFFIX) for name in os.listdir(directory))
+
+
+class TestAtomicWrite:
+    def test_creates_file_with_content(self, tmp_path):
+        target = tmp_path / "out.json"
+        with atomic_write(target) as handle:
+            handle.write("hello")
+        assert target.read_text() == "hello"
+        assert _no_temps(tmp_path)
+
+    def test_replaces_existing_file(self, tmp_path):
+        target = tmp_path / "out.txt"
+        target.write_text("old")
+        atomic_write_text(target, "new")
+        assert target.read_text() == "new"
+
+    def test_failure_leaves_original_and_no_temp(self, tmp_path):
+        target = tmp_path / "out.txt"
+        target.write_text("original")
+        with pytest.raises(RuntimeError):
+            with atomic_write(target) as handle:
+                handle.write("partial garbage")
+                raise RuntimeError("writer died mid-stream")
+        assert target.read_text() == "original"
+        assert _no_temps(tmp_path)
+
+    def test_failure_before_first_write_leaves_nothing(self, tmp_path):
+        target = tmp_path / "never.txt"
+        with pytest.raises(ValueError):
+            with atomic_write(target):
+                raise ValueError("early")
+        assert not target.exists()
+        assert _no_temps(tmp_path)
+
+    def test_makes_parent_directories(self, tmp_path):
+        target = tmp_path / "a" / "b" / "c.txt"
+        atomic_write_text(target, "deep")
+        assert target.read_text() == "deep"
+
+    def test_bytes_variant(self, tmp_path):
+        target = tmp_path / "blob.bin"
+        atomic_write_bytes(target, b"\x00\x01\x02")
+        assert target.read_bytes() == b"\x00\x01\x02"
+        assert _no_temps(tmp_path)
+
+    def test_temp_lives_in_target_directory(self, tmp_path):
+        # Same-directory temp is what makes os.replace atomic; a temp in
+        # /tmp would turn the rename into a copy on another filesystem.
+        target = tmp_path / "out.txt"
+        seen: list[str] = []
+        with atomic_write(target) as handle:
+            seen.append(handle.name)
+            handle.write("x")
+        assert os.path.dirname(seen[0]) == str(tmp_path)
+        assert seen[0].endswith(TMP_SUFFIX)

@@ -229,3 +229,66 @@ class TestSweepResume:
             # Everything was journaled: nothing recomputed.
             assert journal.recorded == 0
         assert resumed == baseline
+
+
+class TestTornTailResume:
+    """Regression: resume must tolerate a torn multi-record tail.
+
+    A crash (or chaos ``journal.append:truncate``) can leave the journal
+    cut at *any* byte offset.  Truncate at every offset spanning the last
+    three records and assert resume (a) never crashes, (b) restores
+    exactly the fully-terminated record prefix, and (c) truncates the
+    file back to a record boundary so subsequent appends are clean.
+    """
+
+    def _build(self, path, count=6):
+        journal = CheckpointJournal(path)
+        for index in range(count):
+            journal.record(f"key-{index}", {"value": index, "pad": "x" * index})
+        journal.close()
+        return path.read_bytes()
+
+    def test_every_byte_offset_of_last_three_records(self, tmp_path):
+        source = tmp_path / "full.journal"
+        raw = self._build(source)
+        lines = raw.splitlines(keepends=True)
+        assert len(lines) == 6
+        boundary = [0]
+        for line in lines:
+            boundary.append(boundary[-1] + len(line))
+        start = boundary[3]  # keep the first three records intact
+        for cut in range(start, len(raw) + 1):
+            path = tmp_path / "torn.journal"
+            path.write_bytes(raw[:cut])
+            journal = CheckpointJournal(path, resume=True)
+            # (b) exactly the newline-terminated prefix survives.
+            expected = sum(1 for b in boundary[1:] if b <= cut)
+            assert journal.restored == expected, f"cut at byte {cut}"
+            for i in range(expected):
+                assert journal.get(f"key-{i}") is not None
+            assert len(journal) == expected
+            # (c) the file is back on a record boundary and appendable.
+            assert path.stat().st_size == boundary[expected]
+            assert journal.truncated_bytes == cut - boundary[expected]
+            journal.record("appended", {"value": 99})
+            journal.close()
+            reread = CheckpointJournal(path, resume=True)
+            assert reread.restored == expected + 1
+            assert reread.get("appended") == {"value": 99}
+            reread.close()
+
+    def test_interior_corruption_skipped_but_tail_kept(self, tmp_path):
+        path = tmp_path / "interior.journal"
+        self._build(path, count=4)
+        lines = path.read_bytes().splitlines(keepends=True)
+        lines[1] = b'{"key": "key-1", "payload"!!garbage\n'
+        path.write_bytes(b"".join(lines))
+        journal = CheckpointJournal(path, resume=True)
+        # The corrupt interior line is skipped; later intact records load.
+        assert journal.corrupt_lines == 1
+        assert len(journal) == 3
+        for key in ("key-0", "key-2", "key-3"):
+            assert key in journal
+        assert "key-1" not in journal
+        assert journal.truncated_bytes == 0  # tail was clean
+        journal.close()

@@ -1,0 +1,214 @@
+"""Tests for the artifact doctor (``repro.fsck`` / ``repro fsck``).
+
+Covers the three torn binary-trace shapes described in the module
+docstring (zero header, truncated records, truncated meta — including
+the exact-prefix salvage with real item names), journal torn tails,
+cache shard quarantine, dispatch, and the CLI exit codes.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.fsck import fsck_cache, fsck_journal, fsck_path, fsck_rtb
+from repro.trace.binio import (
+    HEADER_SIZE,
+    _HEADER_STRUCT,
+    open_binary,
+    pack,
+)
+from repro.trace.model import AccessKind
+from repro.trace.synthetic import zipf_trace
+
+
+def _pack_trace(trace, path):
+    pairs = [
+        (a.item, "W" if a.kind is AccessKind.WRITE else "R") for a in trace
+    ]
+    pack(pairs, path, name=trace.name, metadata=dict(trace.metadata))
+    return pairs
+
+
+@pytest.fixture
+def packed(tmp_path):
+    trace = zipf_trace(num_items=12, num_accesses=300, seed=7)
+    path = tmp_path / "t.rtb"
+    pairs = _pack_trace(trace, path)
+    return path, pairs
+
+
+class TestRtbShapes:
+    def test_intact_file_is_ok(self, packed):
+        path, _ = packed
+        report = fsck_rtb(path)
+        assert report.status == "ok"
+        assert report.ok
+
+    def test_zero_header_is_unrecoverable(self, packed):
+        path, _ = packed
+        raw = path.read_bytes()
+        path.write_bytes(b"\x00" * HEADER_SIZE + raw[HEADER_SIZE:])
+        report = fsck_rtb(path, repair=True)
+        assert report.status == "unrecoverable"
+        assert not report.ok
+        assert any("re-pack" in action for action in report.actions)
+
+    def test_truncated_records_salvage_placeholders(self, packed, tmp_path):
+        path, pairs = packed
+        raw = path.read_bytes()
+        keep_records = 40
+        path.write_bytes(raw[: HEADER_SIZE + keep_records * 4 + 2])
+        report = fsck_rtb(path, repair=True)
+        assert report.status == "repaired"
+        assert report.salvaged_records == keep_records
+        salvaged = open_binary(path)
+        assert len(salvaged) == keep_records
+        assert all(name.startswith("item") for name in salvaged.items)
+        assert salvaged.metadata["salvaged"] is True
+        # Structure survives: read/write pattern matches the original prefix.
+        reads, writes = salvaged.read_write_counts()
+        expected_writes = sum(k == "W" for _i, k in pairs[:keep_records])
+        assert (reads, writes) == (keep_records - expected_writes, expected_writes)
+
+    def test_truncated_meta_salvages_exact_prefix(self, packed):
+        path, pairs = packed
+        raw = path.read_bytes()
+        meta_offset = _HEADER_STRUCT.unpack(raw[: _HEADER_STRUCT.size])[6]
+        # Cut inside the items array so only a prefix of names survives.
+        items_at = raw.find(b'"items"', meta_offset)
+        assert items_at > 0
+        cut = items_at + (len(raw) - items_at) // 2
+        path.write_bytes(raw[:cut])
+        report = fsck_rtb(path, repair=True)
+        assert report.status == "repaired"
+        assert report.salvaged_records > 0
+        salvaged = open_binary(path)
+        # Exact salvage: real names, and the record prefix is identical to
+        # the original trace's first salvaged_records accesses.
+        item_at, is_write = salvaged.chunk_arrays(0, len(salvaged))
+        recovered = [
+            (salvaged.items[index], "W" if write else "R")
+            for index, write in zip(item_at, is_write)
+        ]
+        assert recovered == pairs[: report.salvaged_records]
+        assert not any(name.startswith("item0") for name in salvaged.items)
+
+    def test_verify_only_writes_sidecar_and_reports_salvageable(self, packed):
+        path, _ = packed
+        raw = path.read_bytes()
+        path.write_bytes(raw[: HEADER_SIZE + 43])
+        report = fsck_rtb(path, repair=False)
+        assert report.status == "salvageable"
+        assert not report.ok
+        sidecar = path.with_suffix(".salvaged.rtb")
+        assert sidecar.exists()
+        assert report.salvaged_path == str(sidecar)
+        # Original untouched (still torn).
+        assert path.read_bytes() == raw[: HEADER_SIZE + 43]
+
+    def test_short_file_unrecoverable(self, tmp_path):
+        stub = tmp_path / "stub.rtb"
+        stub.write_bytes(b"\x00" * 17)
+        report = fsck_rtb(stub, repair=True)
+        assert report.status == "unrecoverable"
+
+
+class TestJournal:
+    def test_intact_journal_ok(self, tmp_path):
+        from repro.analysis.checkpoint import CheckpointJournal
+
+        path = tmp_path / "j.journal"
+        journal = CheckpointJournal(path)
+        journal.record("a", 1)
+        journal.close()
+        report = fsck_journal(path)
+        assert report.status == "ok"
+        assert report.salvaged_records == 1
+
+    def test_torn_tail_detected_then_repaired(self, tmp_path):
+        from repro.analysis.checkpoint import CheckpointJournal, scan_journal
+
+        path = tmp_path / "j.journal"
+        journal = CheckpointJournal(path)
+        for i in range(4):
+            journal.record(f"k{i}", i)
+        journal.close()
+        with open(path, "ab") as handle:
+            handle.write(b'{"key": "k4", "payl')
+        check = fsck_journal(path)
+        assert check.status == "salvageable"
+        repaired = fsck_journal(path, repair=True)
+        assert repaired.status == "repaired"
+        entries, good_offset, corrupt = scan_journal(path)
+        assert len(entries) == 4 and corrupt == 0
+        assert path.stat().st_size == good_offset
+        assert fsck_journal(path).status == "ok"
+
+    def test_missing_file_unrecoverable(self, tmp_path):
+        report = fsck_journal(tmp_path / "nope.journal")
+        assert report.status == "unrecoverable"
+
+
+class TestCache:
+    def _seed_cache(self, root):
+        from repro.analysis.cache import ResultCache
+
+        cache = ResultCache(root)
+        cache.put("aa" + "0" * 62, {"value": 1})
+        cache.put("bb" + "0" * 62, {"value": 2})
+        return cache
+
+    def test_healthy_cache_ok(self, tmp_path):
+        self._seed_cache(tmp_path / "cache")
+        report = fsck_cache(tmp_path / "cache")
+        assert report.status == "ok"
+        assert "2 shard(s) ok" in report.detail
+
+    def test_corrupt_shard_quarantined_and_strays_swept(self, tmp_path):
+        root = tmp_path / "cache"
+        self._seed_cache(root)
+        shard_dir = root / "cc"
+        shard_dir.mkdir(parents=True, exist_ok=True)
+        (shard_dir / "broken.json").write_text('{"truncated": ')
+        (root / "orphan.tmp").write_text("")
+        check = fsck_cache(root)
+        assert check.status == "salvageable"
+        repaired = fsck_cache(root, repair=True)
+        assert repaired.status == "repaired"
+        assert not (shard_dir / "broken.json").exists()
+        assert (shard_dir / "broken.corrupt").exists()
+        assert not (root / "orphan.tmp").exists()
+        assert fsck_cache(root).status == "ok"
+
+    def test_missing_directory_unrecoverable(self, tmp_path):
+        report = fsck_cache(tmp_path / "nowhere")
+        assert report.status == "unrecoverable"
+
+
+class TestDispatchAndCli:
+    def test_dispatch_by_shape(self, tmp_path, packed):
+        path, _ = packed
+        assert fsck_path(path).kind == "rtb"
+        cache_root = tmp_path / "cachedir"
+        cache_root.mkdir()
+        assert fsck_path(cache_root).kind == "cache"
+        journal = tmp_path / "x.journal"
+        journal.write_text("")
+        assert fsck_path(journal).kind == "journal"
+
+    def test_cli_exit_codes_and_json(self, packed, capsys):
+        from repro.cli import main
+
+        path, _ = packed
+        assert main(["fsck", str(path)]) == 0
+        raw = path.read_bytes()
+        path.write_bytes(raw[: HEADER_SIZE + 20])
+        assert main(["fsck", str(path)]) == 1  # verify-only: still damaged
+        assert main(["fsck", "--repair", str(path)]) == 0
+        capsys.readouterr()  # drain the human-readable output
+        assert main(["fsck", "--json", str(path)]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload[0]["status"] == "ok"
+        assert payload[0]["kind"] == "rtb"
