@@ -1,0 +1,278 @@
+#!/usr/bin/env python3
+"""CI service-load leg: overload a small server and prove it sheds cleanly.
+
+A deliberately under-provisioned ``repro serve`` (one pool worker, token
+bucket ``--rate 30 --burst 5``, compute queue bound 4) is hammered by
+many concurrent clients on a fully cached request, then killed mid-load:
+
+1. **Typed shedding, never hangs** — under sustained overload at least
+   one request is rejected with the typed 429 (``RateLimited``); every
+   request (success or rejection) completes within a hard wall-clock
+   bound; nothing blocks on an unbounded queue.
+2. **Cached-path latency** — p95 latency of the *successful* requests
+   stays under a fixed bound: admission plus a cache hit is the whole
+   code path, so warm traffic must stay fast even while being shed
+   around.
+3. **Clean shutdown under fire** — SIGTERM lands while requests are in
+   flight; the process must exit promptly with the conventional rc 130
+   (or 0 if the teardown won the race), leaving **no orphan worker
+   processes** (found via an environment token scan) and **no leaked
+   shared-memory segments or temp strays** (the same leak checks the
+   chaos harness enforces).
+
+The server log lands at ``service-load-server.log`` (uploaded as a CI
+artifact on failure).  Exit code 0 iff every gate holds.
+"""
+
+import concurrent.futures
+import json
+import os
+import random
+import signal
+import statistics
+import subprocess
+import sys
+import tempfile
+import time
+import uuid
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+LOG_PATH = Path("service-load-server.log")
+CLIENTS = 16
+REQUESTS_PER_CLIENT = 12
+HARD_WALL_SECONDS = 10.0
+P95_BOUND_SECONDS = 2.0
+CONFIG = {"words_per_dbc": 8, "num_ports": 1}
+TOKEN_VAR = "REPRO_LOAD_CHECK_TOKEN"
+
+
+def fail(message: str) -> None:
+    print(f"FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def gate(name: str, ok: bool, detail: str = "") -> None:
+    status = "ok" if ok else "FAIL"
+    print(f"[load] {name}: {status} {detail}".rstrip())
+    if not ok:
+        fail(f"{name} {detail}".rstrip())
+
+
+def shm_snapshot() -> set:
+    root = Path("/dev/shm")
+    if not root.is_dir():
+        return set()
+    return {entry.name for entry in root.iterdir()}
+
+
+def processes_with_token(token: str) -> list:
+    """PIDs whose environment carries our token (Linux /proc scan)."""
+    found = []
+    proc_root = Path("/proc")
+    if not proc_root.is_dir():
+        return found
+    needle = f"{TOKEN_VAR}={token}".encode()
+    for entry in proc_root.iterdir():
+        if not entry.name.isdigit() or int(entry.name) == os.getpid():
+            continue
+        try:
+            environ = (entry / "environ").read_bytes()
+        except OSError:
+            continue
+        if needle in environ:
+            found.append(int(entry.name))
+    return found
+
+
+def spawn_server(env: dict) -> tuple:
+    proc = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro.cli",
+            "serve",
+            "--port",
+            "0",
+            "--pool-workers",
+            "1",
+            "--rate",
+            "30",
+            "--burst",
+            "5",
+            "--max-queue",
+            "4",
+            "--log",
+            str(LOG_PATH),
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        env=env,
+        text=True,
+    )
+    announce = json.loads(proc.stdout.readline())
+    if announce.get("event") != "listening":
+        proc.kill()
+        fail(f"bad announce: {announce}")
+    return proc, announce["port"]
+
+
+def reap(proc) -> str:
+    """Terminate the server (SIGTERM first) and return its stderr."""
+    stderr = ""
+    if proc.poll() is None:
+        proc.terminate()
+    try:
+        _, stderr = proc.communicate(timeout=20)
+    except subprocess.TimeoutExpired:
+        proc.kill()
+        try:
+            _, stderr = proc.communicate(timeout=5)
+        except subprocess.TimeoutExpired:
+            pass
+    return stderr
+
+
+def main() -> int:
+    token = uuid.uuid4().hex
+    cache_dir = tempfile.mkdtemp(prefix="repro-load-cache-")
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(Path(__file__).resolve().parent.parent / "src")
+    env["REPRO_CACHE_DIR"] = cache_dir
+    env[TOKEN_VAR] = token
+    LOG_PATH.unlink(missing_ok=True)
+    shm_before = shm_snapshot()
+
+    from repro.serve.client import ServeClient, wait_for_server
+    from repro.serve.protocol import Overloaded, RateLimited, ServeError
+
+    proc, port = spawn_server(env)
+    stderr = ""
+    try:
+        client = wait_for_server("127.0.0.1", port)
+
+        rng = random.Random(42)
+        accesses = [
+            (f"var{rng.randrange(16)}", rng.choice("RW")) for _ in range(1500)
+        ]
+        uploaded = client.upload_trace("load", accesses)
+        trace_id = uploaded["trace_id"]
+
+        def warm_optimize():
+            deadline = time.monotonic() + 30.0
+            while True:
+                try:
+                    return client.optimize(trace_id, config=CONFIG)
+                except (RateLimited, Overloaded):
+                    if time.monotonic() >= deadline:
+                        raise
+                    time.sleep(0.2)
+
+        warm = warm_optimize()
+        gate("warmup", warm["state"] == "done")
+
+        # -- overload the cached path -----------------------------------
+        def hammer(worker_index: int) -> list:
+            worker = ServeClient("127.0.0.1", port, timeout=HARD_WALL_SECONDS)
+            samples = []
+            for _ in range(REQUESTS_PER_CLIENT):
+                start = time.monotonic()
+                try:
+                    response = worker.optimize(trace_id, config=CONFIG)
+                    outcome = (
+                        "hit" if response.get("cached") else "computed"
+                    )
+                except RateLimited:
+                    outcome = "429"
+                except Overloaded:
+                    outcome = "503"
+                except ServeError as exc:
+                    outcome = f"error:{exc.code}"
+                samples.append((outcome, time.monotonic() - start))
+                # Small pacing so the run spans a few bucket-refill
+                # periods: still far above 30 req/s in aggregate, but
+                # enough admitted successes to measure a p95 on.
+                time.sleep(0.02)
+            return samples
+
+        with concurrent.futures.ThreadPoolExecutor(CLIENTS) as pool:
+            all_samples = [
+                sample
+                for chunk in pool.map(hammer, range(CLIENTS))
+                for sample in chunk
+            ]
+
+        outcomes = {}
+        for outcome, _ in all_samples:
+            outcomes[outcome] = outcomes.get(outcome, 0) + 1
+        print(f"[load] outcomes: {outcomes}")
+
+        gate("typed-429-shedding", outcomes.get("429", 0) >= 1)
+        slowest = max(seconds for _, seconds in all_samples)
+        gate(
+            "never-hangs",
+            slowest < HARD_WALL_SECONDS,
+            f"slowest={slowest:.3f}s",
+        )
+        unexpected = [o for o in outcomes if o.startswith("error:")]
+        gate("no-untyped-failures", not unexpected, str(unexpected))
+        hits = sorted(s for o, s in all_samples if o == "hit")
+        gate("some-successes", len(hits) >= 5, f"{len(hits)} hits")
+        p95 = hits[max(0, int(len(hits) * 0.95) - 1)]
+        gate(
+            "cached-p95",
+            p95 < P95_BOUND_SECONDS,
+            f"p95={p95:.3f}s median={statistics.median(hits):.3f}s",
+        )
+
+        # -- SIGTERM while requests are in flight ------------------------
+        def background_fire():
+            worker = ServeClient("127.0.0.1", port, timeout=HARD_WALL_SECONDS)
+            try:
+                for _ in range(50):
+                    worker.optimize(trace_id, config=CONFIG)
+            except Exception:
+                pass  # connection errors expected once the server dies
+
+        with concurrent.futures.ThreadPoolExecutor(4) as pool:
+            for _ in range(4):
+                pool.submit(background_fire)
+            time.sleep(0.2)
+            proc.send_signal(signal.SIGTERM)
+            start = time.monotonic()
+            try:
+                rc = proc.wait(timeout=15)
+            except subprocess.TimeoutExpired:
+                rc = None
+        elapsed = time.monotonic() - start
+        gate(
+            "sigterm-exit",
+            rc in (0, 130),
+            f"rc={rc} after {elapsed:.1f}s",
+        )
+        stderr = proc.stderr.read() or ""
+
+        # -- leak checks (chaos-harness style) ---------------------------
+        deadline = time.monotonic() + 10.0
+        orphans = processes_with_token(token)
+        while orphans and time.monotonic() < deadline:
+            time.sleep(0.2)
+            orphans = processes_with_token(token)
+        gate("no-orphan-workers", not orphans, str(orphans))
+
+        shm_leaked = shm_snapshot() - shm_before
+        gate("no-shm-leak", not shm_leaked, str(sorted(shm_leaked)))
+
+        strays = list(Path(cache_dir).rglob("*.tmp"))
+        gate("no-tmp-strays", not strays, str(strays))
+        print("[load] all gates passed")
+        return 0
+    finally:
+        stderr = (reap(proc) or "") + stderr
+        if stderr:
+            print(f"[load] server stderr:\n{stderr}", file=sys.stderr)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

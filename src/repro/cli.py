@@ -762,6 +762,45 @@ def cmd_system(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    """Run the long-lived placement/simulation service (docs/SERVING.md)."""
+    import threading
+
+    from repro.serve.server import PlacementServer, announce_payload
+
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    server = PlacementServer(
+        cache=cache,
+        host=args.host,
+        port=args.port,
+        pool_workers=args.pool_workers,
+        rate=args.rate,
+        burst=args.burst,
+        max_queue=args.max_queue,
+        batch_window=args.batch_window,
+        max_batch=args.max_batch,
+        spool_dir=args.spool_dir,
+        log_path=args.log,
+    )
+
+    def _announce() -> None:
+        try:
+            server.wait_until_listening(timeout=30.0)
+        except TimeoutError:  # pragma: no cover - startup failure path
+            return
+        # One machine-readable line so wrappers learn the bound port
+        # (required when --port 0 asks the OS to pick a free one).
+        print(json.dumps(announce_payload(server)), flush=True)
+
+    threading.Thread(target=_announce, daemon=True).start()
+    # Blocks until /v1/shutdown or a signal.  SIGTERM arrives here as
+    # KeyboardInterrupt (handler installed in main()); the server tears
+    # down pools/shm first, then main()'s interrupt path re-runs the same
+    # idempotent cleanup and exits 130.
+    server.run()
+    return 0
+
+
 # ---------------------------------------------------------------------------
 # parser
 # ---------------------------------------------------------------------------
@@ -989,6 +1028,46 @@ def build_parser() -> argparse.ArgumentParser:
     soak.add_argument("--quiet", action="store_true",
                       help="suppress per-schedule progress lines")
     soak.set_defaults(func=cmd_chaos)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the long-lived placement/simulation HTTP service "
+             "(see docs/SERVING.md)",
+    )
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default: 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=0,
+                       help="bind port; 0 picks a free one and announces "
+                            "it on stdout (default: 0)")
+    serve.add_argument("--pool-workers", type=int, default=0, metavar="N",
+                       help="persistent worker-pool size for optimize jobs "
+                            "(default: 0 = compute in-process)")
+    serve.add_argument("--rate", type=float, default=None, metavar="R",
+                       help="admission token-bucket rate, requests/second "
+                            "(default: unlimited)")
+    serve.add_argument("--burst", type=float, default=None, metavar="B",
+                       help="token-bucket burst capacity (default: == rate)")
+    serve.add_argument("--max-queue", type=int, default=64, metavar="N",
+                       help="admitted-but-unfinished request bound; beyond "
+                            "it requests shed with typed 503s (default: 64)")
+    serve.add_argument("--batch-window", type=float, default=0.005,
+                       metavar="SECONDS",
+                       help="micro-batching window for coalescing compatible "
+                            "simulate requests (default: 0.005)")
+    serve.add_argument("--max-batch", type=int, default=64, metavar="N",
+                       help="flush a batch immediately at this size "
+                            "(default: 64)")
+    serve.add_argument("--spool-dir", default=None, metavar="DIR",
+                       help="directory for uploaded .rtb traces "
+                            "(default: a temp dir, removed on shutdown)")
+    serve.add_argument("--log", default=None, metavar="FILE",
+                       help="append JSONL server events to FILE")
+    serve.add_argument("--no-cache", action="store_true",
+                       help="disable the content-keyed result cache")
+    serve.add_argument("--cache-dir", default=None, metavar="DIR",
+                       help="cache location (default: REPRO_CACHE_DIR or "
+                            "~/.cache/repro-dwm)")
+    serve.set_defaults(func=cmd_serve)
 
     return parser
 

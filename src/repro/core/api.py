@@ -11,11 +11,31 @@ Available methods (see :data:`ALGORITHMS`):
 algorithm), ``heuristic+ls`` (with local-search polish), ``grouping_only``,
 ``ordering_only`` (ablations), ``spectral``, ``annealing``, ``exact``
 (small instances only).
+
+Staged pipeline
+---------------
+:func:`optimize_placement` is a thin composition of three explicit stages,
+each independently callable:
+
+1. :func:`resolve_placement` — trace + geometry → validated
+   :class:`~repro.core.problem.PlacementProblem`, with the trace's dense
+   arrays resolved once (and shared by every later consumer of the same
+   trace object);
+2. :func:`plan_placement` — problem + method → :class:`PlacementPlan`
+   (the chosen placement plus the algorithm runtime);
+3. :func:`execute_plan` — problem + plan → evaluated
+   :class:`~repro.core.problem.PlacementResult`.
+
+Long-running services hold the resolved problem across many requests,
+interleave planning and execution of different jobs, and can shed or
+preempt between stages; the composition is bit-identical to calling
+:func:`optimize_placement` directly (``tests/test_serve_stages.py``).
 """
 
 from __future__ import annotations
 
 import time
+from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.core.baselines import (
@@ -24,7 +44,6 @@ from repro.core.baselines import (
     random_placement,
 )
 from repro.core.community import community_placement
-from repro.core.cost import evaluate_placement
 from repro.core.exact import (
     MAX_BRUTE_FORCE_ITEMS,
     exact_single_dbc_placement,
@@ -156,6 +175,90 @@ def build_problem(
     return PlacementProblem(trace=trace, config=config)
 
 
+@dataclass(frozen=True)
+class PlacementPlan:
+    """Output of the planning stage: a placement awaiting evaluation.
+
+    Carries everything :func:`execute_plan` needs plus the bookkeeping
+    (method, kwargs, algorithm runtime) that ends up in the final
+    :class:`~repro.core.problem.PlacementResult`.
+    """
+
+    method: str
+    placement: Placement
+    runtime_seconds: float
+    kwargs: dict = field(default_factory=dict)
+
+
+def resolve_placement(
+    trace: AccessTrace,
+    config: DWMConfig | None = None,
+) -> PlacementProblem:
+    """Stage 1: wrap ``trace`` into a validated problem, resolving once.
+
+    For in-memory traces the dense per-access arrays are resolved eagerly
+    and cached on the trace object, so every later stage — and every other
+    request sharing the same trace object, which is how the placement
+    server amortises resolution across its clients — reuses them instead
+    of re-running the O(accesses) Python loop.
+    """
+    problem = build_problem(trace, config)
+    if isinstance(trace, AccessTrace):
+        from repro.memory.batch_sim import resolve_trace
+
+        resolve_trace(trace)
+    return problem
+
+
+def plan_placement(
+    problem: PlacementProblem,
+    method: str = "heuristic",
+    **kwargs,
+) -> PlacementPlan:
+    """Stage 2: run the placement algorithm (the compute-heavy stage)."""
+    if method not in ALGORITHMS:
+        raise OptimizationError(
+            f"unknown method {method!r}; available: {sorted(ALGORITHMS)}"
+        )
+    from repro.obs.metrics import get_registry
+    from repro.obs.tracing import trace_span
+
+    registry = get_registry()
+    registry.inc("optimize.runs", method=method)
+    start = time.perf_counter()
+    with trace_span("optimize", method=method):
+        placement = ALGORITHMS[method](problem, **kwargs)
+    runtime = time.perf_counter() - start
+    registry.observe("optimize.seconds", runtime, method=method)
+    return PlacementPlan(
+        method=method,
+        placement=placement,
+        runtime_seconds=runtime,
+        kwargs=dict(kwargs),
+    )
+
+
+def execute_plan(
+    problem: PlacementProblem,
+    plan: PlacementPlan,
+) -> PlacementResult:
+    """Stage 3: validate the planned placement and evaluate it exactly."""
+    plan.placement.validate(problem.config, problem.items)
+    shifts = evaluate_placement_auto(problem, plan.placement, validate=False)
+    return PlacementResult(
+        method=plan.method,
+        placement=plan.placement,
+        total_shifts=shifts,
+        runtime_seconds=plan.runtime_seconds,
+        details={
+            "num_accesses": len(problem.trace),
+            "num_items": problem.trace.num_items,
+            "config": problem.config.describe(),
+            "trace": problem.trace.name,
+        },
+    )
+
+
 def optimize_placement(
     trace: AccessTrace,
     config: DWMConfig | None = None,
@@ -163,6 +266,11 @@ def optimize_placement(
     **kwargs,
 ) -> PlacementResult:
     """Run a placement algorithm and evaluate it exactly.
+
+    Composes the staged pipeline (:func:`resolve_placement` →
+    :func:`plan_placement` → :func:`execute_plan`) behind the original
+    one-call signature, with the injected result cache consulted between
+    resolution and planning.
 
     Parameters
     ----------
@@ -197,36 +305,14 @@ def optimize_placement(
         result.details["sampled_accesses"] = len(sampled)
         result.details["full_accesses"] = len(trace)
         return result
-    from repro.obs.metrics import get_registry
-    from repro.obs.tracing import trace_span
-
-    problem = build_problem(trace, config)
+    problem = resolve_placement(trace, config)
     cache = _PLACEMENT_CACHE
     if cache is not None:
         cached = cache.lookup_placement(trace, problem.config, method, kwargs)
         if cached is not None:
             return cached
-    registry = get_registry()
-    registry.inc("optimize.runs", method=method)
-    start = time.perf_counter()
-    with trace_span("optimize", method=method):
-        placement = ALGORITHMS[method](problem, **kwargs)
-    runtime = time.perf_counter() - start
-    registry.observe("optimize.seconds", runtime, method=method)
-    placement.validate(problem.config, problem.items)
-    shifts = evaluate_placement_auto(problem, placement, validate=False)
-    result = PlacementResult(
-        method=method,
-        placement=placement,
-        total_shifts=shifts,
-        runtime_seconds=runtime,
-        details={
-            "num_accesses": len(trace),
-            "num_items": trace.num_items,
-            "config": problem.config.describe(),
-            "trace": trace.name,
-        },
-    )
+    plan = plan_placement(problem, method, **kwargs)
+    result = execute_plan(problem, plan)
     if cache is not None:
         cache.store_placement(trace, problem.config, method, kwargs, result)
     return result

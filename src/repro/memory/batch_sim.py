@@ -32,6 +32,7 @@ resolution across many runs, and
 
 from __future__ import annotations
 
+import threading
 import time
 from typing import Iterable, Sequence
 
@@ -111,19 +112,32 @@ def seed_resolved(trace: AccessTrace, resolved: ResolvedTrace) -> None:
     trace._resolved = resolved
 
 
+#: Serialises first-time resolution so concurrent requests against the same
+#: trace object (the placement server's normal case) build the dense arrays
+#: exactly once.  A single process-wide lock suffices: resolution is quick
+#: relative to the scans it enables, and the fast path below never takes it.
+_RESOLVE_LOCK = threading.Lock()
+
+
 def resolve_trace(trace: AccessTrace) -> ResolvedTrace:
     """The canonical :class:`ResolvedTrace` of ``trace``.
 
     Resolves at most once per trace object: the result is cached on the
     trace (see :func:`seed_resolved`), so repeated sweep cells over the
-    same trace skip the per-access Python loop entirely.
+    same trace skip the per-access Python loop entirely.  Thread-safe:
+    two concurrent callers racing on an unresolved trace still produce
+    (and share) a single resolution.
     """
     cached = getattr(trace, "_resolved", None)
     if cached is not None:
         return cached
-    resolved = ResolvedTrace(trace)
-    trace._resolved = resolved
-    return resolved
+    with _RESOLVE_LOCK:
+        cached = getattr(trace, "_resolved", None)
+        if cached is not None:
+            return cached
+        resolved = ResolvedTrace(trace)
+        trace._resolved = resolved
+        return resolved
 
 
 def _slot_arrays(resolved: ResolvedTrace, placement: Placement):

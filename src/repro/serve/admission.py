@@ -1,0 +1,164 @@
+"""Token-bucket + bounded-queue admission control for the placement server.
+
+Two independent gates protect the compute backend, checked in order:
+
+1. **Rate** (:class:`TokenBucket`) — a classic token bucket (``rate``
+   tokens/second, ``burst`` capacity).  An empty bucket rejects with
+   :class:`~repro.serve.protocol.RateLimited` (HTTP 429): the client is
+   sending faster than the service is provisioned for and should back
+   off.  ``rate=None`` disables the gate.
+2. **Queue depth** — a hard cap on admitted-but-unfinished compute
+   requests.  A full queue rejects with
+   :class:`~repro.serve.protocol.Overloaded` (HTTP 503): the backend is
+   saturated and queueing further would only convert overload into
+   unbounded latency.  This is the "shed, never hang" guarantee the CI
+   load gate asserts.
+
+Every decision is counted in :mod:`repro.obs` (``serve.admission.admitted``
+and ``serve.admission.rejected{code=429|503}``, queue depth as the gauge
+``serve.queue.depth``), so shedding behaviour is observable from the
+``/v1/metrics`` endpoint without log scraping.
+
+The controller is thread-safe: admissions happen on the event loop, but
+releases arrive from executor threads when compute finishes.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable
+
+from repro.obs import get_registry
+from repro.serve.protocol import Overloaded, RateLimited
+
+__all__ = ["AdmissionController", "AdmissionTicket", "TokenBucket"]
+
+
+class TokenBucket:
+    """Monotonic-clock token bucket; ``rate=None`` means unlimited."""
+
+    def __init__(
+        self,
+        rate: float | None,
+        burst: float | None = None,
+        *,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if rate is not None and rate <= 0:
+            raise ValueError(f"rate must be positive, got {rate!r}")
+        self.rate = rate
+        self.burst = float(burst if burst is not None else (rate or 0) or 1.0)
+        self._clock = clock
+        self._tokens = self.burst
+        self._last = clock()
+
+    def try_acquire(self, tokens: float = 1.0) -> bool:
+        """Take ``tokens`` if available; never blocks."""
+        if self.rate is None:
+            return True
+        now = self._clock()
+        self._tokens = min(
+            self.burst, self._tokens + (now - self._last) * self.rate
+        )
+        self._last = now
+        if self._tokens >= tokens:
+            self._tokens -= tokens
+            return True
+        return False
+
+    @property
+    def available(self) -> float:
+        """Tokens currently in the bucket (without refilling)."""
+        return self._tokens if self.rate is not None else float("inf")
+
+
+class AdmissionTicket:
+    """Handle for one admitted request; ``release()`` frees its queue slot.
+
+    Usable as a context manager; releasing twice is a no-op, so error
+    paths can release defensively.
+    """
+
+    __slots__ = ("_controller", "_released")
+
+    def __init__(self, controller: "AdmissionController") -> None:
+        self._controller = controller
+        self._released = False
+
+    def release(self) -> None:
+        if not self._released:
+            self._released = True
+            self._controller._release()
+
+    def __enter__(self) -> "AdmissionTicket":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.release()
+
+
+class AdmissionController:
+    """Front gate for compute endpoints: rate limit, then queue bound."""
+
+    def __init__(
+        self,
+        *,
+        rate: float | None = None,
+        burst: float | None = None,
+        max_queue: int = 64,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if max_queue < 0:
+            raise ValueError(f"max_queue must be >= 0, got {max_queue}")
+        self.bucket = TokenBucket(rate, burst, clock=clock)
+        self.max_queue = max_queue
+        self.depth = 0
+        self._lock = threading.Lock()
+        self._draining = False
+
+    def drain(self) -> None:
+        """Reject all further admissions (server shutdown)."""
+        with self._lock:
+            self._draining = True
+
+    def admit(self, endpoint: str) -> AdmissionTicket:
+        """Admit one compute request or raise a typed rejection.
+
+        Raises :class:`RateLimited` (429) when the token bucket is empty
+        and :class:`Overloaded` (503) when the queue is full or the
+        server is draining.  On success returns the ticket whose
+        ``release()`` frees the queue slot.
+        """
+        registry = get_registry()
+        with self._lock:
+            if self._draining:
+                registry.inc(
+                    "serve.admission.rejected", code=503, endpoint=endpoint
+                )
+                raise Overloaded("server is shutting down")
+            if not self.bucket.try_acquire():
+                registry.inc(
+                    "serve.admission.rejected", code=429, endpoint=endpoint
+                )
+                raise RateLimited(
+                    f"request rate exceeds {self.bucket.rate:g}/s "
+                    f"(burst {self.bucket.burst:g}); retry with backoff"
+                )
+            if self.depth >= self.max_queue:
+                registry.inc(
+                    "serve.admission.rejected", code=503, endpoint=endpoint
+                )
+                raise Overloaded(
+                    f"compute queue full ({self.depth}/{self.max_queue}); "
+                    "shedding load"
+                )
+            self.depth += 1
+            registry.inc("serve.admission.admitted", endpoint=endpoint)
+            registry.gauge("serve.queue.depth", self.depth)
+        return AdmissionTicket(self)
+
+    def _release(self) -> None:
+        with self._lock:
+            self.depth = max(0, self.depth - 1)
+            get_registry().gauge("serve.queue.depth", self.depth)

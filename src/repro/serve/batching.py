@@ -1,0 +1,149 @@
+"""Micro-batching scheduler: coalesce compatible requests into one pass.
+
+Simulate requests that share a (trace, geometry) pair differ only in their
+placement, and the vectorized engine amortises trace resolution across any
+number of placements (:class:`~repro.memory.batch_sim.BatchSimulator`).
+The :class:`MicroBatcher` exploits that: the first request for a
+compatibility key opens a small time window (``window_seconds``); every
+compatible request arriving inside it joins the batch; the whole group
+then executes as **one** backend pass and each waiter gets its own result.
+
+Under light load the window adds at most a few milliseconds of latency;
+under heavy load batches fill to ``max_batch`` and flush immediately, so
+throughput scales with batch size instead of request count.
+
+Degradation (the ``serve`` chain in :mod:`repro.robust`): when a batched
+pass fails with a *recoverable* infrastructure error, the batch falls back
+to per-request execution (``batched -> single``, recorded via
+:func:`~repro.robust.record_degradation`) so one poisoned pass cannot fail
+every rider; requests that still fail get their own typed error.  Batch
+results are bit-identical to single-request execution by construction —
+the backend runs the same vectorized scan either way — and the CI service
+gates assert exactly that.
+
+Metrics: ``serve.batches``, ``serve.batch.size`` (histogram), and
+``serve.batch.degraded`` via the robust layer.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Awaitable, Callable, Sequence
+
+from repro.obs import get_registry
+from repro.robust import is_recoverable, record_degradation
+
+__all__ = ["MicroBatcher"]
+
+#: run_batch(key, payloads) -> list of per-payload results (same order).
+BatchRunner = Callable[[str, Sequence[object]], Awaitable[list]]
+
+
+class _Group:
+    __slots__ = ("payloads", "futures", "timer")
+
+    def __init__(self) -> None:
+        self.payloads: list[object] = []
+        self.futures: list[asyncio.Future] = []
+        self.timer: asyncio.Task | None = None
+
+
+class MicroBatcher:
+    """Group submissions by compatibility key; flush on window or size."""
+
+    def __init__(
+        self,
+        run_batch: BatchRunner,
+        *,
+        window_seconds: float = 0.005,
+        max_batch: int = 64,
+    ) -> None:
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        self._run_batch = run_batch
+        self.window_seconds = window_seconds
+        self.max_batch = max_batch
+        self._groups: dict[str, _Group] = {}
+        self._closed = False
+
+    async def submit(self, key: str, payload: object):
+        """Join (or open) the batch for ``key``; await this payload's result."""
+        if self._closed:
+            raise RuntimeError("batcher is closed")
+        loop = asyncio.get_running_loop()
+        group = self._groups.get(key)
+        if group is None:
+            group = self._groups[key] = _Group()
+            group.timer = loop.create_task(self._window_flush(key))
+        future: asyncio.Future = loop.create_future()
+        group.payloads.append(payload)
+        group.futures.append(future)
+        if len(group.payloads) >= self.max_batch:
+            self._detach_and_flush(key)
+        return await future
+
+    async def _window_flush(self, key: str) -> None:
+        try:
+            await asyncio.sleep(self.window_seconds)
+        except asyncio.CancelledError:
+            return
+        self._detach_and_flush(key, cancel_timer=False)
+
+    def _detach_and_flush(self, key: str, *, cancel_timer: bool = True) -> None:
+        group = self._groups.pop(key, None)
+        if group is None:
+            return
+        if cancel_timer and group.timer is not None:
+            group.timer.cancel()
+        asyncio.get_running_loop().create_task(self._execute(key, group))
+
+    async def _execute(self, key: str, group: _Group) -> None:
+        registry = get_registry()
+        registry.inc("serve.batches")
+        registry.observe("serve.batch.size", len(group.payloads))
+        try:
+            results = await self._run_batch(key, group.payloads)
+            if len(results) != len(group.futures):  # pragma: no cover
+                raise RuntimeError(
+                    f"batch runner returned {len(results)} results "
+                    f"for {len(group.futures)} payloads"
+                )
+        except BaseException as exc:
+            if len(group.payloads) > 1 and is_recoverable(exc):
+                # One rider's infrastructure failure must not take down
+                # the whole batch: degrade to per-request execution.
+                record_degradation(
+                    "serve",
+                    "batched",
+                    "single",
+                    f"{type(exc).__name__}: {exc}",
+                    warn=False,
+                )
+                await self._execute_singly(key, group)
+                return
+            for future in group.futures:
+                if not future.done():
+                    future.set_exception(exc)
+            return
+        for future, result in zip(group.futures, results):
+            if not future.done():
+                future.set_result(result)
+
+    async def _execute_singly(self, key: str, group: _Group) -> None:
+        for payload, future in zip(group.payloads, group.futures):
+            try:
+                (result,) = await self._run_batch(key, [payload])
+            except BaseException as exc:
+                if not future.done():
+                    future.set_exception(exc)
+            else:
+                if not future.done():
+                    future.set_result(result)
+
+    async def close(self) -> None:
+        """Flush every open group and stop accepting submissions."""
+        self._closed = True
+        for key in list(self._groups):
+            self._detach_and_flush(key)
+        # Let the flush tasks run; submitters still hold the futures.
+        await asyncio.sleep(0)

@@ -1,0 +1,189 @@
+"""Blocking stdlib client for the placement service.
+
+Built on :mod:`http.client` only, so scripts and CI jobs can talk to a
+``repro serve`` instance without any third-party dependency.  Server-side
+errors are re-raised as the same typed exceptions the server threw
+(:class:`~repro.serve.protocol.RateLimited`,
+:class:`~repro.serve.protocol.Overloaded`, ...), so callers can implement
+backoff with ``except RateLimited`` instead of matching status integers.
+
+One :class:`ServeClient` opens a fresh connection per call — the service
+is keep-alive capable, but a per-call connection keeps the client safe to
+share across threads (the load-check script hammers one client object from
+sixteen threads).
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import socket
+import time
+
+from repro.serve.protocol import ServeError, raise_for_payload
+
+__all__ = ["ServeClient", "wait_for_server"]
+
+
+class ServeClient:
+    """Typed HTTP client for one ``repro serve`` endpoint."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8765,
+        *,
+        timeout: float = 60.0,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    # Transport
+    # ------------------------------------------------------------------
+    def _request(
+        self,
+        method: str,
+        path: str,
+        *,
+        body: bytes | None = None,
+        content_type: str = "application/json",
+    ) -> dict:
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            headers = {"Connection": "close"}
+            if body is not None:
+                headers["Content-Type"] = content_type
+            conn.request(method, path, body=body, headers=headers)
+            response = conn.getresponse()
+            raw = response.read()
+            try:
+                payload = json.loads(raw.decode("utf-8")) if raw else {}
+            except ValueError as exc:
+                raise ServeError(
+                    f"non-JSON response (HTTP {response.status}): "
+                    f"{raw[:200]!r}"
+                ) from exc
+            if response.status >= 400:
+                raise_for_payload(response.status, payload)
+            return payload
+        finally:
+            conn.close()
+
+    def _post_json(self, path: str, document: dict) -> dict:
+        return self._request(
+            "POST", path, body=json.dumps(document).encode("utf-8")
+        )
+
+    # ------------------------------------------------------------------
+    # Endpoints
+    # ------------------------------------------------------------------
+    def health(self) -> dict:
+        return self._request("GET", "/healthz")
+
+    def metrics(self) -> dict:
+        return self._request("GET", "/v1/metrics")
+
+    def upload_trace(self, name: str, accesses) -> dict:
+        """Upload an in-memory trace: ``accesses`` is ``[(item, "R"|"W")]``."""
+        entries = [[str(item), str(kind)] for item, kind in accesses]
+        return self._post_json(
+            "/v1/traces", {"name": name, "accesses": entries}
+        )
+
+    def upload_rtb(self, data: bytes) -> dict:
+        """Upload a binary ``.rtb`` trace payload."""
+        return self._request(
+            "POST",
+            "/v1/traces",
+            body=bytes(data),
+            content_type="application/octet-stream",
+        )
+
+    def upload_rtb_file(self, path) -> dict:
+        with open(path, "rb") as handle:
+            return self.upload_rtb(handle.read())
+
+    def trace_info(self, trace_id: str) -> dict:
+        return self._request("GET", f"/v1/traces/{trace_id}")
+
+    def optimize(
+        self,
+        trace_id: str,
+        *,
+        method: str = "heuristic",
+        config: dict | None = None,
+        kwargs: dict | None = None,
+        wait: bool = True,
+    ) -> dict:
+        document: dict = {"trace_id": trace_id, "method": method, "wait": wait}
+        if config is not None:
+            document["config"] = config
+        if kwargs:
+            document["kwargs"] = kwargs
+        return self._post_json("/v1/optimize", document)
+
+    def simulate(
+        self,
+        trace_id: str,
+        placement: dict,
+        *,
+        config: dict | None = None,
+    ) -> dict:
+        document: dict = {"trace_id": trace_id, "placement": placement}
+        if config is not None:
+            document["config"] = config
+        return self._post_json("/v1/simulate", document)
+
+    def job(self, job_id: str) -> dict:
+        return self._request("GET", f"/v1/jobs/{job_id}")
+
+    def wait_for_job(
+        self,
+        job_id: str,
+        *,
+        timeout: float = 60.0,
+        poll_seconds: float = 0.05,
+    ) -> dict:
+        """Poll a job until it leaves the queued/running states."""
+        deadline = time.monotonic() + timeout
+        while True:
+            status = self.job(job_id)
+            if status.get("state") not in ("queued", "running"):
+                return status
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {status.get('state')} "
+                    f"after {timeout:g}s"
+                )
+            time.sleep(poll_seconds)
+
+    def shutdown(self) -> dict:
+        return self._post_json("/v1/shutdown", {})
+
+
+def wait_for_server(
+    host: str,
+    port: int,
+    *,
+    timeout: float = 15.0,
+    poll_seconds: float = 0.05,
+) -> ServeClient:
+    """Block until ``/healthz`` answers; returns a ready client."""
+    client = ServeClient(host, port)
+    deadline = time.monotonic() + timeout
+    last_error: Exception | None = None
+    while time.monotonic() < deadline:
+        try:
+            client.health()
+            return client
+        except (OSError, socket.timeout, ServeError) as exc:
+            last_error = exc
+            time.sleep(poll_seconds)
+    raise TimeoutError(
+        f"no server on {host}:{port} after {timeout:g}s "
+        f"(last error: {last_error})"
+    )
