@@ -1,0 +1,39 @@
+"""E21 — cross-paper placement comparison gate.
+
+Runs :func:`repro.analysis.experiments.run_e21` — the DAC'15 heuristic
+next to ShiftsReduce (arXiv 1903.03597) and the generalized port-aware
+strategies (arXiv 1912.03507) over the seed kernels plus synthetic mixes,
+on single- and two-port geometries — and asserts the acceptance gates:
+
+* on every row both cross-paper methods cost no more than the paper
+  heuristic (a structural guarantee: the heuristic placement stays in
+  their candidate portfolios, so a regression here is a solver bug);
+* every method beats (or ties) the declaration baseline;
+* the MinLA solver probe reports a certified optimum from whichever
+  backend is installed (CP-SAT with ortools, the subset DP without).
+
+The rendered table goes to ``results/e21.txt`` and the structured numbers
+to ``results/BENCH_e21.json`` for the ``repro bench compare`` gate.
+"""
+
+import json
+
+from repro.analysis.experiments import run_e21
+
+
+def test_e21_crosspaper(benchmark, record_artifact, results_dir):
+    output = benchmark.pedantic(run_e21, rounds=1, iterations=1)
+    record_artifact(output)
+    (results_dir / "BENCH_e21.json").write_text(
+        json.dumps(output.data, indent=2) + "\n", encoding="utf-8"
+    )
+    rows = {key: cell for key, cell in output.data.items() if not key.startswith("_")}
+    assert rows, "E21 produced no comparison rows"
+    for name, cell in rows.items():
+        assert cell["shiftsreduce"] <= cell["heuristic"], (name, cell)
+        assert cell["generalized"] <= cell["heuristic"], (name, cell)
+        assert cell["heuristic"] <= cell["declaration"], (name, cell)
+    solver = output.data["_solver"]
+    assert solver["certified"], solver
+    expected_backend = "cpsat" if solver["cpsat_available"] else "dp"
+    assert solver["backend"] == expected_backend, solver

@@ -876,7 +876,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     experiments = sub.add_parser("experiments", help="regenerate evaluation artifacts")
     experiments.add_argument("ids", nargs="*",
-                             help="experiment ids (e1..e20) or 'all'")
+                             help="experiment ids (e1..e21) or 'all'")
     experiments.add_argument("-o", "--output", default=None, metavar="FILE",
                              help="also write a markdown report")
     _add_perf_flags(experiments)

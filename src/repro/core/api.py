@@ -9,7 +9,9 @@ Available methods (see :data:`ALGORITHMS`):
 
 ``declaration``, ``random``, ``frequency``, ``heuristic`` (the paper's
 algorithm), ``heuristic+ls`` (with local-search polish), ``grouping_only``,
-``ordering_only`` (ablations), ``spectral``, ``annealing``, ``exact``
+``ordering_only`` (ablations), ``spectral``, ``annealing``,
+``shiftsreduce`` (bidirectional placement, arXiv 1903.03597),
+``generalized`` (port-aware strategies, arXiv 1912.03507), ``exact``
 (small instances only).
 
 Staged pipeline
@@ -50,11 +52,13 @@ from repro.core.exact import (
     exhaustive_placement,
 )
 from repro.core.fast_eval import evaluate_placement_auto
+from repro.core.generalized import generalized_placement
 from repro.core.heuristic import (
     grouping_only_placement,
     heuristic_placement,
     ordering_only_placement,
 )
+from repro.core.shiftsreduce import shiftsreduce_placement
 from repro.core.local_search import (
     simulated_annealing,
     swap_refinement,
@@ -125,6 +129,12 @@ ALGORITHMS: dict[str, Callable[..., Placement]] = {
     "ordering_only": lambda problem, **kw: ordering_only_placement(problem),
     "spectral": lambda problem, **kw: spectral_placement(problem),
     "community": lambda problem, **kw: community_placement(problem),
+    "shiftsreduce": lambda problem, **kw: shiftsreduce_placement(
+        problem, num_groups=kw.get("num_groups")
+    ),
+    "generalized": lambda problem, **kw: generalized_placement(
+        problem, num_groups=kw.get("num_groups")
+    ),
     "annealing": lambda problem, **kw: simulated_annealing(
         problem,
         heuristic_placement(problem),

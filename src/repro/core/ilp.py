@@ -21,16 +21,31 @@ At any optimum each ``d[u,v]`` is tight (the objective presses it down onto
 the larger of its two bounds), so the ILP optimum equals the MinLA optimum —
 :func:`verify_formulation` checks exactly that, plus feasibility of every
 permutation assignment, with fully generic constraint evaluation.
+
+Solving is delegated to :func:`solve` (backed by the OR-Tools CP-SAT model
+in :mod:`repro.core.cpsat` when the optional dependency is installed, with
+the subset DP and the permutation enumeration below as pure-python
+fallbacks).  The enumeration path is a *formulation validator*, not a
+production solver, and is hard-capped by :data:`ENUMERATION_BUDGET`
+permutations — instances above the budget are rejected with a typed
+:class:`~repro.errors.OptimizationError` instead of enumerating for
+minutes.
 """
 
 from __future__ import annotations
 
 import itertools
+import math
 from dataclasses import dataclass, field
 from typing import Sequence
 
 from repro.core.exact import minla_optimal_cost
 from repro.errors import OptimizationError
+
+#: Hard cap on permutation assignments the enumeration backend may check,
+#: regardless of the caller-supplied ``max_items`` (9! would already be
+#: ~360k generic constraint evaluations — minutes, not seconds).
+ENUMERATION_BUDGET = 40_320  # 8!
 
 
 @dataclass(frozen=True)
@@ -273,6 +288,13 @@ def solve_by_enumeration(
         raise OptimizationError(
             f"enumeration supports at most {max_items} items, got {len(items)}"
         )
+    if math.factorial(len(items)) > ENUMERATION_BUDGET:
+        raise OptimizationError(
+            f"enumerating {len(items)}! = {math.factorial(len(items))} "
+            f"permutation assignments exceeds the enumeration budget of "
+            f"{ENUMERATION_BUDGET}; use repro.core.ilp.solve (CP-SAT / "
+            f"subset DP) for larger instances"
+        )
     model = build_minla_ilp(items, affinity)
     best_order: list[str] | None = None
     best_value: float | None = None
@@ -294,8 +316,39 @@ def solve_by_enumeration(
 def verify_formulation(
     items: Sequence[str],
     affinity: dict[tuple[str, str], int],
+    max_items: int = 8,
 ) -> bool:
-    """Check the ILP optimum equals the exact DP optimum on this instance."""
-    _order, ilp_value = solve_by_enumeration(items, affinity)
+    """Check the ILP optimum equals the exact DP optimum on this instance.
+
+    Inherits :func:`solve_by_enumeration`'s budget guard: instances whose
+    permutation count exceeds :data:`ENUMERATION_BUDGET` are rejected with
+    a typed error up front rather than verified by brute force, no matter
+    how high the caller raises ``max_items``.
+    """
+    _order, ilp_value = solve_by_enumeration(items, affinity, max_items=max_items)
     dp_value = minla_optimal_cost(list(items), affinity)
     return abs(ilp_value - dp_value) < 1e-9
+
+
+def solve(
+    items: Sequence[str],
+    affinity: dict[tuple[str, str], int],
+    time_limit: float | None = None,
+    warm_start: Sequence[str] | None = None,
+):
+    """Solve the placement MinLA model with the best available backend.
+
+    Thin front over :func:`repro.core.cpsat.solve_minla`: OR-Tools CP-SAT
+    (warm-started, symmetry-broken, certifying optima into the hundreds of
+    items) when installed, the pure-python subset DP / enumeration chain
+    otherwise, with the downgrade recorded on the ``ilp`` degradation
+    chain.  Returns a :class:`repro.core.cpsat.MinlaSolution`.
+    """
+    from repro.core.cpsat import DEFAULT_TIME_LIMIT, solve_minla
+
+    return solve_minla(
+        items,
+        affinity,
+        time_limit=DEFAULT_TIME_LIMIT if time_limit is None else time_limit,
+        warm_start=warm_start,
+    )

@@ -61,6 +61,10 @@ DEGRADATION_CHAINS: dict[str, tuple[str, ...]] = {
     "stream": ("parallel", "sequential"),
     # Cost kernels (repro.core.kernels)
     "kernel": ("numba", "cc", "numpy"),
+    # MinLA/ILP solver backends (repro.core.cpsat.solve_minla): CP-SAT when
+    # the optional ortools dependency is installed, else the subset DP,
+    # else budget-guarded permutation enumeration.
+    "ilp": ("cpsat", "dp", "enumeration"),
     # Task fan-out (repro.analysis.parallel)
     "map": ("pooled", "serial"),
     # Result cache (repro.analysis.cache)

@@ -25,6 +25,7 @@ from repro.verify.fuzzer import (
 )
 from repro.verify.oracles import (
     DEFAULT_BRUTE_FORCE_LIMIT,
+    GUARDED_METHODS,
     Violation,
     brute_force_optimum,
     build_placement,
@@ -33,6 +34,8 @@ from repro.verify.oracles import (
     check_case,
     check_engine_agreement,
     check_fault_determinism,
+    check_ilp_solver,
+    check_method_quality,
     check_round_trip,
     check_streaming_agreement,
 )
@@ -42,6 +45,7 @@ __all__ = [
     "CASE_METHODS",
     "CASE_SCHEMA_VERSION",
     "DEFAULT_BRUTE_FORCE_LIMIT",
+    "GUARDED_METHODS",
     "FuzzCase",
     "FuzzFinding",
     "FuzzReport",
@@ -54,6 +58,8 @@ __all__ = [
     "check_case",
     "check_engine_agreement",
     "check_fault_determinism",
+    "check_ilp_solver",
+    "check_method_quality",
     "check_round_trip",
     "check_streaming_agreement",
     "generate_case",

@@ -39,6 +39,8 @@ CASE_METHODS = (
     "spectral",
     "community",
     "annealing",
+    "shiftsreduce",
+    "generalized",
 )
 
 

@@ -16,6 +16,14 @@ five oracle families and returns the (hopefully empty) list of
   landing exactly on the optimum (the brute force here enumerates *all*
   injective slot assignments — deliberately sharing no code with
   ``repro.core.exact``);
+* **quality** — the cross-paper methods (``shiftsreduce``,
+  ``generalized``) keep the paper heuristic's placement in their candidate
+  portfolio, so a run that prices *worse* than the heuristic is a solver
+  bug, not a modelling choice;
+* **ilp solver** — on tiny instances the MinLA solver chain
+  (:func:`repro.core.ilp.solve`: CP-SAT when installed, subset DP /
+  enumeration otherwise) must report a *certified* optimum equal to the
+  independent DP optimum, and its order must price to the cost it claims;
 * **cache equivalence** — a cold placement-cache store followed by a warm
   lookup must be a hit and return the identical result;
 * **fault determinism** — ``injection_seed`` is stable, ``run_injection``
@@ -68,6 +76,15 @@ DEFAULT_BRUTE_FORCE_LIMIT = 2000
 
 #: Item-count gate for running the ``exact`` method inside the oracle.
 EXACT_ORACLE_MAX_ITEMS = 6
+
+#: Methods whose candidate portfolio contains the paper heuristic, making
+#: ``cost ≤ heuristic cost`` a structural invariant the quality oracle
+#: polices.
+GUARDED_METHODS = ("shiftsreduce", "generalized")
+
+#: Item-count gate for the MinLA solver-chain oracle (the independent DP
+#: reference is O(2^n·n)).
+ILP_ORACLE_MAX_ITEMS = 7
 
 
 @dataclass(frozen=True)
@@ -364,6 +381,113 @@ def check_bounds(
                     data={"exact": exact_cost, "optimum": optimum},
                 )
             )
+    return violations
+
+
+def check_method_quality(
+    case: FuzzCase,
+    problem: PlacementProblem,
+    placement: Placement,
+) -> list[Violation]:
+    """Guarded methods must never price worse than the paper heuristic.
+
+    ``shiftsreduce`` and ``generalized`` keep the heuristic's placement in
+    their candidate set, so any case where they return a more expensive
+    placement is a real solver bug (broken candidate evaluation, lost
+    candidate, nondeterministic selection) — the "solver returns
+    worse-than-heuristic placement" violation class.
+    """
+    if case.method not in GUARDED_METHODS:
+        return []
+    from repro.core.heuristic import heuristic_placement
+
+    cost = evaluate_placement(problem, placement, validate=False)
+    heuristic_cost = evaluate_placement(
+        problem, heuristic_placement(problem), validate=False
+    )
+    if cost > heuristic_cost:
+        return [
+            Violation(
+                kind="method_worse_than_heuristic",
+                detail=(
+                    f"{case.method} cost {cost} > heuristic cost "
+                    f"{heuristic_cost} despite the heuristic guard candidate"
+                ),
+                data={
+                    "method": case.method,
+                    "cost": cost,
+                    "heuristic": heuristic_cost,
+                },
+            )
+        ]
+    return []
+
+
+def check_ilp_solver(
+    case: FuzzCase,
+    problem: PlacementProblem,
+) -> list[Violation]:
+    """The MinLA solver chain must certify the true optimum on tiny instances.
+
+    Runs :func:`repro.core.ilp.solve` (CP-SAT when the optional ortools
+    dependency is installed, subset DP / budget-guarded enumeration
+    otherwise) against the independent DP optimum, and re-prices the
+    returned order to catch solutions whose claimed cost disagrees with
+    their own arrangement.
+    """
+    if problem.num_items > ILP_ORACLE_MAX_ITEMS:
+        return []
+    from repro.core.cost import linear_arrangement_cost
+    from repro.core.exact import minla_optimal_cost
+    from repro.core.ilp import solve
+
+    violations: list[Violation] = []
+    items = list(problem.items)
+    affinity = problem.affinity
+    solution = solve(items, affinity)
+    reference = minla_optimal_cost(items, affinity)
+    if not solution.certified:
+        violations.append(
+            Violation(
+                kind="ilp_solver_uncertified",
+                detail=(
+                    f"{solution.backend} backend failed to certify a "
+                    f"{len(items)}-item instance"
+                ),
+                data={"backend": solution.backend, "items": len(items)},
+            )
+        )
+    if solution.cost != reference:
+        violations.append(
+            Violation(
+                kind="ilp_solver_suboptimal",
+                detail=(
+                    f"{solution.backend} backend cost {solution.cost} != "
+                    f"DP optimum {reference}"
+                ),
+                data={
+                    "backend": solution.backend,
+                    "cost": solution.cost,
+                    "optimum": reference,
+                },
+            )
+        )
+    repriced = linear_arrangement_cost(list(solution.order), affinity)
+    if repriced != solution.cost:
+        violations.append(
+            Violation(
+                kind="ilp_solution_inconsistent",
+                detail=(
+                    f"{solution.backend} order re-prices to {repriced}, "
+                    f"solver claimed {solution.cost}"
+                ),
+                data={
+                    "backend": solution.backend,
+                    "claimed": solution.cost,
+                    "repriced": repriced,
+                },
+            )
+        )
     return violations
 
 
@@ -676,6 +800,11 @@ def check_case(
             "bounds",
             lambda: check_bounds(case, problem, placement, brute_force_limit),
         ),
+        (
+            "quality",
+            lambda: check_method_quality(case, problem, placement),
+        ),
+        ("ilp", lambda: check_ilp_solver(case, problem)),
         ("cache", lambda: check_cache_equivalence(case)),
         (
             "faults",

@@ -1,0 +1,96 @@
+"""Unit tests for the generalized port-aware placement."""
+
+import pytest
+
+from repro.core.api import build_problem, optimize_placement
+from repro.core.generalized import generalized_placement, multi_port_chain_offsets
+from repro.dwm.config import DWMConfig
+from repro.errors import OptimizationError
+from repro.trace.synthetic import markov_trace, zipf_trace
+
+
+class TestMultiPortChainOffsets:
+    def test_single_port_is_contiguous_and_injective(self):
+        config = DWMConfig(words_per_dbc=8, num_dbcs=1, port_offsets=(3,))
+        order = ["a", "b", "c", "d"]
+        offsets = multi_port_chain_offsets(order, config)
+        values = sorted(offsets.values())
+        assert values == list(range(values[0], values[0] + len(order)))
+        assert all(0 <= value < 8 for value in values)
+
+    def test_two_ports_split_the_chain_across_neighbourhoods(self):
+        config = DWMConfig(words_per_dbc=10, num_dbcs=1, port_offsets=(1, 8))
+        order = [f"v{i}" for i in range(6)]
+        offsets = multi_port_chain_offsets(order, config)
+        assert len(set(offsets.values())) == len(order)
+        assert all(0 <= value < 10 for value in offsets.values())
+        # The first half of the chain lands near port 1, the second near 8.
+        first_half = [offsets[f"v{i}"] for i in range(3)]
+        second_half = [offsets[f"v{i}"] for i in range(3, 6)]
+        assert max(first_half) < min(second_half)
+        assert min(first_half) <= 2
+        assert max(second_half) >= 7
+
+    def test_more_ports_than_items(self):
+        config = DWMConfig(words_per_dbc=8, num_dbcs=1, port_offsets=(0, 3, 6))
+        offsets = multi_port_chain_offsets(["a", "b"], config)
+        assert len(set(offsets.values())) == 2
+
+    def test_full_dbc_stays_feasible(self):
+        config = DWMConfig(words_per_dbc=6, num_dbcs=1, port_offsets=(0, 5))
+        order = [f"v{i}" for i in range(6)]
+        offsets = multi_port_chain_offsets(order, config)
+        assert sorted(offsets.values()) == list(range(6))
+
+    def test_capacity_overflow_raises(self):
+        config = DWMConfig(words_per_dbc=3, num_dbcs=1)
+        with pytest.raises(OptimizationError):
+            multi_port_chain_offsets(["a", "b", "c", "d"], config)
+
+
+class TestGeneralizedPlacement:
+    @pytest.mark.parametrize("num_ports", [1, 2, 3])
+    def test_never_worse_than_heuristic(self, num_ports):
+        for seed in range(4):
+            trace = markov_trace(10, 180, locality=0.7, seed=seed)
+            config = DWMConfig.for_items(
+                trace.num_items, words_per_dbc=8, num_ports=num_ports
+            )
+            heuristic = optimize_placement(trace, config, method="heuristic")
+            ours = optimize_placement(trace, config, method="generalized")
+            assert ours.total_shifts <= heuristic.total_shifts
+
+    def test_valid_on_eager_policy(self):
+        trace = zipf_trace(8, 120, seed=5)
+        config = DWMConfig(
+            words_per_dbc=8,
+            num_dbcs=2,
+            port_offsets=(1, 6),
+            port_policy="eager",
+        )
+        result = optimize_placement(trace, config, method="generalized")
+        result.placement.validate(config, list(trace.items))
+        heuristic = optimize_placement(trace, config, method="heuristic")
+        assert result.total_shifts <= heuristic.total_shifts
+
+    def test_multi_port_improves_over_single_port_anchoring(self):
+        # Two hot clusters with a two-port DBC: splitting the chain across
+        # the port neighbourhoods must not lose to one-port anchoring.
+        trace = markov_trace(12, 400, locality=0.85, seed=9)
+        two_port = DWMConfig.with_uniform_ports(
+            words_per_dbc=12, num_dbcs=1, num_ports=2
+        )
+        one_port = DWMConfig(words_per_dbc=12, num_dbcs=1)
+        cost_two = optimize_placement(trace, two_port, method="generalized")
+        cost_one = optimize_placement(trace, one_port, method="generalized")
+        assert cost_two.total_shifts <= cost_one.total_shifts
+
+    def test_deterministic_placement(self):
+        trace = markov_trace(8, 120, locality=0.5, seed=13)
+        config = DWMConfig.with_uniform_ports(
+            words_per_dbc=4, num_dbcs=3, num_ports=2
+        )
+        problem = build_problem(trace, config)
+        first = generalized_placement(problem).as_dict()
+        for _ in range(3):
+            assert generalized_placement(problem).as_dict() == first

@@ -6,6 +6,7 @@ import pytest
 
 from repro.core.cost import linear_arrangement_cost
 from repro.core.ilp import (
+    ENUMERATION_BUDGET,
     Constraint,
     ILPModel,
     LinearExpr,
@@ -131,6 +132,17 @@ class TestSolveAndVerify:
         items = [f"i{k}" for k in range(9)]
         with pytest.raises(OptimizationError, match="at most"):
             solve_by_enumeration(items, {})
+
+    def test_enumeration_budget_guard_overrides_max_items(self):
+        # Raising max_items must not let a factorial blowup through: the
+        # permutation-count budget rejects the call immediately instead of
+        # enumerating 12! assignments.
+        items = [f"i{k}" for k in range(12)]
+        with pytest.raises(OptimizationError, match="budget"):
+            solve_by_enumeration(items, {}, max_items=20)
+        with pytest.raises(OptimizationError, match="budget"):
+            verify_formulation(items, {}, max_items=20)
+        assert ENUMERATION_BUDGET == 40_320  # 8! — the documented ceiling
 
     def test_known_optimum(self):
         # Path graph: chain order is optimal with cost = sum of weights.
